@@ -1,0 +1,97 @@
+// Extension benchmark (the paper's future-work direction §8): kernel
+// density classification with bound-based early termination. Compares how
+// many refinement steps / points each bound family needs to *certify* the
+// predicted class, versus exact evaluation — the cross-class analogue of
+// τKDV pruning.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "classify/kde_classifier.h"
+
+namespace {
+
+std::vector<kdv::PointSet> MakeClasses(size_t n_per_class, int num_classes,
+                                       uint64_t seed) {
+  kdv::Rng rng(seed);
+  std::vector<kdv::PointSet> classes(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    // Class centers on a circle; overlapping but separable blobs.
+    double angle = 6.28318530718 * c / num_classes;
+    double cx = 0.5 + 0.3 * std::cos(angle);
+    double cy = 0.5 + 0.3 * std::sin(angle);
+    for (size_t i = 0; i < n_per_class; ++i) {
+      classes[c].push_back(
+          kdv::Point{rng.Gaussian(cx, 0.12), rng.Gaussian(cy, 0.12)});
+    }
+  }
+  return classes;
+}
+
+}  // namespace
+
+int main() {
+  using namespace kdv;
+  kdv_bench::PrintHeader("Extension",
+                         "kernel density classification: cost to certify "
+                         "the argmax class");
+
+  const size_t n_per_class =
+      std::max<size_t>(500, static_cast<size_t>(200000 *
+                                                kdv_bench::BenchScale()));
+  const int num_classes = 3;
+  const int num_queries = 500;
+
+  Rng rng(77);
+  PointSet queries;
+  for (int i = 0; i < num_queries; ++i) {
+    queries.push_back(Point{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)});
+  }
+
+  std::printf("\n%d classes x %zu points, %d queries (Gaussian kernel)\n",
+              num_classes, n_per_class, num_queries);
+  std::printf("%-8s %12s %14s %12s %10s\n", "method", "iters/query",
+              "points/query", "certified%", "time(s)");
+
+  int reference_labels[3] = {0, 0, 0};
+  std::vector<int> exact_labels;
+  for (Method method :
+       {Method::kExact, Method::kAkde, Method::kKarl, Method::kQuad}) {
+    KdeClassifier::Options options;
+    options.method = method;
+    KdeClassifier clf(MakeClasses(n_per_class, num_classes, 55), options);
+
+    uint64_t iters = 0, points = 0, certified = 0;
+    std::vector<int> labels;
+    Timer timer;
+    for (const Point& q : queries) {
+      KdeClassifier::Result r = clf.Classify(q);
+      iters += r.iterations;
+      points += r.points_scanned;
+      certified += r.certified ? 1 : 0;
+      labels.push_back(r.label);
+    }
+    double secs = timer.ElapsedSeconds();
+    std::printf("%-8s %12.1f %14.1f %11.1f%% %10.3f\n", MethodName(method),
+                static_cast<double>(iters) / num_queries,
+                static_cast<double>(points) / num_queries,
+                100.0 * static_cast<double>(certified) / num_queries, secs);
+
+    if (method == Method::kExact) {
+      exact_labels = labels;
+      for (int l : labels) reference_labels[l]++;
+    } else {
+      // All bound families must agree with exact classification.
+      size_t mismatches = 0;
+      for (int i = 0; i < num_queries; ++i) {
+        if (labels[i] != exact_labels[i]) ++mismatches;
+      }
+      if (mismatches != 0) {
+        std::printf("  WARNING: %zu label mismatches vs EXACT\n", mismatches);
+      }
+    }
+  }
+  std::printf("\nlabel distribution (EXACT): %d / %d / %d\n",
+              reference_labels[0], reference_labels[1], reference_labels[2]);
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "approx/grid_kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kdv {
+
+namespace {
+
+// Distance beyond which K(x(dist)) < truncation, in data-space units.
+double TruncationRadius(const KernelParams& params, double truncation) {
+  KDV_CHECK(truncation > 0.0 && truncation < 1.0);
+  if (HasFiniteSupport(params.type)) {
+    return SupportEdge(params.type) / params.gamma;
+  }
+  // exp(-x) < t  <=>  x > ln(1/t).
+  double x_cut = std::log(1.0 / truncation);
+  if (UsesSquaredDistanceArgument(params.type)) {
+    return std::sqrt(x_cut / params.gamma);  // x = gamma * d^2
+  }
+  return x_cut / params.gamma;  // x = gamma * d
+}
+
+}  // namespace
+
+GridKde::GridKde(const PointSet& points, const KernelParams& params,
+                 const Rect& domain, const Options& options)
+    : params_(params), domain_(domain),
+      grid_size_(std::max(options.grid_size, 1)),
+      radius_(TruncationRadius(params, options.truncation)),
+      counts_(static_cast<size_t>(grid_size_) * grid_size_, 0.0) {
+  KDV_CHECK(domain_.dim() >= 2);
+  for (const Point& p : points) {
+    int cx = 0, cy = 0;
+    for (int axis = 0; axis < 2; ++axis) {
+      double len = domain_.Length(axis);
+      double t = len > 0.0 ? (p[axis] - domain_.lo(axis)) / len : 0.5;
+      int c = static_cast<int>(std::clamp(t, 0.0, 1.0) * grid_size_);
+      c = std::min(c, grid_size_ - 1);
+      (axis == 0 ? cx : cy) = c;
+    }
+    counts_[static_cast<size_t>(cy) * grid_size_ + cx] += 1.0;
+  }
+}
+
+Point GridKde::CellCenter(int cx, int cy) const {
+  Point p(2);
+  p[0] = domain_.lo(0) + (cx + 0.5) * domain_.Length(0) / grid_size_;
+  p[1] = domain_.lo(1) + (cy + 0.5) * domain_.Length(1) / grid_size_;
+  return p;
+}
+
+double GridKde::Evaluate(const Point& q) const {
+  // Cell ranges overlapping the truncation disc around q.
+  const double cell_w = domain_.Length(0) / grid_size_;
+  const double cell_h = domain_.Length(1) / grid_size_;
+  auto cell_range = [this](double lo, double q_coord, double cell_len,
+                           double radius) {
+    int first = 0, last = grid_size_ - 1;
+    if (cell_len > 0.0) {
+      first = std::max(
+          0, static_cast<int>((q_coord - radius - lo) / cell_len) - 1);
+      last = std::min(grid_size_ - 1,
+                      static_cast<int>((q_coord + radius - lo) / cell_len) +
+                          1);
+    }
+    return std::make_pair(first, last);
+  };
+  auto [x0, x1] = cell_range(domain_.lo(0), q[0], cell_w, radius_);
+  auto [y0, y1] = cell_range(domain_.lo(1), q[1], cell_h, radius_);
+
+  const double radius_sq = radius_ * radius_;
+  double sum = 0.0;
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      double c = counts_[static_cast<size_t>(cy) * grid_size_ + cx];
+      if (c == 0.0) continue;
+      double d_sq = SquaredDistance(q, CellCenter(cx, cy));
+      if (d_sq > radius_sq) continue;
+      sum += c * params_.EvalSquaredDistance(d_sq);
+    }
+  }
+  return params_.weight * sum;
+}
+
+DensityFrame GridKde::RenderFrame(const PixelGrid& grid) const {
+  DensityFrame frame(grid.width(), grid.height());
+  for (int py = 0; py < grid.height(); ++py) {
+    for (int px = 0; px < grid.width(); ++px) {
+      frame.at(px, py) = Evaluate(grid.PixelCenter(px, py));
+    }
+  }
+  return frame;
+}
+
+}  // namespace kdv

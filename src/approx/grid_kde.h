@@ -1,0 +1,60 @@
+// Grid-convolution KDE — the "function approximation" camp of the paper's
+// Table 2 (fast Gauss transform descendants, Raykar et al. / Yang et al.).
+//
+// Points are binned onto a G x G grid; a query's density is approximated by
+// summing count(cell) * K(q, cell_center) over cells within the kernel's
+// truncation radius. Fast and simple, but the result carries NO error
+// guarantee (binning + truncation error is unbounded relative to ε at
+// low-density pixels) — which is precisely why the paper's εKDV/τKDV
+// problem statements exclude this camp. Included as a baseline to
+// demonstrate that trade-off.
+#ifndef QUADKDV_APPROX_GRID_KDE_H_
+#define QUADKDV_APPROX_GRID_KDE_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "kernel/kernel.h"
+#include "viz/frame.h"
+#include "viz/pixel_grid.h"
+
+namespace kdv {
+
+class GridKde {
+ public:
+  struct Options {
+    int grid_size = 256;        // cells per axis
+    double truncation = 1e-4;   // drop kernel contributions below this value
+  };
+
+  // Bins `points` over `domain` (points outside the domain are clamped to
+  // its boundary cells). 2-d only.
+  GridKde(const PointSet& points, const KernelParams& params,
+          const Rect& domain, const Options& options);
+
+  // Approximate density at q (no guarantee).
+  double Evaluate(const Point& q) const;
+
+  // Approximate densities for a whole frame.
+  DensityFrame RenderFrame(const PixelGrid& grid) const;
+
+  int grid_size() const { return grid_size_; }
+
+  // Truncation radius in data-space units: contributions from farther than
+  // this are dropped.
+  double truncation_radius() const { return radius_; }
+
+ private:
+  Point CellCenter(int cx, int cy) const;
+
+  KernelParams params_;
+  Rect domain_;
+  int grid_size_;
+  double radius_;
+  std::vector<double> counts_;  // grid_size^2 bin counts, row-major
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_APPROX_GRID_KDE_H_

@@ -1,0 +1,341 @@
+#include "bounds/node_bounds.h"
+
+#include <cmath>
+
+#include "bounds/profile.h"
+#include "util/check.h"
+
+namespace kdv {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Interval width below which the node is effectively at one distance and the
+// trivial bounds are already (near-)exact.
+constexpr double kDegenerateInterval = 1e-12;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MinMaxDistBounds
+// ---------------------------------------------------------------------------
+
+BoundPair MinMaxDistBounds::Evaluate(const NodeStats& stats,
+                                     const Point& q) const {
+  XInterval xi = ProfileInterval(params_, stats.mbr(), q);
+  return TrivialBounds(params_, static_cast<double>(stats.count()), xi);
+}
+
+// ---------------------------------------------------------------------------
+// KarlLinearBounds
+// ---------------------------------------------------------------------------
+
+KarlLinearBounds::KarlLinearBounds(const KernelParams& params,
+                                   const BoundsOptions& options)
+    : NodeBounds(params, options) {
+  KDV_CHECK_MSG(params.type == KernelType::kGaussian,
+                "KARL linear bounds require the Gaussian kernel (Lemma 1 "
+                "needs x = gamma*dist^2)");
+}
+
+BoundPair KarlLinearBounds::Evaluate(const NodeStats& stats,
+                                     const Point& q) const {
+  const double n = static_cast<double>(stats.count());
+  XInterval xi = ProfileInterval(params_, stats.mbr(), q);
+  if (xi.x_max - xi.x_min < kDegenerateInterval) {
+    return TrivialBounds(params_, n, xi);
+  }
+
+  const double s1 = stats.SumSquaredDistances(q);
+  const double sum_x = params_.gamma * s1;  // sum_i x_i
+  const double w = params_.weight;
+
+  BoundPair b;
+  LinearCoeffs upper = ExpChordUpper(xi.x_min, xi.x_max);
+  b.upper = w * (upper.m * sum_x + upper.k * n);
+
+  double t = GaussianTangentPoint(params_.gamma, s1, n, xi.x_min, xi.x_max);
+  LinearCoeffs lower = ExpTangentLower(t);
+  b.lower = w * (lower.m * sum_x + lower.k * n);
+
+  return Finalize(b, n, xi);
+}
+
+// ---------------------------------------------------------------------------
+// QuadGaussianBounds
+// ---------------------------------------------------------------------------
+
+QuadGaussianBounds::QuadGaussianBounds(const KernelParams& params,
+                                       const BoundsOptions& options)
+    : NodeBounds(params, options) {
+  KDV_CHECK_MSG(params.type == KernelType::kGaussian,
+                "QuadGaussianBounds requires the Gaussian kernel");
+}
+
+BoundPair QuadGaussianBounds::Evaluate(const NodeStats& stats,
+                                       const Point& q) const {
+  const double n = static_cast<double>(stats.count());
+  XInterval xi = ProfileInterval(params_, stats.mbr(), q);
+  if (xi.x_max - xi.x_min < kDegenerateInterval) {
+    return TrivialBounds(params_, n, xi);
+  }
+
+  const double s1 = stats.SumSquaredDistances(q);
+  const double s2 = stats.SumQuarticDistances(q);
+  const double sum_x = params_.gamma * s1;                    // sum x_i
+  const double sum_x_sq = params_.gamma * params_.gamma * s2;  // sum x_i^2
+  const double w = params_.weight;
+
+  BoundPair b;
+  QuadraticCoeffs upper = ExpQuadUpper(xi.x_min, xi.x_max);
+  b.upper = w * (upper.a * sum_x_sq + upper.b * sum_x + upper.c * n);
+
+  double t = GaussianTangentPoint(params_.gamma, s1, n, xi.x_min, xi.x_max);
+  if (xi.x_max - t < kDegenerateInterval) {
+    // Tangent point collapses onto x_max; the quadratic form degenerates.
+    // Fall back to the linear tangent bound, which is still valid.
+    LinearCoeffs lower = ExpTangentLower(t);
+    b.lower = w * (lower.m * sum_x + lower.k * n);
+  } else {
+    QuadraticCoeffs lower = ExpQuadLower(t, xi.x_max);
+    b.lower = w * (lower.a * sum_x_sq + lower.b * sum_x + lower.c * n);
+  }
+
+  return Finalize(b, n, xi);
+}
+
+// ---------------------------------------------------------------------------
+// QuadDistanceKernelBounds
+// ---------------------------------------------------------------------------
+
+QuadDistanceKernelBounds::QuadDistanceKernelBounds(
+    const KernelParams& params, const BoundsOptions& options)
+    : NodeBounds(params, options) {
+  KDV_CHECK_MSG(params.type == KernelType::kTriangular ||
+                    params.type == KernelType::kCosine ||
+                    params.type == KernelType::kExponential,
+                "QuadDistanceKernelBounds supports triangular, cosine and "
+                "exponential kernels");
+}
+
+BoundPair QuadDistanceKernelBounds::Evaluate(const NodeStats& stats,
+                                             const Point& q) const {
+  XInterval xi = ProfileInterval(params_, stats.mbr(), q);
+  // sum_i x_i^2 = gamma^2 * S1 — the only aggregate these bounds need
+  // (Lemma 4: O(d) time).
+  const double sum_x_sq =
+      params_.gamma * params_.gamma * stats.SumSquaredDistances(q);
+
+  switch (params_.type) {
+    case KernelType::kTriangular:
+      return EvaluateTriangular(stats, xi, sum_x_sq);
+    case KernelType::kCosine:
+      return EvaluateCosine(stats, xi, sum_x_sq);
+    case KernelType::kExponential:
+      return EvaluateExponential(stats, xi, sum_x_sq);
+    default:
+      KDV_CHECK_MSG(false, "unreachable kernel type");
+  }
+}
+
+BoundPair QuadDistanceKernelBounds::EvaluateTriangular(
+    const NodeStats& stats, const XInterval& xi, double sum_x_sq) const {
+  const double n = static_cast<double>(stats.count());
+  const double w = params_.weight;
+
+  // Entire node beyond the kernel support: contribution is exactly 0.
+  if (xi.x_min >= 1.0) return BoundPair{0.0, 0.0};
+  if (xi.x_max - xi.x_min < kDegenerateInterval) {
+    return TrivialBounds(params_, n, xi);
+  }
+
+  BoundPair b;
+  QuadraticCoeffs upper = TriangularQuadUpper(xi.x_min, xi.x_max);
+  b.upper = w * (upper.a * sum_x_sq + upper.c * n);
+
+  // Theorem 2 / Lemma 6 closed form of the optimal lower bound:
+  //   F >= w * (n - sqrt(n * sum_i x_i^2)).
+  // Valid for all x (see §5.2.2: for x > 1 the bound is negative while the
+  // kernel is 0, so it stays below).
+  b.lower = w * (n - std::sqrt(n * sum_x_sq));
+
+  return Finalize(b, n, xi);
+}
+
+BoundPair QuadDistanceKernelBounds::EvaluateCosine(const NodeStats& stats,
+                                                   const XInterval& xi,
+                                                   double sum_x_sq) const {
+  const double n = static_cast<double>(stats.count());
+  const double w = params_.weight;
+  const double half_pi = kPi / 2.0;
+
+  if (xi.x_min >= half_pi) return BoundPair{0.0, 0.0};
+  if (xi.x_max - xi.x_min < kDegenerateInterval) {
+    return TrivialBounds(params_, n, xi);
+  }
+
+  BoundPair b;
+  if (xi.x_max <= half_pi) {
+    // Lemma 9: interpolating quadratic upper bound, valid on [0, pi/2].
+    QuadraticCoeffs upper = CosineQuadUpper(xi.x_min, xi.x_max);
+    b.upper = w * (upper.a * sum_x_sq + upper.c * n);
+  } else {
+    // Node straddles the support edge: the interpolation argument breaks
+    // (cos is concave, the zero-clamped profile is not), keep the trivial
+    // upper bound n*w*cos(x_min). Correctness first; only boundary nodes
+    // lose tightness.
+    b.upper = n * w * std::cos(xi.x_min);
+  }
+
+  // Lemma 10 lower bound with x_max clamped to the support edge. For
+  // x > pi/2 the quadratic is <= 0 <= K, so it remains a valid lower bound
+  // when the node straddles the edge.
+  double x_max_eff = std::min(xi.x_max, half_pi);
+  QuadraticCoeffs lower = CosineQuadLower(x_max_eff);
+  b.lower = w * (lower.a * sum_x_sq + lower.c * n);
+
+  return Finalize(b, n, xi);
+}
+
+BoundPair QuadDistanceKernelBounds::EvaluateExponential(
+    const NodeStats& stats, const XInterval& xi, double sum_x_sq) const {
+  const double n = static_cast<double>(stats.count());
+  const double w = params_.weight;
+
+  if (xi.x_max - xi.x_min < kDegenerateInterval) {
+    return TrivialBounds(params_, n, xi);
+  }
+
+  BoundPair b;
+  QuadraticCoeffs upper = ExponentialQuadUpper(xi.x_min, xi.x_max);
+  b.upper = w * (upper.a * sum_x_sq + upper.c * n);
+
+  double t = ExponentialTangentPoint(params_.gamma, sum_x_sq /
+                                         (params_.gamma * params_.gamma),
+                                     n, xi.x_min, xi.x_max);
+  if (t <= kDegenerateInterval) {
+    // All points effectively at the query: trivial bounds are exact.
+    return Finalize(TrivialBounds(params_, n, xi), n, xi);
+  }
+  QuadraticCoeffs lower = ExponentialQuadLower(t);
+  b.lower = w * (lower.a * sum_x_sq + lower.c * n);
+
+  return Finalize(b, n, xi);
+}
+
+// ---------------------------------------------------------------------------
+// PolynomialExactBounds
+// ---------------------------------------------------------------------------
+
+PolynomialExactBounds::PolynomialExactBounds(const KernelParams& params,
+                                             const BoundsOptions& options)
+    : NodeBounds(params, options) {
+  KDV_CHECK_MSG(params.type == KernelType::kEpanechnikov ||
+                    params.type == KernelType::kQuartic ||
+                    params.type == KernelType::kUniform,
+                "PolynomialExactBounds supports epanechnikov, quartic and "
+                "uniform kernels");
+}
+
+BoundPair PolynomialExactBounds::Evaluate(const NodeStats& stats,
+                                          const Point& q) const {
+  const double n = static_cast<double>(stats.count());
+  const double w = params_.weight;
+  XInterval xi = ProfileInterval(params_, stats.mbr(), q);
+
+  if (xi.x_min >= 1.0) return BoundPair{0.0, 0.0};
+
+  const double g2 = params_.gamma * params_.gamma;
+  const double sum_x_sq = g2 * stats.SumSquaredDistances(q);
+
+  BoundPair b;
+  switch (params_.type) {
+    case KernelType::kEpanechnikov: {
+      // K = 1 - x^2 inside support: the node aggregate is w*(n - sum x_i^2),
+      // exact when the node is fully inside.
+      double poly = w * (n - sum_x_sq);
+      if (xi.x_max <= 1.0) return BoundPair{poly, poly};
+      // Straddling: the polynomial under-counts (negative terms where K=0),
+      // so it is a valid lower bound.
+      b.lower = poly;
+      b.upper = n * w * std::max(1.0 - xi.x_min * xi.x_min, 0.0);
+      break;
+    }
+    case KernelType::kQuartic: {
+      // K = (1 - x^2)^2 = 1 - 2 x^2 + x^4 inside support; x^4 aggregates via
+      // S2 (gamma^4 * sum dist^4).
+      double sum_x_4 = g2 * g2 * stats.SumQuarticDistances(q);
+      double poly = w * (n - 2.0 * sum_x_sq + sum_x_4);
+      if (xi.x_max <= 1.0) return BoundPair{poly, poly};
+      // Straddling: (1-x^2)^2 >= 0 = K outside the support, so the
+      // polynomial over-counts -> valid upper bound.
+      b.upper = poly;
+      b.lower = 0.0;
+      break;
+    }
+    case KernelType::kUniform: {
+      b.lower = xi.x_max <= 1.0 ? n * w : 0.0;
+      b.upper = xi.x_min <= 1.0 ? n * w : 0.0;
+      break;
+    }
+    default:
+      KDV_CHECK_MSG(false, "unreachable kernel type");
+  }
+  return Finalize(b, n, xi);
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kExact:
+      return "EXACT";
+    case Method::kAkde:
+      return "aKDE";
+    case Method::kTkdc:
+      return "tKDC";
+    case Method::kKarl:
+      return "KARL";
+    case Method::kQuad:
+      return "QUAD";
+    case Method::kZorder:
+      return "Z-order";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<NodeBounds> MakeNodeBounds(Method method,
+                                           const KernelParams& params,
+                                           const BoundsOptions& options) {
+  switch (method) {
+    case Method::kExact:
+    case Method::kZorder:
+      return nullptr;
+    case Method::kAkde:
+    case Method::kTkdc:
+      return std::make_unique<MinMaxDistBounds>(params, options);
+    case Method::kKarl:
+      if (params.type != KernelType::kGaussian) return nullptr;  // Table 6
+      return std::make_unique<KarlLinearBounds>(params, options);
+    case Method::kQuad:
+      switch (params.type) {
+        case KernelType::kGaussian:
+          return std::make_unique<QuadGaussianBounds>(params, options);
+        case KernelType::kTriangular:
+        case KernelType::kCosine:
+        case KernelType::kExponential:
+          return std::make_unique<QuadDistanceKernelBounds>(params, options);
+        case KernelType::kEpanechnikov:
+        case KernelType::kQuartic:
+        case KernelType::kUniform:
+          return std::make_unique<PolynomialExactBounds>(params, options);
+      }
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace kdv

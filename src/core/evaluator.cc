@@ -1,0 +1,68 @@
+#include "core/evaluator.h"
+
+#include "core/refinement_stream.h"
+#include "util/check.h"
+
+namespace kdv {
+
+KdeEvaluator::KdeEvaluator(const KdTree* tree, const KernelParams& params,
+                           const NodeBounds* bounds)
+    : tree_(tree), params_(params), bounds_(bounds) {
+  KDV_CHECK(tree_ != nullptr);
+  KDV_CHECK(params_.gamma > 0.0);
+  KDV_CHECK(params_.weight > 0.0);
+}
+
+double KdeEvaluator::LeafSum(const KdTree::Node& node, const Point& q) const {
+  const PointSet& pts = tree_->points();
+  double sum = 0.0;
+  for (uint32_t i = node.begin; i < node.end; ++i) {
+    sum += params_.EvalSquaredDistance(SquaredDistance(q, pts[i]));
+  }
+  return params_.weight * sum;
+}
+
+double KdeEvaluator::EvaluateExact(const Point& q) const {
+  return LeafSum(tree_->node(tree_->root()), q);
+}
+
+EvalResult KdeEvaluator::RefineEps(const Point& q, double eps,
+                                   std::vector<BoundStep>* trace) const {
+  KDV_CHECK(eps >= 0.0);
+  RefinementStream stream(tree_, params_, bounds_, q);
+  if (trace != nullptr) trace->push_back({0, stream.lower(), stream.upper()});
+
+  while (stream.upper() > (1.0 + eps) * stream.lower() && stream.Step()) {
+    if (trace != nullptr) {
+      trace->push_back({stream.iterations(), stream.lower(), stream.upper()});
+    }
+  }
+
+  EvalResult result;
+  result.lower = stream.lower();
+  result.upper = stream.upper();
+  result.estimate = 0.5 * (result.lower + result.upper);
+  result.iterations = stream.iterations();
+  result.points_scanned = stream.points_scanned();
+  result.converged =
+      result.upper <= (1.0 + eps) * result.lower || stream.exhausted();
+  return result;
+}
+
+TauResult KdeEvaluator::EvaluateTau(const Point& q, double tau) const {
+  RefinementStream stream(tree_, params_, bounds_, q);
+  while (stream.lower() < tau && stream.upper() > tau && stream.Step()) {
+  }
+
+  TauResult result;
+  result.lower = stream.lower();
+  result.upper = stream.upper();
+  result.iterations = stream.iterations();
+  result.points_scanned = stream.points_scanned();
+  // lower >= tau certifies "above"; upper <= tau certifies "below". Once
+  // exhausted, lower == upper == F_P(q) and the comparison is exact.
+  result.above_threshold = result.lower >= tau;
+  return result;
+}
+
+}  // namespace kdv

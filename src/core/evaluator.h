@@ -1,0 +1,92 @@
+// Best-first refinement engine for kernel aggregation queries.
+//
+// This is the shared algorithm of §3.2 (aKDE / tKDC / KARL / QUAD all run
+// it): per query point q, a priority queue holds index nodes ordered by
+// bound gap UB - LB; running totals (lb, ub) over all live nodes shrink as
+// nodes are popped and replaced by their children (or by exact leaf sums),
+// and the query stops as soon as the operation's termination test holds:
+//   εKDV:  ub <= (1+ε) * lb
+//   τKDV:  lb >= τ  or  ub <= τ
+#ifndef QUADKDV_CORE_EVALUATOR_H_
+#define QUADKDV_CORE_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bounds/node_bounds.h"
+#include "geom/point.h"
+#include "index/kdtree.h"
+#include "kernel/kernel.h"
+
+namespace kdv {
+
+// Outcome of one per-pixel evaluation.
+struct EvalResult {
+  double lower = 0.0;       // certified lower bound on F_P(q)
+  double upper = 0.0;       // certified upper bound on F_P(q)
+  double estimate = 0.0;    // returned density value R(q)
+  uint64_t iterations = 0;  // refinement steps (queue pops)
+  uint64_t points_scanned = 0;  // points evaluated exactly in leaves
+  bool converged = false;   // termination test satisfied (or fully refined)
+};
+
+// Outcome of one τKDV classification.
+struct TauResult {
+  bool above_threshold = false;
+  double lower = 0.0;
+  double upper = 0.0;
+  uint64_t iterations = 0;
+  uint64_t points_scanned = 0;
+};
+
+// One step of a bound-refinement trace (paper Fig. 18).
+struct BoundStep {
+  uint64_t iteration = 0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+// Per-query evaluator. Holds non-owning pointers: the tree, params and
+// bounds must outlive it. `bounds == nullptr` selects the EXACT method
+// (sequential scan) for every query.
+class KdeEvaluator {
+ public:
+  KdeEvaluator(const KdTree* tree, const KernelParams& params,
+               const NodeBounds* bounds);
+
+  // εKDV: returns R(q) with |R(q) - F_P(q)| <= ε * F_P(q).
+  EvalResult EvaluateEps(const Point& q, double eps) const {
+    return RefineEps(q, eps, nullptr);
+  }
+
+  // Same, recording (lb, ub) after every refinement step into *trace.
+  EvalResult EvaluateEpsTraced(const Point& q, double eps,
+                               std::vector<BoundStep>* trace) const {
+    return RefineEps(q, eps, trace);
+  }
+
+  // τKDV: decides F_P(q) >= τ.
+  TauResult EvaluateTau(const Point& q, double tau) const;
+
+  // Exact sequential evaluation of F_P(q) over all indexed points.
+  double EvaluateExact(const Point& q) const;
+
+  const KdTree& tree() const { return *tree_; }
+  const KernelParams& params() const { return params_; }
+  const NodeBounds* bounds() const { return bounds_; }
+
+ private:
+  EvalResult RefineEps(const Point& q, double eps,
+                       std::vector<BoundStep>* trace) const;
+
+  // Exact contribution of one node's points.
+  double LeafSum(const KdTree::Node& node, const Point& q) const;
+
+  const KdTree* tree_;
+  KernelParams params_;
+  const NodeBounds* bounds_;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_CORE_EVALUATOR_H_

@@ -1,0 +1,90 @@
+#include "core/kdv_runner.h"
+
+#include "util/check.h"
+
+namespace kdv {
+
+namespace {
+
+void Accumulate(BatchStats* stats, const EvalResult& r) {
+  if (stats == nullptr) return;
+  ++stats->queries;
+  stats->iterations += r.iterations;
+  stats->points_scanned += r.points_scanned;
+}
+
+}  // namespace
+
+std::vector<double> RunEpsBatch(const KdeEvaluator& evaluator,
+                                const PointSet& queries, double eps,
+                                BatchStats* stats) {
+  std::vector<double> out(queries.size(), 0.0);
+  Timer timer;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EvalResult r = evaluator.EvaluateEps(queries[i], eps);
+    out[i] = r.estimate;
+    Accumulate(stats, r);
+  }
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+std::vector<uint8_t> RunTauBatch(const KdeEvaluator& evaluator,
+                                 const PointSet& queries, double tau,
+                                 BatchStats* stats) {
+  std::vector<uint8_t> out(queries.size(), 0);
+  Timer timer;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    TauResult r = evaluator.EvaluateTau(queries[i], tau);
+    out[i] = r.above_threshold ? 1 : 0;
+    if (stats != nullptr) {
+      ++stats->queries;
+      stats->iterations += r.iterations;
+      stats->points_scanned += r.points_scanned;
+    }
+  }
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+std::vector<double> RunExactBatch(const KdeEvaluator& evaluator,
+                                  const PointSet& queries, BatchStats* stats) {
+  std::vector<double> out(queries.size(), 0.0);
+  Timer timer;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out[i] = evaluator.EvaluateExact(queries[i]);
+    if (stats != nullptr) {
+      ++stats->queries;
+      stats->points_scanned += evaluator.tree().num_points();
+    }
+  }
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+size_t RunEpsOrdered(const KdeEvaluator& evaluator, const PointSet& queries,
+                     const std::vector<uint32_t>& order, double eps,
+                     Deadline* deadline, std::vector<double>* out,
+                     BatchStats* stats) {
+  KDV_CHECK(out != nullptr);
+  KDV_CHECK(out->size() == queries.size());
+  Timer timer;
+  size_t evaluated = 0;
+  // The deadline is polled per query: a single εKDV evaluation is the unit
+  // of progress in the progressive framework.
+  for (uint32_t idx : order) {
+    if (deadline != nullptr && deadline->Expired()) {
+      if (stats != nullptr) stats->completed = false;
+      break;
+    }
+    KDV_DCHECK(idx < queries.size());
+    EvalResult r = evaluator.EvaluateEps(queries[idx], eps);
+    (*out)[idx] = r.estimate;
+    ++evaluated;
+    Accumulate(stats, r);
+  }
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+  return evaluated;
+}
+
+}  // namespace kdv

@@ -1,0 +1,53 @@
+// Batch drivers: εKDV / τKDV / exact KDV over a set of query points.
+//
+// Benchmarks and the visualization layers all funnel through these, so
+// timing and work accounting are measured uniformly across methods.
+#ifndef QUADKDV_CORE_KDV_RUNNER_H_
+#define QUADKDV_CORE_KDV_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "geom/point.h"
+#include "util/timer.h"
+
+namespace kdv {
+
+// Aggregate work/timing statistics of one batch run.
+struct BatchStats {
+  double seconds = 0.0;
+  uint64_t queries = 0;           // queries actually evaluated
+  uint64_t iterations = 0;        // total refinement steps
+  uint64_t points_scanned = 0;    // total exact point evaluations
+  bool completed = true;          // false if a deadline cut the batch short
+};
+
+// εKDV over `queries`; out[i] is the (1±eps)-approximate density of
+// queries[i]. `stats` may be nullptr.
+std::vector<double> RunEpsBatch(const KdeEvaluator& evaluator,
+                                const PointSet& queries, double eps,
+                                BatchStats* stats);
+
+// τKDV over `queries`; out[i] is 1 iff F_P(queries[i]) >= tau.
+std::vector<uint8_t> RunTauBatch(const KdeEvaluator& evaluator,
+                                 const PointSet& queries, double tau,
+                                 BatchStats* stats);
+
+// Exact KDV (sequential scan per query).
+std::vector<double> RunExactBatch(const KdeEvaluator& evaluator,
+                                  const PointSet& queries, BatchStats* stats);
+
+// Deadline-aware εKDV in a caller-chosen evaluation order: evaluates
+// queries[order[k]] for k = 0,1,... until the deadline expires, writing
+// results into (*out)[order[k]]. Entries not reached keep their prior value.
+// Returns the number of queries evaluated. Used by the progressive
+// framework (§6) and its EXACT/sampling competitors.
+size_t RunEpsOrdered(const KdeEvaluator& evaluator, const PointSet& queries,
+                     const std::vector<uint32_t>& order, double eps,
+                     Deadline* deadline, std::vector<double>* out,
+                     BatchStats* stats);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_CORE_KDV_RUNNER_H_

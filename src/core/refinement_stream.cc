@@ -1,0 +1,75 @@
+#include "core/refinement_stream.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace kdv {
+
+RefinementStream::RefinementStream(const KdTree* tree,
+                                   const KernelParams& params,
+                                   const NodeBounds* bounds, const Point& q)
+    : tree_(tree), params_(params), bounds_(bounds), q_(q) {
+  KDV_CHECK(tree_ != nullptr);
+  if (bounds_ == nullptr) {
+    // EXACT method: no refinement possible; the "bounds" are the answer.
+    double exact = LeafSum(tree_->node(tree_->root()));
+    points_scanned_ = tree_->num_points();
+    lb_ = ub_ = best_lb_ = best_ub_ = exact;
+    return;
+  }
+  const int32_t root = tree_->root();
+  BoundPair root_bounds = bounds_->Evaluate(tree_->node(root).stats, q_);
+  lb_ = best_lb_ = root_bounds.lower;
+  ub_ = best_ub_ = root_bounds.upper;
+  queue_.push({ub_ - lb_, root, lb_, ub_});
+}
+
+double RefinementStream::LeafSum(const KdTree::Node& node) const {
+  const PointSet& pts = tree_->points();
+  double sum = 0.0;
+  for (uint32_t i = node.begin; i < node.end; ++i) {
+    sum += params_.EvalSquaredDistance(SquaredDistance(q_, pts[i]));
+  }
+  return params_.weight * sum;
+}
+
+bool RefinementStream::Step() {
+  if (queue_.empty()) return false;
+  QueueEntry top = queue_.top();
+  queue_.pop();
+  ++iterations_;
+
+  lb_ -= top.lower;
+  ub_ -= top.upper;
+  const KdTree::Node& node = tree_->node(top.node);
+  if (node.IsLeaf()) {
+    double exact = LeafSum(node);
+    points_scanned_ += node.count();
+    lb_ += exact;
+    ub_ += exact;
+  } else {
+    for (int32_t child : {node.left, node.right}) {
+      BoundPair child_bounds =
+          bounds_->Evaluate(tree_->node(child).stats, q_);
+      lb_ += child_bounds.lower;
+      ub_ += child_bounds.upper;
+      queue_.push({child_bounds.upper - child_bounds.lower, child,
+                   child_bounds.lower, child_bounds.upper});
+    }
+  }
+
+  if (queue_.empty()) {
+    // Fully refined: running totals are the exact value (modulo FP drift);
+    // they override the envelope.
+    best_lb_ = lb_;
+    best_ub_ = ub_;
+  } else {
+    best_lb_ = std::max(best_lb_, lb_);
+    best_ub_ = std::min(best_ub_, ub_);
+  }
+  if (best_ub_ < best_lb_) best_ub_ = best_lb_;
+  return true;
+}
+
+}  // namespace kdv

@@ -1,0 +1,78 @@
+// Step-wise bound refinement for one query point.
+//
+// A RefinementStream exposes the §3.2 best-first loop one queue-pop at a
+// time, maintaining a certified, monotonically tightening interval
+// [lower(), upper()] around F_P(q). εKDV, τKDV, the Fig-18 traces and the
+// kernel-density classifier are all thin drivers over this stream.
+#ifndef QUADKDV_CORE_REFINEMENT_STREAM_H_
+#define QUADKDV_CORE_REFINEMENT_STREAM_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "bounds/node_bounds.h"
+#include "geom/point.h"
+#include "index/kdtree.h"
+#include "kernel/kernel.h"
+
+namespace kdv {
+
+class RefinementStream {
+ public:
+  // Non-owning: tree/bounds must outlive the stream. bounds == nullptr means
+  // the EXACT method: the stream starts already exhausted with
+  // lower == upper == F_P(q).
+  RefinementStream(const KdTree* tree, const KernelParams& params,
+                   const NodeBounds* bounds, const Point& q);
+
+  // Performs one refinement step (pop the loosest node, replace it by its
+  // children's bounds or its exact leaf sum). Returns false if the stream
+  // was already exhausted.
+  bool Step();
+
+  // Certified bounds: lower() <= F_P(q) <= upper(), weakly monotone in the
+  // number of steps (best-so-far envelope; see evaluator.cc for why the raw
+  // running totals alone are not monotone).
+  double lower() const { return best_lb_; }
+  double upper() const { return best_ub_; }
+
+  // Interval width; 0 once exhausted (up to FP drift, which is clamped).
+  double gap() const { return best_ub_ - best_lb_; }
+
+  bool exhausted() const { return queue_.empty(); }
+  uint64_t iterations() const { return iterations_; }
+  uint64_t points_scanned() const { return points_scanned_; }
+
+ private:
+  struct QueueEntry {
+    double gap = 0.0;
+    int32_t node = -1;
+    double lower = 0.0;
+    double upper = 0.0;
+  };
+  struct GapLess {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      return a.gap < b.gap;
+    }
+  };
+
+  double LeafSum(const KdTree::Node& node) const;
+
+  const KdTree* tree_;
+  KernelParams params_;
+  const NodeBounds* bounds_;
+  Point q_;
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, GapLess> queue_;
+  double lb_ = 0.0;       // raw running totals
+  double ub_ = 0.0;
+  double best_lb_ = 0.0;  // monotone envelope
+  double best_ub_ = 0.0;
+  uint64_t iterations_ = 0;
+  uint64_t points_scanned_ = 0;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_CORE_REFINEMENT_STREAM_H_

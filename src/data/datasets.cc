@@ -1,0 +1,194 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/random.h"
+
+namespace kdv {
+
+PointSet GenerateMixture(const MixtureSpec& spec) {
+  KDV_CHECK(spec.dim >= 1 && spec.dim <= kMaxDim);
+  KDV_CHECK(spec.num_clusters >= 1);
+  KDV_CHECK(spec.noise_fraction >= 0.0 && spec.noise_fraction <= 1.0);
+  Rng rng(spec.seed);
+
+  // Cluster parameters: center in [0.1, 0.9]^d so most mass stays inside the
+  // unit domain; stddev log-uniform in the configured range; weights Zipf-ish
+  // so a few hotspots dominate, as in real crime/traffic data.
+  struct Cluster {
+    Point center;
+    double stddev;
+    double cum_weight;
+  };
+  std::vector<Cluster> clusters(spec.num_clusters);
+  double total_weight = 0.0;
+  for (int c = 0; c < spec.num_clusters; ++c) {
+    Cluster& cl = clusters[c];
+    cl.center = Point(spec.dim);
+    for (int j = 0; j < spec.dim; ++j) cl.center[j] = rng.Uniform(0.1, 0.9);
+    double log_lo = std::log(spec.cluster_stddev_min);
+    double log_hi = std::log(spec.cluster_stddev_max);
+    cl.stddev = std::exp(rng.Uniform(log_lo, log_hi));
+    total_weight += 1.0 / (1.0 + c);  // Zipf weight 1/(c+1)
+    cl.cum_weight = total_weight;
+  }
+
+  PointSet points;
+  points.reserve(spec.n);
+  for (size_t i = 0; i < spec.n; ++i) {
+    Point p(spec.dim);
+    if (rng.NextDouble() < spec.noise_fraction) {
+      for (int j = 0; j < spec.dim; ++j) p[j] = rng.NextDouble();
+    } else {
+      double r = rng.Uniform(0.0, total_weight);
+      size_t c = 0;
+      while (c + 1 < clusters.size() && clusters[c].cum_weight < r) ++c;
+      const Cluster& cl = clusters[c];
+      for (int j = 0; j < spec.dim; ++j) {
+        p[j] = rng.Gaussian(cl.center[j], cl.stddev);
+      }
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+namespace {
+
+size_t Scaled(size_t n, double scale) {
+  KDV_CHECK(scale > 0.0 && scale <= 1.0);
+  size_t m = static_cast<size_t>(static_cast<double>(n) * scale);
+  return std::max<size_t>(m, 100);
+}
+
+}  // namespace
+
+MixtureSpec ElNinoSpec(double scale) {
+  MixtureSpec spec;
+  spec.name = "el_nino";
+  spec.n = Scaled(178080, scale);
+  spec.dim = 2;
+  spec.num_clusters = 6;  // smooth, wide oceanographic structure
+  spec.cluster_stddev_min = 0.05;
+  spec.cluster_stddev_max = 0.15;
+  spec.noise_fraction = 0.15;
+  spec.seed = 1001;
+  return spec;
+}
+
+MixtureSpec CrimeSpec(double scale) {
+  MixtureSpec spec;
+  spec.name = "crime";
+  spec.n = Scaled(270688, scale);
+  spec.dim = 2;
+  spec.num_clusters = 40;  // many tight urban hotspots
+  spec.cluster_stddev_min = 0.005;
+  spec.cluster_stddev_max = 0.03;
+  spec.noise_fraction = 0.1;
+  spec.seed = 1002;
+  return spec;
+}
+
+MixtureSpec HomeSpec(double scale) {
+  MixtureSpec spec;
+  spec.name = "home";
+  spec.n = Scaled(919438, scale);
+  spec.dim = 2;
+  spec.num_clusters = 8;  // dominant operating-point blob + excursions
+  spec.cluster_stddev_min = 0.01;
+  spec.cluster_stddev_max = 0.08;
+  spec.noise_fraction = 0.05;
+  spec.seed = 1003;
+  return spec;
+}
+
+MixtureSpec HepSpec(double scale) {
+  MixtureSpec spec;
+  spec.name = "hep";
+  spec.n = Scaled(7000000, scale);
+  spec.dim = 2;
+  spec.num_clusters = 15;
+  spec.cluster_stddev_min = 0.02;
+  spec.cluster_stddev_max = 0.07;
+  spec.noise_fraction = 0.2;
+  spec.seed = 1004;
+  return spec;
+}
+
+std::vector<MixtureSpec> PaperDatasetSpecs(double scale) {
+  return {ElNinoSpec(scale), CrimeSpec(scale), HomeSpec(scale),
+          HepSpec(scale)};
+}
+
+void NormalizeToUnitCube(PointSet* points) {
+  if (points->empty()) return;
+  Rect box = BoundingBox(*points);
+  const int d = box.dim();
+  for (Point& p : *points) {
+    for (int j = 0; j < d; ++j) {
+      double len = box.Length(j);
+      p[j] = len > 0.0 ? (p[j] - box.lo(j)) / len : 0.5;
+    }
+  }
+}
+
+Rect BoundingBox(const PointSet& points) {
+  KDV_CHECK(!points.empty());
+  Rect box(points[0].dim());
+  for (const Point& p : points) box.Expand(p);
+  return box;
+}
+
+PointSet SamplePoints(const PointSet& points, size_t m, uint64_t seed) {
+  if (m >= points.size()) return points;
+  std::vector<size_t> idx(points.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  Rng rng(seed);
+  for (size_t i = 0; i < m; ++i) {
+    size_t j = i + rng.UniformInt(idx.size() - i);
+    std::swap(idx[i], idx[j]);
+  }
+  PointSet out;
+  out.reserve(m);
+  for (size_t i = 0; i < m; ++i) out.push_back(points[idx[i]]);
+  return out;
+}
+
+bool LoadPointsCsv(const std::string& path, const std::vector<int>& attributes,
+                   PointSet* points) {
+  points->clear();
+  std::vector<std::vector<double>> rows;
+  size_t skipped = 0;
+  if (!ReadCsvFile(path, &rows, &skipped)) return false;
+  for (const auto& row : rows) {
+    std::vector<double> coords;
+    if (attributes.empty()) {
+      coords = row;
+    } else {
+      coords.reserve(attributes.size());
+      for (int a : attributes) {
+        if (a < 0 || a >= static_cast<int>(row.size())) return false;
+        coords.push_back(row[a]);
+      }
+    }
+    if (static_cast<int>(coords.size()) > kMaxDim) return false;
+    points->push_back(Point::FromVector(coords));
+  }
+  return true;
+}
+
+bool SavePointsCsv(const std::string& path, const PointSet& points) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(points.size());
+  for (const Point& p : points) {
+    std::vector<double> row(p.dim());
+    for (int j = 0; j < p.dim(); ++j) row[j] = p[j];
+    rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, "", rows);
+}
+
+}  // namespace kdv

@@ -1,0 +1,78 @@
+// Dataset synthesis and loading.
+//
+// The paper evaluates on four real datasets (UCI El-nino / home / hep and the
+// Atlanta crime feed, Table 5). Those files are not redistributable /
+// available offline, so this module synthesises Gaussian-mixture datasets
+// with the same cardinality, dimensionality and hotspot structure. The KDV
+// algorithms are data-oblivious; what drives the relative performance of the
+// bound functions is the clusteredness of the point set, which the mixtures
+// reproduce. See DESIGN.md "Substitutions".
+#ifndef QUADKDV_DATA_DATASETS_H_
+#define QUADKDV_DATA_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace kdv {
+
+// Parameters of a synthetic Gaussian-mixture dataset. Points are drawn from
+// `num_clusters` isotropic Gaussians with random centers inside the unit
+// square (cube), mixed with a `noise_fraction` of uniform background points.
+struct MixtureSpec {
+  std::string name = "synthetic";
+  size_t n = 10000;
+  int dim = 2;
+  int num_clusters = 10;
+  double cluster_stddev_min = 0.01;  // relative to the unit domain
+  double cluster_stddev_max = 0.05;
+  double noise_fraction = 0.1;  // in [0, 1]
+  uint64_t seed = 42;
+};
+
+// Draws a dataset according to `spec`. Deterministic in spec.seed.
+PointSet GenerateMixture(const MixtureSpec& spec);
+
+// The paper's four evaluation datasets (Table 5), as mixture analogues.
+// `scale` in (0, 1] shrinks cardinality proportionally (a scale of 0.01 turns
+// the 7M-point hep analogue into 70k points) so experiments finish on small
+// machines; shapes of the performance curves are preserved.
+//
+//   el_nino: 178,080 pts, smooth oceanographic field -> few wide clusters
+//   crime:   270,688 pts, urban point pattern        -> many tight hotspots
+//   home:    919,438 pts, sensor readings            -> dominant dense blob
+//   hep:     7,000,000 pts, physics events           -> mid-size clusters
+MixtureSpec ElNinoSpec(double scale = 1.0);
+MixtureSpec CrimeSpec(double scale = 1.0);
+MixtureSpec HomeSpec(double scale = 1.0);
+MixtureSpec HepSpec(double scale = 1.0);
+
+// All four paper datasets in Table 5 order.
+std::vector<MixtureSpec> PaperDatasetSpecs(double scale = 1.0);
+
+// Rescales every coordinate affinely so the bounding box becomes
+// [0,1]^dim. Degenerate dimensions (zero extent) map to 0.5.
+void NormalizeToUnitCube(PointSet* points);
+
+// Bounding box of a point set. Points must be non-empty and share dim.
+Rect BoundingBox(const PointSet& points);
+
+// Uniform random subsample without replacement (Fisher–Yates prefix);
+// `m >= points.size()` returns a copy. Deterministic in seed.
+PointSet SamplePoints(const PointSet& points, size_t m, uint64_t seed);
+
+// Loads points from a numeric CSV, keeping the given attribute columns
+// (empty `attributes` keeps all columns). Returns false if the file cannot
+// be read or the selected columns are missing/too many.
+bool LoadPointsCsv(const std::string& path, const std::vector<int>& attributes,
+                   PointSet* points);
+
+// Writes points as CSV. Returns false on I/O failure.
+bool SavePointsCsv(const std::string& path, const PointSet& points);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_DATA_DATASETS_H_

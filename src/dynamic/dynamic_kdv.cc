@@ -1,0 +1,157 @@
+#include "dynamic/dynamic_kdv.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/refinement_stream.h"
+#include "util/check.h"
+
+namespace kdv {
+
+DynamicKdv::DynamicKdv(PointSet initial, const Options& options)
+    : options_(options) {
+  KDV_CHECK_MSG(!initial.empty(), "DynamicKdv requires initial data");
+  params_ = MakeScottParams(options_.kernel, initial);
+  if (options_.gamma_override >= 0.0) params_.gamma = options_.gamma_override;
+  // Per-point weight 1: densities are raw kernel sums so that insertions /
+  // removals compose additively. (Scott's 1/n weight would change for every
+  // update and break additivity; callers can normalize by num_points().)
+  params_.weight = 1.0;
+  KdTree::Options tree_options;
+  tree_options.leaf_size = options_.leaf_size;
+  tree_ = std::make_unique<KdTree>(std::move(initial), tree_options);
+  bounds_ = MakeNodeBounds(options_.method, params_, options_.bounds);
+}
+
+size_t DynamicKdv::num_points() const {
+  return tree_->num_points() + inserted_.size() - removed_.size();
+}
+
+void DynamicKdv::Insert(const Point& p) {
+  // An insert may cancel a pending removal of an equal point.
+  for (size_t i = 0; i < removed_.size(); ++i) {
+    if (removed_[i] == p) {
+      removed_[i] = removed_.back();
+      removed_.pop_back();
+      return;
+    }
+  }
+  inserted_.push_back(p);
+  double threshold =
+      options_.rebuild_fraction * static_cast<double>(tree_->num_points());
+  if (static_cast<double>(inserted_.size()) > threshold) Rebuild();
+}
+
+void DynamicKdv::Remove(const Point& p) {
+  // A removal may cancel a pending insert of an equal point.
+  for (size_t i = 0; i < inserted_.size(); ++i) {
+    if (inserted_[i] == p) {
+      inserted_[i] = inserted_.back();
+      inserted_.pop_back();
+      return;
+    }
+  }
+  removed_.push_back(p);
+  KDV_CHECK_MSG(removed_.size() < tree_->num_points(),
+                "removed more points than the index holds");
+  double threshold =
+      options_.rebuild_fraction * static_cast<double>(tree_->num_points());
+  if (static_cast<double>(removed_.size()) > threshold) Rebuild();
+}
+
+void DynamicKdv::Rebuild() {
+  PointSet live;
+  live.reserve(num_points());
+  // Consume removals by matching against indexed points; every removal must
+  // find its point (otherwise the caller removed a non-member).
+  std::vector<bool> removed_used(removed_.size(), false);
+  for (const Point& p : tree_->points()) {
+    bool skip = false;
+    for (size_t i = 0; i < removed_.size(); ++i) {
+      if (!removed_used[i] && removed_[i] == p) {
+        removed_used[i] = true;
+        skip = true;
+        break;
+      }
+    }
+    if (!skip) live.push_back(p);
+  }
+  for (bool used : removed_used) {
+    KDV_CHECK_MSG(used, "Remove() was called with a point not in the set");
+  }
+  live.insert(live.end(), inserted_.begin(), inserted_.end());
+  KDV_CHECK_MSG(!live.empty(), "dynamic dataset became empty");
+  inserted_.clear();
+  removed_.clear();
+
+  if (options_.gamma_override < 0.0) {
+    params_.gamma = MakeScottParams(options_.kernel, live).gamma;
+  }
+  KdTree::Options tree_options;
+  tree_options.leaf_size = options_.leaf_size;
+  tree_ = std::make_unique<KdTree>(std::move(live), tree_options);
+  // Bound objects capture params by value; refresh after a gamma change.
+  bounds_ = MakeNodeBounds(options_.method, params_, options_.bounds);
+}
+
+double DynamicKdv::BufferAdjustment(const Point& q) const {
+  double adj = 0.0;
+  for (const Point& p : inserted_) {
+    adj += params_.EvalSquaredDistance(SquaredDistance(q, p));
+  }
+  for (const Point& p : removed_) {
+    adj -= params_.EvalSquaredDistance(SquaredDistance(q, p));
+  }
+  return params_.weight * adj;
+}
+
+double DynamicKdv::EvaluateExact(const Point& q) const {
+  KdeEvaluator exact(tree_.get(), params_, nullptr);
+  return exact.EvaluateExact(q) + BufferAdjustment(q);
+}
+
+EvalResult DynamicKdv::EvaluateEps(const Point& q, double eps) const {
+  KDV_CHECK(eps >= 0.0);
+  const double adj = BufferAdjustment(q);
+  RefinementStream stream(tree_.get(), params_, bounds_.get(), q);
+
+  // Terminate against the adjusted totals. Removed mass makes the adjusted
+  // lower bound potentially negative before refinement; the true density is
+  // >= 0, so the floor is sound.
+  auto adjusted_lower = [&] { return std::max(stream.lower() + adj, 0.0); };
+  auto adjusted_upper = [&] {
+    return std::max(stream.upper() + adj, adjusted_lower());
+  };
+  while (adjusted_upper() > (1.0 + eps) * adjusted_lower() && stream.Step()) {
+  }
+
+  EvalResult result;
+  result.lower = adjusted_lower();
+  result.upper = adjusted_upper();
+  result.estimate = 0.5 * (result.lower + result.upper);
+  result.iterations = stream.iterations();
+  result.points_scanned =
+      stream.points_scanned() + inserted_.size() + removed_.size();
+  result.converged = result.upper <= (1.0 + eps) * result.lower ||
+                     stream.exhausted();
+  return result;
+}
+
+TauResult DynamicKdv::EvaluateTau(const Point& q, double tau) const {
+  const double adj = BufferAdjustment(q);
+  RefinementStream stream(tree_.get(), params_, bounds_.get(), q);
+  while (std::max(stream.lower() + adj, 0.0) < tau &&
+         stream.upper() + adj > tau && stream.Step()) {
+  }
+
+  TauResult result;
+  result.lower = std::max(stream.lower() + adj, 0.0);
+  result.upper = std::max(stream.upper() + adj, result.lower);
+  result.iterations = stream.iterations();
+  result.points_scanned =
+      stream.points_scanned() + inserted_.size() + removed_.size();
+  result.above_threshold = result.lower >= tau;
+  return result;
+}
+
+}  // namespace kdv

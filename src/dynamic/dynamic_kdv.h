@@ -1,0 +1,90 @@
+// Dynamic KDV: εKDV / τKDV over a point set that changes over time.
+//
+// Streaming KDV deployments (live crime feeds, sensor streams — cf. Lampe &
+// Hauser in the paper's related work) insert and remove points continuously.
+// Rebuilding the kd-tree per update would dominate; instead updates land in
+// exact side buffers and the density decomposes as
+//     F(q) = F_tree(q) + F_inserted(q) - F_removed(q),
+// where the two buffer terms are computed exactly (they are small) and only
+// F_tree is refined with bounds. The refinement terminates against the
+// *adjusted* totals, so the (1±ε) guarantee holds for the live dataset. When
+// a buffer outgrows `rebuild_fraction * n`, the index is rebuilt and the
+// buffers fold in.
+#ifndef QUADKDV_DYNAMIC_DYNAMIC_KDV_H_
+#define QUADKDV_DYNAMIC_DYNAMIC_KDV_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bounds/node_bounds.h"
+#include "core/evaluator.h"
+#include "index/kdtree.h"
+#include "kernel/kernel.h"
+
+namespace kdv {
+
+class DynamicKdv {
+ public:
+  struct Options {
+    Method method = Method::kQuad;
+    KernelType kernel = KernelType::kGaussian;
+    size_t leaf_size = 32;
+    // Rebuild when either buffer exceeds this fraction of the indexed size.
+    double rebuild_fraction = 0.25;
+    // If >= 0 overrides Scott's rule; otherwise gamma is derived from the
+    // initial dataset and re-derived on every rebuild.
+    double gamma_override = -1.0;
+    BoundsOptions bounds;
+  };
+
+  // `initial` must be non-empty.
+  DynamicKdv(PointSet initial, const Options& options);
+
+  DynamicKdv(const DynamicKdv&) = delete;
+  DynamicKdv& operator=(const DynamicKdv&) = delete;
+
+  // Inserts a point (visible to all subsequent queries).
+  void Insert(const Point& p);
+
+  // Removes one occurrence of `p`. The point must be part of the live set
+  // (inserted earlier or present initially); removing a non-member is
+  // detected at the next rebuild and aborts.
+  void Remove(const Point& p);
+
+  // Number of live points (indexed + inserted - removed).
+  size_t num_points() const;
+
+  size_t pending_inserts() const { return inserted_.size(); }
+  size_t pending_removals() const { return removed_.size(); }
+
+  // (1±ε)-approximate density of the live set.
+  EvalResult EvaluateEps(const Point& q, double eps) const;
+
+  // Threshold classification of the live set.
+  TauResult EvaluateTau(const Point& q, double tau) const;
+
+  // Exact density of the live set (scan).
+  double EvaluateExact(const Point& q) const;
+
+  // Folds the buffers into a fresh index now (also re-derives gamma unless
+  // overridden). Called automatically from Insert/Remove past the threshold.
+  void Rebuild();
+
+  const KernelParams& params() const { return params_; }
+
+ private:
+  // Exact buffer adjustment sum_{inserted} w*K - sum_{removed} w*K.
+  double BufferAdjustment(const Point& q) const;
+
+  Options options_;
+  std::unique_ptr<KdTree> tree_;
+  std::unique_ptr<NodeBounds> bounds_;
+  KernelParams params_;
+  PointSet inserted_;
+  PointSet removed_;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_DYNAMIC_DYNAMIC_KDV_H_

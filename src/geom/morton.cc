@@ -1,0 +1,41 @@
+#include "geom/morton.h"
+
+#include <algorithm>
+
+namespace kdv {
+namespace {
+
+// 2^21 cells per axis: two interleaved 21-bit coordinates fit in 42 bits.
+constexpr uint32_t kGridBits = 21;
+constexpr uint32_t kGridMax = (1u << kGridBits) - 1;
+
+}  // namespace
+
+uint64_t MortonSpreadBits(uint32_t x) {
+  uint64_t v = x;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+uint64_t MortonEncode2D(uint32_t x, uint32_t y) {
+  return MortonSpreadBits(x) | (MortonSpreadBits(y) << 1);
+}
+
+uint64_t MortonCodeForPoint(const Point& p, const Rect& bounds) {
+  KDV_DCHECK(p.dim() >= 2 && bounds.dim() >= 2);
+  uint32_t cell[2];
+  for (int i = 0; i < 2; ++i) {
+    double len = bounds.Length(i);
+    double t = len > 0.0 ? (p[i] - bounds.lo(i)) / len : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    cell[i] = std::min<uint32_t>(static_cast<uint32_t>(t * (kGridMax + 1.0)),
+                                 kGridMax);
+  }
+  return MortonEncode2D(cell[0], cell[1]);
+}
+
+}  // namespace kdv

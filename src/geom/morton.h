@@ -1,0 +1,30 @@
+// Morton (Z-order) codes for 2-d points.
+//
+// Substrate for the Z-order sampling baseline (Zheng et al., SIGMOD'13): the
+// dataset is sorted along the Z-order space-filling curve and sampled at
+// regular curve positions, which preserves spatial density structure.
+#ifndef QUADKDV_GEOM_MORTON_H_
+#define QUADKDV_GEOM_MORTON_H_
+
+#include <cstdint>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace kdv {
+
+// Spreads the low 32 bits of x so that bit i moves to bit 2i.
+uint64_t MortonSpreadBits(uint32_t x);
+
+// Interleaves two 32-bit integers into a 64-bit Morton code (x gets the even
+// bits, y the odd bits).
+uint64_t MortonEncode2D(uint32_t x, uint32_t y);
+
+// Maps a 2-d point inside `bounds` to its Morton code on a 2^21 x 2^21 grid.
+// Points on the upper boundary map to the last cell. Only the first two
+// coordinates participate.
+uint64_t MortonCodeForPoint(const Point& p, const Rect& bounds);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_GEOM_MORTON_H_

@@ -1,0 +1,151 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace kdv {
+
+namespace {
+
+// Bounding box over an index range via indirection (build-time only).
+Rect RangeMbr(const PointSet& points, const std::vector<uint32_t>& idx,
+              size_t begin, size_t end, int dim) {
+  Rect mbr(dim);
+  for (size_t i = begin; i < end; ++i) mbr.Expand(points[idx[i]]);
+  return mbr;
+}
+
+}  // namespace
+
+KdTree::KdTree(PointSet points, Options options) {
+  KDV_CHECK_MSG(!points.empty(), "KdTree requires a non-empty point set");
+  dim_ = points[0].dim();
+  for (const Point& p : points) {
+    KDV_CHECK_MSG(p.dim() == dim_, "KdTree points must share dimensionality");
+  }
+  const size_t leaf_size = std::max<size_t>(options.leaf_size, 1);
+
+  // Phase 1: build the split structure over an index array, so the
+  // input-order permutation is available to callers with per-point payloads.
+  original_indices_.resize(points.size());
+  std::iota(original_indices_.begin(), original_indices_.end(), 0u);
+  nodes_.reserve(2 * (points.size() / leaf_size + 1));
+  BuildRecursive(points, 0, points.size(), leaf_size);
+
+  // Phase 2: gather points into tree order and fill per-node aggregates.
+  points_.reserve(points.size());
+  for (uint32_t idx : original_indices_) points_.push_back(points[idx]);
+  for (Node& node : nodes_) {
+    node.stats =
+        NodeStats::Compute(points_.data() + node.begin, node.count());
+  }
+}
+
+int32_t KdTree::BuildRecursive(const PointSet& input, size_t begin,
+                               size_t end, size_t leaf_size) {
+  KDV_DCHECK(begin < end);
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  // Note: nodes_ may reallocate during recursion; never hold a Node&
+  // across a recursive call.
+  nodes_[id].begin = static_cast<uint32_t>(begin);
+  nodes_[id].end = static_cast<uint32_t>(end);
+
+  if (end - begin > leaf_size) {
+    const int split_dim =
+        RangeMbr(input, original_indices_, begin, end, dim_)
+            .WidestDimension();
+    const size_t mid = begin + (end - begin) / 2;
+    std::nth_element(original_indices_.begin() + begin,
+                     original_indices_.begin() + mid,
+                     original_indices_.begin() + end,
+                     [&input, split_dim](uint32_t a, uint32_t b) {
+                       return input[a][split_dim] < input[b][split_dim];
+                     });
+    // nth_element guarantees begin < mid < end, so both sides are non-empty
+    // even when all coordinates along split_dim are equal.
+    int32_t left = BuildRecursive(input, begin, mid, leaf_size);
+    int32_t right = BuildRecursive(input, mid, end, leaf_size);
+    nodes_[id].left = left;
+    nodes_[id].right = right;
+  }
+  return id;
+}
+
+std::unique_ptr<KdTree> KdTree::FromSerialized(
+    PointSet points, std::vector<uint32_t> original_indices,
+    std::vector<Node> nodes) {
+  if (points.empty() || nodes.empty() ||
+      original_indices.size() != points.size()) {
+    return nullptr;
+  }
+  const size_t n = points.size();
+  const int dim = points[0].dim();
+  for (const Point& p : points) {
+    if (p.dim() != dim) return nullptr;
+  }
+  // The permutation must be a bijection on [0, n).
+  std::vector<bool> seen(n, false);
+  for (uint32_t idx : original_indices) {
+    if (idx >= n || seen[idx]) return nullptr;
+    seen[idx] = true;
+  }
+
+  // Validate the structure with an explicit DFS: every node reached exactly
+  // once from the root, children partition their parent, root covers all.
+  if (nodes[0].begin != 0 || nodes[0].end != n) return nullptr;
+  std::vector<bool> visited(nodes.size(), false);
+  std::vector<int32_t> stack = {0};
+  size_t reached = 0;
+  while (!stack.empty()) {
+    int32_t id = stack.back();
+    stack.pop_back();
+    if (id < 0 || static_cast<size_t>(id) >= nodes.size() || visited[id]) {
+      return nullptr;
+    }
+    visited[id] = true;
+    ++reached;
+    const Node& node = nodes[id];
+    if (node.begin >= node.end || node.end > n) return nullptr;
+    const bool has_left = node.left >= 0;
+    const bool has_right = node.right >= 0;
+    if (has_left != has_right) return nullptr;
+    if (has_left) {
+      if (static_cast<size_t>(node.left) >= nodes.size() ||
+          static_cast<size_t>(node.right) >= nodes.size()) {
+        return nullptr;
+      }
+      const Node& l = nodes[node.left];
+      const Node& r = nodes[node.right];
+      if (l.begin != node.begin || l.end != r.begin || r.end != node.end) {
+        return nullptr;
+      }
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  if (reached != nodes.size()) return nullptr;
+
+  std::unique_ptr<KdTree> tree(new KdTree());
+  tree->dim_ = dim;
+  tree->points_ = std::move(points);
+  tree->original_indices_ = std::move(original_indices);
+  tree->nodes_ = std::move(nodes);
+  for (Node& node : tree->nodes_) {
+    node.stats = NodeStats::Compute(tree->points_.data() + node.begin,
+                                    node.count());
+  }
+  return tree;
+}
+
+int KdTree::Depth() const { return DepthRecursive(root()); }
+
+int KdTree::DepthRecursive(int32_t id) const {
+  const Node& n = nodes_[id];
+  if (n.IsLeaf()) return 1;
+  return 1 + std::max(DepthRecursive(n.left), DepthRecursive(n.right));
+}
+
+}  // namespace kdv

@@ -1,0 +1,70 @@
+#include "index/node_stats.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace kdv {
+
+NodeStats NodeStats::Compute(const Point* points, size_t count) {
+  KDV_CHECK(count > 0);
+  const int d = points[0].dim();
+
+  NodeStats s;
+  s.count_ = count;
+  s.dim_ = d;
+  s.mbr_ = Rect(d);
+  s.sum_ = Point(d);
+  s.sum_sq_norm_p_ = Point(d);
+  s.outer_.assign(static_cast<size_t>(d) * d, 0.0);
+
+  for (size_t i = 0; i < count; ++i) {
+    const Point& p = points[i];
+    KDV_DCHECK(p.dim() == d);
+    s.mbr_.Expand(p);
+    double sq = p.SquaredNorm();
+    s.sum_sq_norm_ += sq;
+    s.sum_quartic_norm_ += sq * sq;
+    for (int a = 0; a < d; ++a) {
+      s.sum_[a] += p[a];
+      s.sum_sq_norm_p_[a] += sq * p[a];
+      for (int b = 0; b < d; ++b) {
+        s.outer_[static_cast<size_t>(a) * d + b] += p[a] * p[b];
+      }
+    }
+  }
+  return s;
+}
+
+double NodeStats::SumSquaredDistances(const Point& q) const {
+  KDV_DCHECK(q.dim() == dim_);
+  double s1 = static_cast<double>(count_) * q.SquaredNorm() -
+              2.0 * Dot(q, sum_) + sum_sq_norm_;
+  // Guard against negative values from floating-point cancellation; the true
+  // quantity is a sum of squares.
+  return std::max(s1, 0.0);
+}
+
+double NodeStats::SumQuarticDistances(const Point& q) const {
+  KDV_DCHECK(q.dim() == dim_);
+  const double q_sq = q.SquaredNorm();
+  const double q_dot_a = Dot(q, sum_);
+  const double q_dot_v = Dot(q, sum_sq_norm_p_);
+
+  // q^T C q in O(d^2).
+  double qcq = 0.0;
+  const int d = dim_;
+  for (int a = 0; a < d; ++a) {
+    double row = 0.0;
+    const double* c_row = outer_.data() + static_cast<size_t>(a) * d;
+    for (int b = 0; b < d; ++b) row += c_row[b] * q[b];
+    qcq += q[a] * row;
+  }
+
+  double s2 = static_cast<double>(count_) * q_sq * q_sq -
+              4.0 * q_sq * q_dot_a - 4.0 * q_dot_v + 2.0 * q_sq * sum_sq_norm_ +
+              sum_quartic_norm_ + 4.0 * qcq;
+  return std::max(s2, 0.0);
+}
+
+}  // namespace kdv

@@ -1,0 +1,63 @@
+// Per-node aggregate statistics enabling O(d)/O(d^2) bound evaluation.
+//
+// Lemma 1 (KARL) needs  S1(q) = sum_i dist(q, p_i)^2  in O(d):
+//   S1(q) = n*||q||^2 - 2 q.a_P + b_P
+// with a_P = sum p_i, b_P = sum ||p_i||^2.
+//
+// Lemma 3 (QUAD) additionally needs  S2(q) = sum_i dist(q, p_i)^4  in O(d^2):
+//   S2(q) = n*||q||^4 - 4*||q||^2 (q.a_P) - 4 q.v_P + 2*||q||^2 b_P + h_P
+//           + 4 q^T C q
+// with v_P = sum ||p_i||^2 p_i, h_P = sum ||p_i||^4, C = sum p_i p_i^T.
+//
+// All aggregates are accumulated once at index-build time.
+#ifndef QUADKDV_INDEX_NODE_STATS_H_
+#define QUADKDV_INDEX_NODE_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace kdv {
+
+// Aggregates of a set of points. Movable/copyable value type.
+class NodeStats {
+ public:
+  NodeStats() = default;
+
+  // Accumulates the aggregates of points[begin, end). dim taken from the
+  // first point; the range must be non-empty.
+  static NodeStats Compute(const Point* points, size_t count);
+
+  size_t count() const { return count_; }
+  int dim() const { return dim_; }
+  const Rect& mbr() const { return mbr_; }
+  const Point& sum() const { return sum_; }                 // a_P
+  double sum_sq_norm() const { return sum_sq_norm_; }       // b_P
+  const Point& sum_sq_norm_p() const { return sum_sq_norm_p_; }  // v_P
+  double sum_quartic_norm() const { return sum_quartic_norm_; }  // h_P
+
+  // C[i*dim + j] = sum_i p[i]*p[j].
+  const std::vector<double>& outer_product_sum() const { return outer_; }
+
+  // S1(q) = sum dist(q, p_i)^2 in O(d).
+  double SumSquaredDistances(const Point& q) const;
+
+  // S2(q) = sum dist(q, p_i)^4 in O(d^2).
+  double SumQuarticDistances(const Point& q) const;
+
+ private:
+  size_t count_ = 0;
+  int dim_ = 0;
+  Rect mbr_;
+  Point sum_;
+  double sum_sq_norm_ = 0.0;
+  Point sum_sq_norm_p_;
+  double sum_quartic_norm_ = 0.0;
+  std::vector<double> outer_;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_INDEX_NODE_STATS_H_

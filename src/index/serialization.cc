@@ -1,0 +1,98 @@
+#include "index/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace kdv {
+
+namespace {
+
+constexpr char kMagic[4] = {'K', 'D', 'V', 'T'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+bool SaveKdTree(const KdTree& tree, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return false;
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(tree.dim()));
+  WritePod(out, static_cast<uint64_t>(tree.num_points()));
+  WritePod(out, static_cast<uint64_t>(tree.num_nodes()));
+
+  for (const Point& p : tree.points()) {
+    for (int j = 0; j < tree.dim(); ++j) WritePod(out, p[j]);
+  }
+  for (uint32_t idx : tree.original_indices()) WritePod(out, idx);
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const KdTree::Node& node = tree.node(static_cast<int32_t>(i));
+    WritePod(out, node.begin);
+    WritePod(out, node.end);
+    WritePod(out, node.left);
+    WritePod(out, node.right);
+  }
+  return out.good();
+}
+
+std::unique_ptr<KdTree> LoadKdTree(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return nullptr;
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return nullptr;
+  }
+  uint32_t version = 0, dim = 0;
+  uint64_t num_points = 0, num_nodes = 0;
+  if (!ReadPod(in, &version) || version != kVersion) return nullptr;
+  if (!ReadPod(in, &dim) || dim == 0 || dim > static_cast<uint32_t>(kMaxDim)) {
+    return nullptr;
+  }
+  if (!ReadPod(in, &num_points) || num_points == 0) return nullptr;
+  if (!ReadPod(in, &num_nodes) || num_nodes == 0) return nullptr;
+  // A kd-tree over n points has < 2n nodes; reject absurd headers before
+  // allocating.
+  if (num_nodes > 2 * num_points) return nullptr;
+
+  PointSet points;
+  points.reserve(num_points);
+  for (uint64_t i = 0; i < num_points; ++i) {
+    Point p(static_cast<int>(dim));
+    for (uint32_t j = 0; j < dim; ++j) {
+      if (!ReadPod(in, &p[static_cast<int>(j)])) return nullptr;
+    }
+    points.push_back(p);
+  }
+  std::vector<uint32_t> original_indices(num_points);
+  for (uint64_t i = 0; i < num_points; ++i) {
+    if (!ReadPod(in, &original_indices[i])) return nullptr;
+  }
+  std::vector<KdTree::Node> nodes(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    if (!ReadPod(in, &nodes[i].begin) || !ReadPod(in, &nodes[i].end) ||
+        !ReadPod(in, &nodes[i].left) || !ReadPod(in, &nodes[i].right)) {
+      return nullptr;
+    }
+  }
+  return KdTree::FromSerialized(std::move(points),
+                                std::move(original_indices),
+                                std::move(nodes));
+}
+
+}  // namespace kdv

@@ -1,0 +1,35 @@
+// Binary serialization of kd-trees.
+//
+// Index construction is the offline stage of the paper's framework (§3.2);
+// persisting the built tree (structure + per-node aggregates) lets a
+// deployment build once and memory-map/load per session instead of paying
+// the O(n log n · d^2) build on every start.
+//
+// Format (little-endian, version 1):
+//   magic "KDVT", uint32 version, uint32 dim, uint64 num_points,
+//   uint64 num_nodes,
+//   points: num_points * dim doubles (tree order),
+//   original_indices: num_points uint32,
+//   nodes: for each node — begin, end (uint32), left, right (int32)
+// Node aggregates are recomputed on load (cheaper than storing the O(d^2)
+// matrices and immune to format drift in NodeStats).
+#ifndef QUADKDV_INDEX_SERIALIZATION_H_
+#define QUADKDV_INDEX_SERIALIZATION_H_
+
+#include <memory>
+#include <string>
+
+#include "index/kdtree.h"
+
+namespace kdv {
+
+// Writes the tree to `path`. Returns false on I/O failure.
+bool SaveKdTree(const KdTree& tree, const std::string& path);
+
+// Loads a tree written by SaveKdTree. Returns nullptr on I/O failure,
+// bad magic/version, or a structurally inconsistent file.
+std::unique_ptr<KdTree> LoadKdTree(const std::string& path);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_INDEX_SERIALIZATION_H_

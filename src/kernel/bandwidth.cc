@@ -1,0 +1,55 @@
+#include "kernel/bandwidth.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kdv {
+
+const char* BandwidthRuleName(BandwidthRule rule) {
+  switch (rule) {
+    case BandwidthRule::kScott:
+      return "scott";
+    case BandwidthRule::kSilverman:
+      return "silverman";
+  }
+  return "unknown";
+}
+
+double SilvermanBandwidth(const PointSet& points) {
+  if (points.size() < 2) return 1.0;
+  const double d = static_cast<double>(points[0].dim());
+  const double n = static_cast<double>(points.size());
+  double factor = std::pow(4.0 / (d + 2.0), 1.0 / (d + 4.0));
+  // ScottBandwidth already computes sigma * n^(-1/(d+4)).
+  double h = factor * ScottBandwidth(points);
+  (void)n;
+  return h > 0.0 ? h : 1.0;
+}
+
+double SelectBandwidth(BandwidthRule rule, const PointSet& points) {
+  switch (rule) {
+    case BandwidthRule::kScott:
+      return ScottBandwidth(points);
+    case BandwidthRule::kSilverman:
+      return SilvermanBandwidth(points);
+  }
+  return 1.0;
+}
+
+double GammaFromBandwidth(KernelType type, double h) {
+  KDV_CHECK(h > 0.0);
+  return UsesSquaredDistanceArgument(type) ? 1.0 / (2.0 * h * h) : 1.0 / h;
+}
+
+KernelParams MakeParamsWithRule(KernelType type, BandwidthRule rule,
+                                const PointSet& points) {
+  KernelParams params;
+  params.type = type;
+  params.gamma = GammaFromBandwidth(type, SelectBandwidth(rule, points));
+  params.weight =
+      points.empty() ? 1.0 : 1.0 / static_cast<double>(points.size());
+  return params;
+}
+
+}  // namespace kdv

@@ -1,0 +1,39 @@
+// Bandwidth selection rules.
+//
+// The paper's experiments use Scott's rule; Silverman's rule-of-thumb is the
+// other selector shipped by the software the paper targets (Scikit-learn,
+// QGIS). Both give h = C(d) * sigma * n^(-1/(d+4)) with different constants.
+#ifndef QUADKDV_KERNEL_BANDWIDTH_H_
+#define QUADKDV_KERNEL_BANDWIDTH_H_
+
+#include "kernel/kernel.h"
+
+namespace kdv {
+
+enum class BandwidthRule {
+  kScott,      // h = sigma * n^(-1/(d+4))
+  kSilverman,  // h = sigma * (4/(d+2))^(1/(d+4)) * n^(-1/(d+4))
+};
+
+const char* BandwidthRuleName(BandwidthRule rule);
+
+// Silverman's rule-of-thumb bandwidth (falls back like ScottBandwidth on
+// degenerate inputs).
+double SilvermanBandwidth(const PointSet& points);
+
+// Bandwidth under the given rule.
+double SelectBandwidth(BandwidthRule rule, const PointSet& points);
+
+// KernelParams with the selected rule's gamma and weight 1/n; the gamma
+// conventions per kernel family match MakeScottParams.
+KernelParams MakeParamsWithRule(KernelType type, BandwidthRule rule,
+                                const PointSet& points);
+
+// Converts a bandwidth h into the profile-argument scale gamma for the
+// kernel family: 1/(2h^2) for the Gaussian (x = gamma*dist^2), 1/h for
+// distance-argument kernels (x = gamma*dist).
+double GammaFromBandwidth(KernelType type, double h);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_KERNEL_BANDWIDTH_H_

@@ -1,0 +1,116 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace kdv {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+const char* KernelTypeName(KernelType type) {
+  switch (type) {
+    case KernelType::kGaussian:
+      return "gaussian";
+    case KernelType::kTriangular:
+      return "triangular";
+    case KernelType::kCosine:
+      return "cosine";
+    case KernelType::kExponential:
+      return "exponential";
+    case KernelType::kEpanechnikov:
+      return "epanechnikov";
+    case KernelType::kQuartic:
+      return "quartic";
+    case KernelType::kUniform:
+      return "uniform";
+  }
+  return "unknown";
+}
+
+double SupportEdge(KernelType type) {
+  switch (type) {
+    case KernelType::kGaussian:
+    case KernelType::kExponential:
+      return std::numeric_limits<double>::infinity();
+    case KernelType::kTriangular:
+      return 1.0;
+    case KernelType::kCosine:
+      return kPi / 2.0;
+    case KernelType::kEpanechnikov:
+    case KernelType::kQuartic:
+    case KernelType::kUniform:
+      return 1.0;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double KernelProfile(KernelType type, double x) {
+  KDV_DCHECK(x >= 0.0);
+  switch (type) {
+    case KernelType::kGaussian:
+    case KernelType::kExponential:
+      return std::exp(-x);
+    case KernelType::kTriangular:
+      return std::max(1.0 - x, 0.0);
+    case KernelType::kCosine:
+      return x <= kPi / 2.0 ? std::cos(x) : 0.0;
+    case KernelType::kEpanechnikov:
+      return std::max(1.0 - x * x, 0.0);
+    case KernelType::kQuartic: {
+      if (x >= 1.0) return 0.0;
+      double t = 1.0 - x * x;
+      return t * t;
+    }
+    case KernelType::kUniform:
+      return x <= 1.0 ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+double ScottBandwidth(const PointSet& points) {
+  const size_t n = points.size();
+  if (n < 2) return 1.0;
+  const int d = points[0].dim();
+  KDV_CHECK(d > 0);
+
+  // Average per-dimension standard deviation.
+  double sigma_sum = 0.0;
+  for (int j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (const Point& p : points) mean += p[j];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (const Point& p : points) {
+      double diff = p[j] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(n - 1);
+    sigma_sum += std::sqrt(var);
+  }
+  double sigma = sigma_sum / d;
+  if (sigma <= 0.0) return 1.0;
+
+  double h = sigma * std::pow(static_cast<double>(n),
+                              -1.0 / (static_cast<double>(d) + 4.0));
+  return h > 0.0 ? h : 1.0;
+}
+
+KernelParams MakeScottParams(KernelType type, const PointSet& points) {
+  KernelParams params;
+  params.type = type;
+  double h = ScottBandwidth(points);
+  if (UsesSquaredDistanceArgument(type)) {
+    params.gamma = 1.0 / (2.0 * h * h);
+  } else {
+    params.gamma = 1.0 / h;
+  }
+  params.weight =
+      points.empty() ? 1.0 : 1.0 / static_cast<double>(points.size());
+  return params;
+}
+
+}  // namespace kdv

@@ -1,0 +1,98 @@
+// Kernel functions for kernel density estimation / visualization.
+//
+// The paper (Eq. 1 and Table 4) writes every kernel as a profile function of
+// a scalar argument x:
+//   * Gaussian:     K = exp(-x)            with x = gamma * dist(q,p)^2
+//   * Triangular:   K = max(1 - x, 0)      with x = gamma * dist(q,p)
+//   * Cosine:       K = cos(x) for x<=pi/2 with x = gamma * dist(q,p)
+//                       (0 beyond pi/2)
+//   * Exponential:  K = exp(-x)            with x = gamma * dist(q,p)
+// We additionally support three polynomial kernels found in the same software
+// ecosystems (Scikit-learn / QGIS) whose aggregations admit *exact* O(d) or
+// O(d^2) evaluation with the node statistics this library maintains:
+//   * Epanechnikov: K = max(1 - x^2, 0)    with x = gamma * dist(q,p)
+//   * Quartic:      K = max((1-x^2)^2, 0)  with x = gamma * dist(q,p)
+//   * Uniform:      K = 1 for x <= 1       with x = gamma * dist(q,p)
+#ifndef QUADKDV_KERNEL_KERNEL_H_
+#define QUADKDV_KERNEL_KERNEL_H_
+
+#include <cmath>
+#include <string>
+
+#include "geom/point.h"
+
+namespace kdv {
+
+enum class KernelType {
+  kGaussian,
+  kTriangular,
+  kCosine,
+  kExponential,
+  kEpanechnikov,
+  kQuartic,
+  kUniform,
+};
+
+// Human-readable kernel name ("gaussian", "triangular", ...).
+const char* KernelTypeName(KernelType type);
+
+// True for kernels whose profile argument is x = gamma * dist^2 (Gaussian);
+// false for kernels with x = gamma * dist (all others).
+constexpr bool UsesSquaredDistanceArgument(KernelType type) {
+  return type == KernelType::kGaussian;
+}
+
+// True for kernels with bounded support (K == 0 once x exceeds the support
+// edge). SupportEdge() gives that edge in x-units.
+constexpr bool HasFiniteSupport(KernelType type) {
+  switch (type) {
+    case KernelType::kGaussian:
+    case KernelType::kExponential:
+      return false;
+    default:
+      return true;
+  }
+}
+
+// Support edge in x-units for finite-support kernels: K(x)=0 for x >= edge.
+// Infinity for Gaussian/exponential.
+double SupportEdge(KernelType type);
+
+// Profile value K as a function of the scalar x (see header comment for the
+// per-kernel meaning of x). x must be >= 0.
+double KernelProfile(KernelType type, double x);
+
+// Kernel parameters of one KDE task: F_P(q) = sum_i weight * K_gamma(q, p_i).
+struct KernelParams {
+  KernelType type = KernelType::kGaussian;
+  double gamma = 1.0;   // bandwidth-derived scale, > 0
+  double weight = 1.0;  // per-point weight w, > 0
+
+  // The profile argument x for a squared distance.
+  double XFromSquaredDistance(double sq_dist) const {
+    return UsesSquaredDistanceArgument(type) ? gamma * sq_dist
+                                             : gamma * std::sqrt(sq_dist);
+  }
+
+  // Unweighted kernel value for a squared distance between q and p.
+  double EvalSquaredDistance(double sq_dist) const {
+    return KernelProfile(type, XFromSquaredDistance(sq_dist));
+  }
+};
+
+// Scott's rule-of-thumb bandwidth for an n-point d-dimensional dataset:
+//   h = sigma * n^(-1 / (d + 4))
+// where sigma is the average per-dimension standard deviation. Returns a
+// conservative positive fallback for degenerate inputs (n < 2 or zero
+// variance).
+double ScottBandwidth(const PointSet& points);
+
+// Builds KernelParams with Scott's-rule gamma and weight 1/n (so that F_P(q)
+// is the average kernel response), following the paper's experimental setup.
+// For the Gaussian kernel gamma = 1/(2 h^2); for distance-argument kernels
+// gamma = 1/h.
+KernelParams MakeScottParams(KernelType type, const PointSet& points);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_KERNEL_KERNEL_H_

@@ -1,0 +1,63 @@
+// Progressive visualization framework (paper §6).
+//
+// Instead of evaluating pixels in row-major order, pixels are evaluated in a
+// quad-tree order: the center pixel of the frame first (its density value
+// stands in for the whole frame), then the centers of the four quadrants,
+// and so on — each evaluated pixel's value fills its surrounding region
+// until refined. The user (or a Deadline) can stop at any time t and keep a
+// coarse-to-fine approximation of the full color map.
+#ifndef QUADKDV_PROGRESSIVE_PROGRESSIVE_H_
+#define QUADKDV_PROGRESSIVE_PROGRESSIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/kdv_runner.h"
+#include "util/timer.h"
+#include "viz/frame.h"
+#include "viz/pixel_grid.h"
+
+namespace kdv {
+
+// One step of the progressive schedule: evaluate the density at pixel
+// (cx, cy) and paint it over the region [x0, x1) x [y0, y1).
+struct RegionOp {
+  int x0 = 0, y0 = 0;  // region top-left (inclusive)
+  int x1 = 0, y1 = 0;  // region bottom-right (exclusive)
+  int cx = 0, cy = 0;  // representative pixel
+};
+
+// Builds the quad-tree evaluation schedule for a width x height frame
+// (breadth-first: coarse levels before fine levels, as in paper Fig. 13).
+// Every pixel appears as the representative of at least one op, so running
+// the full schedule evaluates the complete frame.
+std::vector<RegionOp> QuadTreeSchedule(int width, int height);
+
+// Row-major schedule (each op is a single pixel). The non-progressive
+// baseline order, used in ablations.
+std::vector<RegionOp> RowMajorSchedule(int width, int height);
+
+// Result of a progressive render.
+struct ProgressiveResult {
+  DensityFrame frame;
+  uint64_t pixels_evaluated = 0;  // distinct pixels given exact/ε values
+  bool completed = false;         // full schedule ran before the deadline
+  BatchStats stats;
+};
+
+// Runs the schedule under `budget_seconds` (<= 0 means run to completion),
+// evaluating εKDV per representative pixel with the evaluator's method.
+ProgressiveResult RenderProgressive(const KdeEvaluator& evaluator,
+                                    const PixelGrid& grid, double eps,
+                                    double budget_seconds,
+                                    const std::vector<RegionOp>& schedule);
+
+// Convenience overload using the quad-tree schedule.
+ProgressiveResult RenderProgressive(const KdeEvaluator& evaluator,
+                                    const PixelGrid& grid, double eps,
+                                    double budget_seconds);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_PROGRESSIVE_PROGRESSIVE_H_

@@ -1,0 +1,51 @@
+// Umbrella header: the full public API of the QUAD KDV library.
+//
+// Typical usage:
+//
+//   #include "quadkdv.h"
+//
+//   kdv::PointSet pts = kdv::GenerateMixture(kdv::CrimeSpec(0.05));
+//   kdv::Workbench bench(std::move(pts), kdv::KernelType::kGaussian);
+//   kdv::KdeEvaluator quad = bench.MakeEvaluator(kdv::Method::kQuad);
+//   kdv::PixelGrid grid(640, 480, bench.data_bounds());
+//   kdv::DensityFrame f = kdv::RenderEpsFrame(quad, grid, 0.01, nullptr);
+//   kdv::RenderHeatMap(f).WritePpm("hotspots.ppm");
+#ifndef QUADKDV_QUADKDV_H_
+#define QUADKDV_QUADKDV_H_
+
+#include "approx/grid_kde.h"
+#include "bounds/node_bounds.h"
+#include "bounds/profile.h"
+#include "classify/kde_classifier.h"
+#include "core/evaluator.h"
+#include "core/refinement_stream.h"
+#include "core/kdv_runner.h"
+#include "data/datasets.h"
+#include "dynamic/dynamic_kdv.h"
+#include "geom/morton.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "index/kdtree.h"
+#include "index/node_stats.h"
+#include "index/serialization.h"
+#include "kernel/bandwidth.h"
+#include "kernel/kernel.h"
+#include "progressive/progressive.h"
+#include "regress/kernel_regressor.h"
+#include "regress/weighted_bounds.h"
+#include "regress/weighted_stats.h"
+#include "sampling/zorder.h"
+#include "stats/density_stats.h"
+#include "stats/pca.h"
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "viz/block_tau.h"
+#include "viz/color_map.h"
+#include "viz/frame.h"
+#include "viz/pixel_grid.h"
+#include "viz/render.h"
+#include "workbench/workbench.h"
+
+#endif  // QUADKDV_QUADKDV_H_

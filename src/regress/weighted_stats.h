@@ -1,0 +1,69 @@
+// Weighted per-node aggregates: the y-weighted analogue of NodeStats.
+//
+// Kernel regression (Nadaraya–Watson) needs bounds on the weighted
+// aggregation N(q) = Σ y_i K(q, p_i) with non-negative targets y_i. Every
+// identity used by the unweighted bounds carries over with n → Y = Σ y_i:
+//   Σ y_i dist(q,p_i)^2 = Y·||q||^2 - 2 q·(Σ y_i p_i) + Σ y_i ||p_i||^2
+//   Σ y_i dist(q,p_i)^4 = ... (see NodeStats; every sum gains a y_i factor)
+// so the same profile coefficients (bounds/profile.h) aggregate in O(d) /
+// O(d^2) per node.
+#ifndef QUADKDV_REGRESS_WEIGHTED_STATS_H_
+#define QUADKDV_REGRESS_WEIGHTED_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "index/kdtree.h"
+
+namespace kdv {
+
+class WeightedNodeStats {
+ public:
+  WeightedNodeStats() = default;
+
+  // Aggregates of points[i] with weights y[i], for i in [0, count).
+  // Weights must be non-negative.
+  static WeightedNodeStats Compute(const Point* points, const double* y,
+                                   size_t count);
+
+  double weight_sum() const { return weight_sum_; }  // Y
+
+  // Σ y_i dist(q, p_i)^2 in O(d).
+  double WeightedSumSquaredDistances(const Point& q) const;
+
+  // Σ y_i dist(q, p_i)^4 in O(d^2).
+  double WeightedSumQuarticDistances(const Point& q) const;
+
+ private:
+  int dim_ = 0;
+  double weight_sum_ = 0.0;
+  Point weighted_sum_;          // Σ y p
+  double weighted_sq_norm_ = 0.0;   // Σ y ||p||^2
+  Point weighted_sq_norm_p_;    // Σ y ||p||^2 p
+  double weighted_quartic_ = 0.0;   // Σ y ||p||^4
+  std::vector<double> outer_;   // Σ y p p^T (row-major d x d)
+};
+
+// Per-tree augmentation: WeightedNodeStats for every node of an existing
+// KdTree, built from targets given in the *input* point order (the tree's
+// build permutation is applied internally).
+class WeightedAugmentation {
+ public:
+  // y_original.size() must equal tree.num_points(); all values >= 0.
+  WeightedAugmentation(const KdTree& tree,
+                       const std::vector<double>& y_original);
+
+  const WeightedNodeStats& node(int32_t id) const { return stats_[id]; }
+
+  // Targets in tree order: y_tree_order()[i] belongs to tree.points()[i].
+  const std::vector<double>& y_tree_order() const { return y_; }
+
+ private:
+  std::vector<double> y_;
+  std::vector<WeightedNodeStats> stats_;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_REGRESS_WEIGHTED_STATS_H_

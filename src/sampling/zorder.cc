@@ -1,0 +1,60 @@
+#include "sampling/zorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "data/datasets.h"
+#include "geom/morton.h"
+#include "util/check.h"
+
+namespace kdv {
+
+size_t ZorderSampleSize(double eps, double delta, size_t n,
+                        double rel_to_abs) {
+  KDV_CHECK(eps > 0.0);
+  KDV_CHECK(delta > 0.0 && delta < 1.0);
+  KDV_CHECK(rel_to_abs > 0.0);
+  const double eps_abs = eps / rel_to_abs;
+  double m = std::log(1.0 / delta) / (eps_abs * eps_abs);
+  if (m < 1.0) m = 1.0;
+  return std::min(n, static_cast<size_t>(std::ceil(m)));
+}
+
+PointSet ZorderSample(const PointSet& points, size_t m) {
+  KDV_CHECK(!points.empty());
+  KDV_CHECK(points[0].dim() >= 2);
+  m = std::clamp<size_t>(m, 1, points.size());
+  if (m == points.size()) return points;
+
+  Rect box = BoundingBox(points);
+  std::vector<std::pair<uint64_t, uint32_t>> keyed(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    keyed[i] = {MortonCodeForPoint(points[i], box), static_cast<uint32_t>(i)};
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  // Systematic sampling along the curve: one representative per stratum of
+  // n/m consecutive curve positions.
+  PointSet sample;
+  sample.reserve(m);
+  const double stride = static_cast<double>(points.size()) / m;
+  for (size_t i = 0; i < m; ++i) {
+    size_t pos = static_cast<size_t>(i * stride + stride / 2.0);
+    pos = std::min(pos, points.size() - 1);
+    sample.push_back(points[keyed[pos].second]);
+  }
+  return sample;
+}
+
+KernelParams ScaleWeightForSample(const KernelParams& params,
+                                  size_t original_n, size_t sample_m) {
+  KDV_CHECK(sample_m > 0);
+  KernelParams scaled = params;
+  scaled.weight = params.weight * static_cast<double>(original_n) /
+                  static_cast<double>(sample_m);
+  return scaled;
+}
+
+}  // namespace kdv

@@ -1,0 +1,48 @@
+#include "stats/density_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kdv {
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  KDV_CHECK(!values.empty());
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) {
+    double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(values.size());
+  return {mean, std::sqrt(var)};
+}
+
+MeanStd EstimateDensityStats(const KdeEvaluator& evaluator,
+                             const PixelGrid& grid, int stride, double eps) {
+  KDV_CHECK(stride >= 1);
+  std::vector<double> values;
+  values.reserve(grid.num_pixels() / (static_cast<size_t>(stride) * stride) +
+                 1);
+  for (int py = 0; py < grid.height(); py += stride) {
+    for (int px = 0; px < grid.width(); px += stride) {
+      values.push_back(
+          evaluator.EvaluateEps(grid.PixelCenter(px, py), eps).estimate);
+    }
+  }
+  return ComputeMeanStd(values);
+}
+
+std::vector<double> TauSweep(const MeanStd& stats) {
+  std::vector<double> taus;
+  for (double k = -0.3; k <= 0.3 + 1e-9; k += 0.1) {
+    double tau = stats.mean + k * stats.stddev;
+    taus.push_back(std::max(tau, 1e-12));
+  }
+  return taus;
+}
+
+}  // namespace kdv

@@ -1,0 +1,37 @@
+// Density statistics over the pixel grid: the paper selects τKDV thresholds
+// as μ + k·σ where μ, σ are the mean / standard deviation of F_P(q) over all
+// pixels q (§7.2).
+#ifndef QUADKDV_STATS_DENSITY_STATS_H_
+#define QUADKDV_STATS_DENSITY_STATS_H_
+
+#include <vector>
+
+#include "core/evaluator.h"
+#include "viz/pixel_grid.h"
+
+namespace kdv {
+
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+// Mean and (population) standard deviation of a value vector.
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+// Estimates μ, σ of the KDE over the grid by evaluating εKDV (ε = 0.01, a
+// negligible perturbation of μ and σ) on a pixel subsample of the given
+// stride (stride 1 = every pixel). The paper computes these statistics to
+// place the τ sweep; the subsample keeps that setup step cheap.
+MeanStd EstimateDensityStats(const KdeEvaluator& evaluator,
+                             const PixelGrid& grid, int stride = 4,
+                             double eps = 0.01);
+
+// The paper's τ sweep around the density statistics: μ + k·σ for
+// k in {-0.3, -0.2, -0.1, 0, 0.1, 0.2, 0.3}, floored at a small positive
+// value (a non-positive threshold makes τKDV trivially all-above).
+std::vector<double> TauSweep(const MeanStd& stats);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_STATS_DENSITY_STATS_H_

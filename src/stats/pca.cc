@@ -1,0 +1,141 @@
+#include "stats/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace kdv {
+
+SymMatrix Covariance(const PointSet& points) {
+  KDV_CHECK(points.size() >= 2);
+  const int d = points[0].dim();
+  const double n = static_cast<double>(points.size());
+
+  std::vector<double> mean(d, 0.0);
+  for (const Point& p : points) {
+    for (int i = 0; i < d; ++i) mean[i] += p[i];
+  }
+  for (int i = 0; i < d; ++i) mean[i] /= n;
+
+  SymMatrix cov;
+  cov.dim = d;
+  cov.m.assign(static_cast<size_t>(d) * d, 0.0);
+  for (const Point& p : points) {
+    for (int i = 0; i < d; ++i) {
+      double di = p[i] - mean[i];
+      for (int j = i; j < d; ++j) {
+        cov.at(i, j) += di * (p[j] - mean[j]);
+      }
+    }
+  }
+  for (int i = 0; i < d; ++i) {
+    for (int j = i; j < d; ++j) {
+      double v = cov.at(i, j) / (n - 1.0);
+      cov.at(i, j) = v;
+      cov.at(j, i) = v;
+    }
+  }
+  return cov;
+}
+
+EigenDecomposition JacobiEigenSymmetric(const SymMatrix& input,
+                                        int max_sweeps) {
+  const int d = input.dim;
+  KDV_CHECK(d >= 1);
+  SymMatrix a = input;
+
+  // v starts as identity and accumulates rotations; column k is the
+  // eigenvector of eigenvalue a(k, k) on convergence.
+  std::vector<double> v(static_cast<size_t>(d) * d, 0.0);
+  for (int i = 0; i < d; ++i) v[static_cast<size_t>(i) * d + i] = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < d; ++p) {
+      for (int q = p + 1; q < d; ++q) off += a.at(p, q) * a.at(p, q);
+    }
+    if (off < 1e-24) break;
+
+    for (int p = 0; p < d; ++p) {
+      for (int q = p + 1; q < d; ++q) {
+        double apq = a.at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        double theta = (a.at(q, q) - a.at(p, p)) / (2.0 * apq);
+        double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        for (int k = 0; k < d; ++k) {
+          double akp = a.at(k, p);
+          double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < d; ++k) {
+          double apk = a.at(p, k);
+          double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < d; ++k) {
+          double vkp = v[static_cast<size_t>(k) * d + p];
+          double vkq = v[static_cast<size_t>(k) * d + q];
+          v[static_cast<size_t>(k) * d + p] = c * vkp - s * vkq;
+          v[static_cast<size_t>(k) * d + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<int> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&a](int x, int y) { return a.at(x, x) > a.at(y, y); });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(d);
+  out.eigenvectors.resize(d);
+  for (int k = 0; k < d; ++k) {
+    int col = order[k];
+    out.eigenvalues[k] = a.at(col, col);
+    out.eigenvectors[k].resize(d);
+    for (int i = 0; i < d; ++i) {
+      out.eigenvectors[k][i] = v[static_cast<size_t>(i) * d + col];
+    }
+  }
+  return out;
+}
+
+PointSet PcaProject(const PointSet& points, int k) {
+  KDV_CHECK(!points.empty());
+  const int d = points[0].dim();
+  KDV_CHECK(k >= 1 && k <= d);
+
+  std::vector<double> mean(d, 0.0);
+  for (const Point& p : points) {
+    for (int i = 0; i < d; ++i) mean[i] += p[i];
+  }
+  for (int i = 0; i < d; ++i) mean[i] /= static_cast<double>(points.size());
+
+  EigenDecomposition eig = JacobiEigenSymmetric(Covariance(points));
+
+  PointSet projected;
+  projected.reserve(points.size());
+  for (const Point& p : points) {
+    Point out(k);
+    for (int c = 0; c < k; ++c) {
+      double dot = 0.0;
+      for (int i = 0; i < d; ++i) {
+        dot += (p[i] - mean[i]) * eig.eigenvectors[c][i];
+      }
+      out[c] = dot;
+    }
+    projected.push_back(out);
+  }
+  return projected;
+}
+
+}  // namespace kdv

@@ -1,0 +1,41 @@
+// Principal component analysis for the dimensionality sweep (paper §7.7):
+// the paper varies dataset dimensionality from 2 to 10 via PCA projection
+// before running the general KDE throughput experiment.
+#ifndef QUADKDV_STATS_PCA_H_
+#define QUADKDV_STATS_PCA_H_
+
+#include <vector>
+
+#include "geom/point.h"
+
+namespace kdv {
+
+// Symmetric d x d matrix stored row-major.
+struct SymMatrix {
+  int dim = 0;
+  std::vector<double> m;  // dim * dim entries
+
+  double at(int i, int j) const { return m[static_cast<size_t>(i) * dim + j]; }
+  double& at(int i, int j) { return m[static_cast<size_t>(i) * dim + j]; }
+};
+
+// Sample covariance matrix of a point set (n >= 2).
+SymMatrix Covariance(const PointSet& points);
+
+// Eigen decomposition of a symmetric matrix via the cyclic Jacobi method.
+// On return, eigenvalues are sorted descending and eigenvectors[k] is the
+// unit eigenvector (length dim) for eigenvalues[k].
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> eigenvectors;
+};
+EigenDecomposition JacobiEigenSymmetric(const SymMatrix& a,
+                                        int max_sweeps = 64);
+
+// Projects the (mean-centered) points onto the top `k` principal
+// components. k must satisfy 1 <= k <= dim.
+PointSet PcaProject(const PointSet& points, int k);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_STATS_PCA_H_

@@ -1,0 +1,52 @@
+// Lightweight runtime-check macros used across the library.
+//
+// The library does not use C++ exceptions (Google style); unrecoverable
+// programming errors abort with a diagnostic instead. Recoverable conditions
+// are reported through return values (std::optional / bool / Status-like
+// structs) at API boundaries.
+#ifndef QUADKDV_UTIL_CHECK_H_
+#define QUADKDV_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kdv {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "KDV_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace kdv
+
+// Aborts the process when `expr` evaluates to false. Always on (release
+// builds included): these guard data-structure invariants whose violation
+// would silently corrupt visualization output.
+#define KDV_CHECK(expr)                                                    \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::kdv::internal_check::CheckFailed(__FILE__, __LINE__, #expr, "");   \
+    }                                                                      \
+  } while (0)
+
+#define KDV_CHECK_MSG(expr, msg)                                           \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::kdv::internal_check::CheckFailed(__FILE__, __LINE__, #expr, msg);  \
+    }                                                                      \
+  } while (0)
+
+// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define KDV_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define KDV_DCHECK(expr) KDV_CHECK(expr)
+#endif
+
+#endif  // QUADKDV_UTIL_CHECK_H_

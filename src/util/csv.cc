@@ -1,0 +1,69 @@
+#include "util/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace kdv {
+
+bool ParseCsvDoubles(const std::string& line, std::vector<double>* out) {
+  out->clear();
+  if (line.empty()) return true;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t comma = line.find(',', start);
+    size_t end = (comma == std::string::npos) ? line.size() : comma;
+    std::string field = line.substr(start, end - start);
+    // Trim whitespace and trailing CR.
+    size_t b = field.find_first_not_of(" \t\r\n");
+    size_t e = field.find_last_not_of(" \t\r\n");
+    if (b == std::string::npos) return false;  // empty field
+    field = field.substr(b, e - b + 1);
+    char* parse_end = nullptr;
+    double v = std::strtod(field.c_str(), &parse_end);
+    if (parse_end == field.c_str() || *parse_end != '\0') return false;
+    out->push_back(v);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+bool ReadCsvFile(const std::string& path,
+                 std::vector<std::vector<double>>* rows, size_t* skipped) {
+  rows->clear();
+  if (skipped != nullptr) *skipped = 0;
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  std::string line;
+  std::vector<double> fields;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    if (!ParseCsvDoubles(line, &fields)) {
+      if (skipped != nullptr) ++(*skipped);  // header or malformed row
+      continue;
+    }
+    rows->push_back(fields);
+  }
+  return true;
+}
+
+bool WriteCsvFile(const std::string& path, const std::string& header,
+                  const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  if (!header.empty()) out << header << "\n";
+  std::ostringstream oss;
+  oss.precision(17);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) oss << ',';
+      oss << row[i];
+    }
+    oss << '\n';
+  }
+  out << oss.str();
+  return out.good();
+}
+
+}  // namespace kdv

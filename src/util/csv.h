@@ -1,0 +1,27 @@
+// Minimal CSV reading/writing for numeric point data.
+#ifndef QUADKDV_UTIL_CSV_H_
+#define QUADKDV_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace kdv {
+
+// Parses one CSV line of doubles ("1.5,2,-3e4"). Returns false on any
+// non-numeric field. Empty lines yield an empty vector and return true.
+bool ParseCsvDoubles(const std::string& line, std::vector<double>* out);
+
+// Reads a whole numeric CSV file; rows with parse errors are skipped and
+// counted in *skipped (may be nullptr). Returns false if the file cannot be
+// opened.
+bool ReadCsvFile(const std::string& path,
+                 std::vector<std::vector<double>>* rows, size_t* skipped);
+
+// Writes rows of doubles as CSV with the given header (header may be empty).
+// Returns false if the file cannot be opened.
+bool WriteCsvFile(const std::string& path, const std::string& header,
+                  const std::vector<std::vector<double>>& rows);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_UTIL_CSV_H_

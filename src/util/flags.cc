@@ -1,0 +1,72 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace kdv {
+
+bool Flags::Parse(int argc, const char* const* argv, Flags* out,
+                  std::string* error) {
+  out->values_.clear();
+  out->positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out->positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      if (error != nullptr) *error = "bare '--' is not a valid flag";
+      return false;
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      out->values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--flag value`; a flag followed by another flag (or end of line) is
+    // treated as boolean true.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      out->values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      out->values_[body] = "true";
+    }
+  }
+  return true;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  return (end == it->second.c_str() || *end != '\0') ? default_value : v;
+}
+
+int Flags::GetInt(const std::string& key, int default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  long v = std::strtol(it->second.c_str(), &end, 10);
+  return (end == it->second.c_str() || *end != '\0')
+             ? default_value
+             : static_cast<int>(v);
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return default_value;
+}
+
+}  // namespace kdv

@@ -1,0 +1,36 @@
+// Minimal command-line flag parsing for the CLI tools:
+// `--key value` and `--key=value` pairs plus positional arguments.
+#ifndef QUADKDV_UTIL_FLAGS_H_
+#define QUADKDV_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kdv {
+
+class Flags {
+ public:
+  // Parses argv[1..argc). Returns false (and fills *error) on a malformed
+  // argument (e.g. trailing `--key` with no value).
+  static bool Parse(int argc, const char* const* argv, Flags* out,
+                    std::string* error);
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  int GetInt(const std::string& key, int default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_UTIL_FLAGS_H_

@@ -1,0 +1,55 @@
+// Wall-clock timing utilities: a stopwatch and an anytime deadline.
+#ifndef QUADKDV_UTIL_TIMER_H_
+#define QUADKDV_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace kdv {
+
+// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// A deadline for anytime algorithms (progressive visualization). A
+// non-positive budget means "no deadline".
+class Deadline {
+ public:
+  // Budget in seconds from now; <= 0 means never expires.
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  bool Expired() const {
+    return budget_ > 0.0 && timer_.ElapsedSeconds() >= budget_;
+  }
+
+  double RemainingSeconds() const {
+    if (budget_ <= 0.0) return 1e30;
+    double rem = budget_ - timer_.ElapsedSeconds();
+    return rem > 0.0 ? rem : 0.0;
+  }
+
+  double budget_seconds() const { return budget_; }
+
+ private:
+  Timer timer_;
+  double budget_;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_UTIL_TIMER_H_

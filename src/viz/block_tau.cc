@@ -1,0 +1,190 @@
+#include "viz/block_tau.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "geom/rect.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace kdv {
+
+namespace {
+
+// Outcome of trying to certify one pixel block wholesale.
+enum class BlockVerdict { kAllAbove, kAllBelow, kUndecided };
+
+// Block-level trivial bounds on F(q) valid for every q in `block`.
+struct BlockBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+BlockBounds BoundsForNode(const KernelParams& params, const Rect& block,
+                          const NodeStats& stats) {
+  const double n = static_cast<double>(stats.count());
+  const double x_min = params.XFromSquaredDistance(
+      block.MinSquaredDistance(stats.mbr()));
+  const double x_max = params.XFromSquaredDistance(
+      block.MaxSquaredDistance(stats.mbr()));
+  BlockBounds b;
+  b.lower = n * params.weight * KernelProfile(params.type, x_max);
+  b.upper = n * params.weight * KernelProfile(params.type, x_min);
+  return b;
+}
+
+// Point-level block bounds: the tightest block-wise statement about one
+// leaf, summing K at the min/max distance between the block and each point.
+BlockBounds BoundsForLeafPoints(const KernelParams& params, const Rect& block,
+                                const KdTree& tree,
+                                const KdTree::Node& node) {
+  BlockBounds b;
+  const PointSet& pts = tree.points();
+  for (uint32_t i = node.begin; i < node.end; ++i) {
+    b.lower += KernelProfile(
+        params.type,
+        params.XFromSquaredDistance(block.MaxSquaredDistance(pts[i])));
+    b.upper += KernelProfile(
+        params.type,
+        params.XFromSquaredDistance(block.MinSquaredDistance(pts[i])));
+  }
+  b.lower *= params.weight;
+  b.upper *= params.weight;
+  return b;
+}
+
+// Best-first refinement at block granularity. Only kernel-monotonicity
+// bounds apply to a whole block (the analytic KARL/QUAD bounds are
+// per-query); leaves refine to per-point block bounds, which is as tight as
+// any block-wise statement can get.
+BlockVerdict ClassifyBlock(const KdeEvaluator& evaluator, const Rect& block,
+                           double tau, uint32_t max_iterations,
+                           uint64_t* iterations) {
+  const KdTree& tree = evaluator.tree();
+  const KernelParams& params = evaluator.params();
+
+  struct Entry {
+    double gap;
+    int32_t node;
+    BlockBounds bounds;
+  };
+  struct GapLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.gap < b.gap;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, GapLess> queue;
+
+  BlockBounds root = BoundsForNode(params, block, tree.node(tree.root()).stats);
+  double lb = root.lower;
+  double ub = root.upper;
+  queue.push({ub - lb, tree.root(), root});
+
+  for (uint32_t i = 0; i < max_iterations && !queue.empty(); ++i) {
+    if (lb >= tau) return BlockVerdict::kAllAbove;
+    if (ub <= tau) return BlockVerdict::kAllBelow;
+    Entry top = queue.top();
+    queue.pop();
+    ++(*iterations);
+    lb -= top.bounds.lower;
+    ub -= top.bounds.upper;
+    const KdTree::Node& node = tree.node(top.node);
+    if (node.IsLeaf()) {
+      // Final block-wise refinement: per-point bounds (not re-queued).
+      BlockBounds pb = BoundsForLeafPoints(params, block, tree, node);
+      lb += pb.lower;
+      ub += pb.upper;
+    } else {
+      for (int32_t child : {node.left, node.right}) {
+        BlockBounds cb = BoundsForNode(params, block, tree.node(child).stats);
+        lb += cb.lower;
+        ub += cb.upper;
+        queue.push({cb.upper - cb.lower, child, cb});
+      }
+    }
+  }
+  if (lb >= tau) return BlockVerdict::kAllAbove;
+  if (ub <= tau) return BlockVerdict::kAllBelow;
+  return BlockVerdict::kUndecided;
+}
+
+struct PixelBlock {
+  int x0, y0, x1, y1;  // [x0, x1) x [y0, y1)
+};
+
+// Data-space rectangle spanned by the centers of the block's pixels.
+Rect BlockCenterRect(const PixelGrid& grid, const PixelBlock& b) {
+  Rect r(2);
+  r.Expand(grid.PixelCenter(b.x0, b.y0));
+  r.Expand(grid.PixelCenter(b.x1 - 1, b.y1 - 1));
+  return r;
+}
+
+}  // namespace
+
+BinaryFrame RenderTauFrameBlocked(const KdeEvaluator& evaluator,
+                                  const PixelGrid& grid, double tau,
+                                  const BlockTauOptions& options,
+                                  BlockTauStats* stats) {
+  KDV_CHECK_MSG(evaluator.bounds() != nullptr,
+                "block τKDV requires a bound-based method");
+  Timer timer;
+  BinaryFrame frame(grid.width(), grid.height());
+  BlockTauStats local;
+
+  std::vector<PixelBlock> pending;
+  pending.push_back({0, 0, grid.width(), grid.height()});
+
+  while (!pending.empty()) {
+    PixelBlock b = pending.back();
+    pending.pop_back();
+    const int w = b.x1 - b.x0;
+    const int h = b.y1 - b.y0;
+
+    if (w == 1 && h == 1) {
+      TauResult r = evaluator.EvaluateTau(grid.PixelCenter(b.x0, b.y0), tau);
+      frame.values[grid.PixelIndex(b.x0, b.y0)] = r.above_threshold ? 1 : 0;
+      ++local.pixel_evaluations;
+      local.iterations += r.iterations;
+      continue;
+    }
+
+    BlockVerdict verdict =
+        ClassifyBlock(evaluator, BlockCenterRect(grid, b), tau,
+                      options.max_block_iterations, &local.iterations);
+    if (verdict != BlockVerdict::kUndecided) {
+      const uint8_t value = verdict == BlockVerdict::kAllAbove ? 1 : 0;
+      for (int y = b.y0; y < b.y1; ++y) {
+        for (int x = b.x0; x < b.x1; ++x) {
+          frame.values[grid.PixelIndex(x, y)] = value;
+        }
+      }
+      ++local.blocks_certified;
+      local.pixels_filled_by_blocks += static_cast<uint64_t>(w) * h;
+      continue;
+    }
+
+    // Split along both axes where possible.
+    const int mx = b.x0 + w / 2;
+    const int my = b.y0 + h / 2;
+    if (w > 1 && h > 1) {
+      pending.push_back({b.x0, b.y0, mx, my});
+      pending.push_back({mx, b.y0, b.x1, my});
+      pending.push_back({b.x0, my, mx, b.y1});
+      pending.push_back({mx, my, b.x1, b.y1});
+    } else if (w > 1) {
+      pending.push_back({b.x0, b.y0, mx, b.y1});
+      pending.push_back({mx, b.y0, b.x1, b.y1});
+    } else {
+      pending.push_back({b.x0, b.y0, b.x1, my});
+      pending.push_back({b.x0, my, b.x1, b.y1});
+    }
+  }
+
+  local.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return frame;
+}
+
+}  // namespace kdv

@@ -1,0 +1,58 @@
+// Block-level τKDV rendering.
+//
+// The per-pixel algorithm (paper §3.2) classifies each pixel independently.
+// For two-color maps, whole regions of the screen are far above or far below
+// τ, and they can be certified in one shot: for a pixel *block* B and a data
+// node R, kernel monotonicity gives bounds valid for EVERY pixel q in B,
+//   |R| · w · K(x(maxdist(B, R)))  <=  F_R(q)  <=  |R| · w · K(x(mindist(B, R)))
+// using rectangle-to-rectangle min/max distances. A quad-tree over pixel
+// blocks certifies coarse blocks first and only descends (eventually to the
+// ordinary per-pixel refinement) where the threshold actually cuts through.
+// This is an extension of the paper's framework in the spirit of its
+// progressive §6: same guarantees, and the same mask as per-pixel τKDV
+// (pixels with exactly F(q) == τ may differ, as both classifications are
+// then correct).
+#ifndef QUADKDV_VIZ_BLOCK_TAU_H_
+#define QUADKDV_VIZ_BLOCK_TAU_H_
+
+#include <cstdint>
+
+#include "core/evaluator.h"
+#include "viz/frame.h"
+#include "viz/pixel_grid.h"
+
+namespace kdv {
+
+struct BlockTauStats {
+  double seconds = 0.0;
+  uint64_t blocks_certified = 0;   // blocks (>= 1 pixel) decided wholesale
+  uint64_t pixels_filled_by_blocks = 0;
+  uint64_t pixel_evaluations = 0;  // pixels that needed the per-pixel path
+  uint64_t iterations = 0;         // refinement steps (block + pixel level)
+};
+
+struct BlockTauOptions {
+  // Refinement steps to spend on one block before splitting it. Small
+  // values split eagerly; large values try harder to certify coarse blocks.
+  uint32_t max_block_iterations = 48;
+};
+
+// τKDV over the grid with block-level certification. Produces exactly the
+// same mask as RenderTauFrame for the same evaluator. The evaluator must
+// have a bound function (EXACT has nothing to certify blocks with; it is
+// rejected by KDV_CHECK).
+BinaryFrame RenderTauFrameBlocked(const KdeEvaluator& evaluator,
+                                  const PixelGrid& grid, double tau,
+                                  const BlockTauOptions& options,
+                                  BlockTauStats* stats);
+
+inline BinaryFrame RenderTauFrameBlocked(const KdeEvaluator& evaluator,
+                                         const PixelGrid& grid, double tau,
+                                         BlockTauStats* stats = nullptr) {
+  return RenderTauFrameBlocked(evaluator, grid, tau, BlockTauOptions{},
+                               stats);
+}
+
+}  // namespace kdv
+
+#endif  // QUADKDV_VIZ_BLOCK_TAU_H_

@@ -1,0 +1,150 @@
+#include "viz/color_map.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace kdv {
+
+namespace {
+
+uint8_t ToByte(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 1.0) * 255.0 + 0.5);
+}
+
+constexpr Rgb kHotColor = {220, 30, 30};    // τKDV "above" color
+constexpr Rgb kColdColor = {235, 235, 245};  // τKDV "below" color
+
+}  // namespace
+
+Rgb HeatColor(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Piecewise-linear jet: (0) dark blue, (1/3) cyan, (2/3) yellow, (1) red.
+  double r, g, b;
+  if (t < 1.0 / 3.0) {
+    double u = t * 3.0;
+    r = 0.0;
+    g = u;
+    b = 0.5 + 0.5 * u;
+  } else if (t < 2.0 / 3.0) {
+    double u = (t - 1.0 / 3.0) * 3.0;
+    r = u;
+    g = 1.0;
+    b = 1.0 - u;
+  } else {
+    double u = (t - 2.0 / 3.0) * 3.0;
+    r = 1.0;
+    g = 1.0 - u;
+    b = 0.0;
+  }
+  return Rgb{ToByte(r), ToByte(g), ToByte(b)};
+}
+
+Rgb PaletteColor(Palette palette, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  switch (palette) {
+    case Palette::kHeat:
+      return HeatColor(t);
+    case Palette::kViridis: {
+      // Coarse piecewise-linear fit of matplotlib's viridis control points.
+      struct Stop {
+        double t;
+        double r, g, b;
+      };
+      static constexpr Stop kStops[] = {
+          {0.0, 0.267, 0.005, 0.329}, {0.25, 0.229, 0.322, 0.546},
+          {0.5, 0.128, 0.567, 0.551}, {0.75, 0.369, 0.789, 0.383},
+          {1.0, 0.993, 0.906, 0.144},
+      };
+      for (size_t i = 1; i < sizeof(kStops) / sizeof(kStops[0]); ++i) {
+        if (t <= kStops[i].t) {
+          const Stop& a = kStops[i - 1];
+          const Stop& b = kStops[i];
+          double u = (t - a.t) / (b.t - a.t);
+          return Rgb{ToByte(a.r + u * (b.r - a.r)),
+                     ToByte(a.g + u * (b.g - a.g)),
+                     ToByte(a.b + u * (b.b - a.b))};
+        }
+      }
+      return Rgb{ToByte(0.993), ToByte(0.906), ToByte(0.144)};
+    }
+    case Palette::kGrayscale:
+      return Rgb{ToByte(t), ToByte(t), ToByte(t)};
+  }
+  return HeatColor(t);
+}
+
+bool Image::WritePpm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return false;
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  for (const Rgb& p : pixels_) {
+    char rgb[3] = {static_cast<char>(p.r), static_cast<char>(p.g),
+                   static_cast<char>(p.b)};
+    out.write(rgb, 3);
+  }
+  return out.good();
+}
+
+bool Image::WritePgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return false;
+  out << "P5\n" << width_ << " " << height_ << "\n255\n";
+  for (const Rgb& p : pixels_) {
+    // Rec. 601 luma.
+    double y = 0.299 * p.r + 0.587 * p.g + 0.114 * p.b;
+    char byte = static_cast<char>(
+        static_cast<uint8_t>(std::clamp(y, 0.0, 255.0) + 0.5));
+    out.write(&byte, 1);
+  }
+  return out.good();
+}
+
+Image RenderHeatMap(const DensityFrame& frame) {
+  return RenderHeatMap(frame, Palette::kHeat);
+}
+
+Image RenderHeatMap(const DensityFrame& frame, Palette palette) {
+  KDV_CHECK(frame.width > 0 && frame.height > 0);
+  double lo = frame.values[0];
+  double hi = frame.values[0];
+  for (double v : frame.values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi - lo;
+
+  Image img(frame.width, frame.height);
+  for (int y = 0; y < frame.height; ++y) {
+    for (int x = 0; x < frame.width; ++x) {
+      double t = range > 0.0 ? (frame.at(x, y) - lo) / range : 0.0;
+      img.at(x, y) = PaletteColor(palette, t);
+    }
+  }
+  return img;
+}
+
+Image RenderThresholdMap(const BinaryFrame& frame) {
+  KDV_CHECK(frame.width > 0 && frame.height > 0);
+  Image img(frame.width, frame.height);
+  for (int y = 0; y < frame.height; ++y) {
+    for (int x = 0; x < frame.width; ++x) {
+      img.at(x, y) =
+          frame.values[static_cast<size_t>(y) * frame.width + x] != 0
+              ? kHotColor
+              : kColdColor;
+    }
+  }
+  return img;
+}
+
+Image RenderThresholdMap(const DensityFrame& frame, double tau) {
+  BinaryFrame binary(frame.width, frame.height);
+  for (size_t i = 0; i < frame.values.size(); ++i) {
+    binary.values[i] = frame.values[i] >= tau ? 1 : 0;
+  }
+  return RenderThresholdMap(binary);
+}
+
+}  // namespace kdv

@@ -1,0 +1,82 @@
+// Color maps and image output (binary PPM — readable by any image viewer).
+#ifndef QUADKDV_VIZ_COLOR_MAP_H_
+#define QUADKDV_VIZ_COLOR_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "viz/frame.h"
+
+namespace kdv {
+
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  friend bool operator==(const Rgb& a, const Rgb& b) {
+    return a.r == b.r && a.g == b.g && a.b == b.b;
+  }
+};
+
+// Jet-like heat color for t in [0, 1]: dark blue -> cyan -> yellow -> red.
+// Values outside [0, 1] are clamped.
+Rgb HeatColor(double t);
+
+// Color palettes for density maps.
+enum class Palette {
+  kHeat,       // jet-like (default; matches the paper's figures)
+  kViridis,    // perceptually uniform dark-violet -> green -> yellow
+  kGrayscale,  // black -> white
+};
+
+// Palette color for t in [0, 1] (clamped).
+Rgb PaletteColor(Palette palette, double t);
+
+// RGB raster image.
+class Image {
+ public:
+  Image(int width, int height)
+      : width_(width), height_(height),
+        pixels_(static_cast<size_t>(width) * height) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  Rgb at(int x, int y) const {
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+  Rgb& at(int x, int y) { return pixels_[static_cast<size_t>(y) * width_ + x]; }
+
+  // Writes a binary PPM (P6). Returns false on I/O failure.
+  bool WritePpm(const std::string& path) const;
+
+  // Writes a binary grayscale PGM (P5) using the luma of each pixel.
+  // Returns false on I/O failure.
+  bool WritePgm(const std::string& path) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Rgb> pixels_;
+};
+
+// Renders a density frame as a heat map; values are normalized to the
+// frame's [min, max] range (a degenerate range renders uniformly cold).
+Image RenderHeatMap(const DensityFrame& frame);
+
+// Same with an explicit palette.
+Image RenderHeatMap(const DensityFrame& frame, Palette palette);
+
+// Renders a τKDV two-color map: hot color where the density is classified
+// above the threshold, cold elsewhere.
+Image RenderThresholdMap(const BinaryFrame& frame);
+
+// Convenience: thresholds a density frame at tau and renders the two-color
+// map.
+Image RenderThresholdMap(const DensityFrame& frame, double tau);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_VIZ_COLOR_MAP_H_

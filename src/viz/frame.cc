@@ -1,0 +1,43 @@
+#include "viz/frame.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kdv {
+
+double AverageRelativeError(const std::vector<double>& returned,
+                            const std::vector<double>& exact, double floor) {
+  KDV_CHECK(returned.size() == exact.size());
+  KDV_CHECK(!returned.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < returned.size(); ++i) {
+    double denom = std::max(std::abs(exact[i]), floor);
+    sum += std::abs(returned[i] - exact[i]) / denom;
+  }
+  return sum / static_cast<double>(returned.size());
+}
+
+double MaxRelativeError(const std::vector<double>& returned,
+                        const std::vector<double>& exact, double floor) {
+  KDV_CHECK(returned.size() == exact.size());
+  KDV_CHECK(!returned.empty());
+  double worst = 0.0;
+  for (size_t i = 0; i < returned.size(); ++i) {
+    double denom = std::max(std::abs(exact[i]), floor);
+    worst = std::max(worst, std::abs(returned[i] - exact[i]) / denom);
+  }
+  return worst;
+}
+
+double BinaryMismatchRate(const std::vector<uint8_t>& a,
+                          const std::vector<uint8_t>& b) {
+  KDV_CHECK(a.size() == b.size());
+  KDV_CHECK(!a.empty());
+  size_t mismatch = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] != 0) != (b[i] != 0)) ++mismatch;
+  }
+  return static_cast<double>(mismatch) / static_cast<double>(a.size());
+}
+
+}  // namespace kdv

@@ -1,0 +1,64 @@
+// Density / binary frames and frame-level quality metrics.
+#ifndef QUADKDV_VIZ_FRAME_H_
+#define QUADKDV_VIZ_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace kdv {
+
+// A W x H raster of density values in row-major order.
+struct DensityFrame {
+  int width = 0;
+  int height = 0;
+  std::vector<double> values;
+
+  DensityFrame() = default;
+  DensityFrame(int w, int h, double fill = 0.0)
+      : width(w), height(h),
+        values(static_cast<size_t>(w) * static_cast<size_t>(h), fill) {}
+
+  double at(int x, int y) const {
+    return values[static_cast<size_t>(y) * width + x];
+  }
+  double& at(int x, int y) {
+    return values[static_cast<size_t>(y) * width + x];
+  }
+  size_t size() const { return values.size(); }
+};
+
+// A W x H raster of τKDV classifications (1 = density >= τ).
+struct BinaryFrame {
+  int width = 0;
+  int height = 0;
+  std::vector<uint8_t> values;
+
+  BinaryFrame() = default;
+  BinaryFrame(int w, int h, uint8_t fill = 0)
+      : width(w), height(h),
+        values(static_cast<size_t>(w) * static_cast<size_t>(h), fill) {}
+
+  size_t size() const { return values.size(); }
+};
+
+// Average relative error (paper §7.5): mean over pixels of
+// |R(q) - F(q)| / max(F(q), floor). The floor avoids division blow-up on
+// empty regions where F(q) underflows.
+double AverageRelativeError(const std::vector<double>& returned,
+                            const std::vector<double>& exact,
+                            double floor = 1e-30);
+
+// Maximum relative error over all pixels.
+double MaxRelativeError(const std::vector<double>& returned,
+                        const std::vector<double>& exact,
+                        double floor = 1e-30);
+
+// Fraction of pixels whose binary classification disagrees.
+double BinaryMismatchRate(const std::vector<uint8_t>& a,
+                          const std::vector<uint8_t>& b);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_VIZ_FRAME_H_

@@ -1,0 +1,65 @@
+// Mapping between screen pixels and data space.
+#ifndef QUADKDV_VIZ_PIXEL_GRID_H_
+#define QUADKDV_VIZ_PIXEL_GRID_H_
+
+#include <cstddef>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "util/check.h"
+
+namespace kdv {
+
+// A W x H pixel raster covering a 2-d data-space rectangle. Pixel (0, 0) is
+// the top-left corner; each pixel's query point is its center.
+class PixelGrid {
+ public:
+  PixelGrid(int width, int height, const Rect& domain)
+      : width_(width), height_(height), domain_(domain) {
+    KDV_CHECK(width > 0 && height > 0);
+    KDV_CHECK(domain.dim() >= 2);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  size_t num_pixels() const {
+    return static_cast<size_t>(width_) * static_cast<size_t>(height_);
+  }
+  const Rect& domain() const { return domain_; }
+
+  // Data-space center of pixel (px, py). Always a 2-d point.
+  Point PixelCenter(int px, int py) const {
+    KDV_DCHECK(px >= 0 && px < width_ && py >= 0 && py < height_);
+    Point p(2);
+    p[0] = domain_.lo(0) + (px + 0.5) * domain_.Length(0) / width_;
+    // Screen y grows downward; data y grows upward.
+    p[1] = domain_.lo(1) + (height_ - py - 0.5) * domain_.Length(1) / height_;
+    return p;
+  }
+
+  // Row-major index of pixel (px, py).
+  size_t PixelIndex(int px, int py) const {
+    return static_cast<size_t>(py) * width_ + px;
+  }
+
+  // All pixel centers in row-major order.
+  PointSet AllPixelCenters() const {
+    PointSet centers;
+    centers.reserve(num_pixels());
+    for (int py = 0; py < height_; ++py) {
+      for (int px = 0; px < width_; ++px) {
+        centers.push_back(PixelCenter(px, py));
+      }
+    }
+    return centers;
+  }
+
+ private:
+  int width_;
+  int height_;
+  Rect domain_;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_VIZ_PIXEL_GRID_H_

@@ -1,0 +1,28 @@
+#include "viz/render.h"
+
+namespace kdv {
+
+DensityFrame RenderEpsFrame(const KdeEvaluator& evaluator,
+                            const PixelGrid& grid, double eps,
+                            BatchStats* stats) {
+  DensityFrame frame(grid.width(), grid.height());
+  frame.values = RunEpsBatch(evaluator, grid.AllPixelCenters(), eps, stats);
+  return frame;
+}
+
+BinaryFrame RenderTauFrame(const KdeEvaluator& evaluator,
+                           const PixelGrid& grid, double tau,
+                           BatchStats* stats) {
+  BinaryFrame frame(grid.width(), grid.height());
+  frame.values = RunTauBatch(evaluator, grid.AllPixelCenters(), tau, stats);
+  return frame;
+}
+
+DensityFrame RenderExactFrame(const KdeEvaluator& evaluator,
+                              const PixelGrid& grid, BatchStats* stats) {
+  DensityFrame frame(grid.width(), grid.height());
+  frame.values = RunExactBatch(evaluator, grid.AllPixelCenters(), stats);
+  return frame;
+}
+
+}  // namespace kdv

@@ -1,0 +1,29 @@
+// Whole-frame KDV rendering: evaluates every pixel of a grid with one
+// method/operation and returns the resulting frame.
+#ifndef QUADKDV_VIZ_RENDER_H_
+#define QUADKDV_VIZ_RENDER_H_
+
+#include "core/evaluator.h"
+#include "core/kdv_runner.h"
+#include "viz/frame.h"
+#include "viz/pixel_grid.h"
+
+namespace kdv {
+
+// εKDV over the whole grid. `stats` may be nullptr.
+DensityFrame RenderEpsFrame(const KdeEvaluator& evaluator,
+                            const PixelGrid& grid, double eps,
+                            BatchStats* stats);
+
+// τKDV over the whole grid.
+BinaryFrame RenderTauFrame(const KdeEvaluator& evaluator,
+                           const PixelGrid& grid, double tau,
+                           BatchStats* stats);
+
+// Exact KDV over the whole grid.
+DensityFrame RenderExactFrame(const KdeEvaluator& evaluator,
+                              const PixelGrid& grid, BatchStats* stats);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_VIZ_RENDER_H_

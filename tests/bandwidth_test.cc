@@ -1,0 +1,67 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "kernel/bandwidth.h"
+
+namespace kdv {
+namespace {
+
+TEST(BandwidthTest, SilvermanIsScottTimesFactor) {
+  PointSet pts = GenerateMixture(MixtureSpec{});
+  const double d = 2.0;
+  double factor = std::pow(4.0 / (d + 2.0), 1.0 / (d + 4.0));
+  EXPECT_NEAR(SilvermanBandwidth(pts), factor * ScottBandwidth(pts), 1e-12);
+}
+
+TEST(BandwidthTest, SilvermanEqualsScottExactlyIn2D) {
+  // (4/(d+2))^(1/(d+4)) == 1 for d = 2: the rules coincide on KDV data.
+  PointSet pts = GenerateMixture(MixtureSpec{});
+  EXPECT_NEAR(SilvermanBandwidth(pts), ScottBandwidth(pts), 1e-12);
+}
+
+TEST(BandwidthTest, SilvermanSmallerThanScottIn3D) {
+  // (4/5)^(1/7) < 1 for d = 3.
+  MixtureSpec spec;
+  spec.dim = 3;
+  PointSet pts = GenerateMixture(spec);
+  EXPECT_LT(SilvermanBandwidth(pts), ScottBandwidth(pts));
+}
+
+TEST(BandwidthTest, SelectBandwidthDispatches) {
+  PointSet pts = GenerateMixture(MixtureSpec{});
+  EXPECT_DOUBLE_EQ(SelectBandwidth(BandwidthRule::kScott, pts),
+                   ScottBandwidth(pts));
+  EXPECT_DOUBLE_EQ(SelectBandwidth(BandwidthRule::kSilverman, pts),
+                   SilvermanBandwidth(pts));
+}
+
+TEST(BandwidthTest, GammaConventionsPerKernelFamily) {
+  EXPECT_DOUBLE_EQ(GammaFromBandwidth(KernelType::kGaussian, 2.0),
+                   1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(GammaFromBandwidth(KernelType::kTriangular, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(GammaFromBandwidth(KernelType::kCosine, 0.25), 4.0);
+}
+
+TEST(BandwidthTest, MakeParamsWithRuleMatchesScottHelper) {
+  PointSet pts = GenerateMixture(MixtureSpec{});
+  KernelParams via_rule =
+      MakeParamsWithRule(KernelType::kGaussian, BandwidthRule::kScott, pts);
+  KernelParams via_scott = MakeScottParams(KernelType::kGaussian, pts);
+  EXPECT_DOUBLE_EQ(via_rule.gamma, via_scott.gamma);
+  EXPECT_DOUBLE_EQ(via_rule.weight, via_scott.weight);
+}
+
+TEST(BandwidthTest, DegenerateInputsFallBack) {
+  PointSet one{Point{1.0, 1.0}};
+  EXPECT_GT(SilvermanBandwidth(one), 0.0);
+}
+
+TEST(BandwidthTest, RuleNames) {
+  EXPECT_STREQ(BandwidthRuleName(BandwidthRule::kScott), "scott");
+  EXPECT_STREQ(BandwidthRuleName(BandwidthRule::kSilverman), "silverman");
+}
+
+}  // namespace
+}  // namespace kdv

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "stats/density_stats.h"
+#include "viz/block_tau.h"
+#include "viz/render.h"
+#include "workbench/workbench.h"
+
+namespace kdv {
+namespace {
+
+class BlockTauTest : public ::testing::Test {
+ protected:
+  BlockTauTest()
+      : bench_(GenerateMixture(CrimeSpec(0.003)), KernelType::kGaussian),
+        grid_(48, 36, bench_.data_bounds()) {}
+
+  Workbench bench_;
+  PixelGrid grid_;
+};
+
+TEST_F(BlockTauTest, MatchesPerPixelMaskAcrossThresholds) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+  MeanStd stats = EstimateDensityStats(quad, grid_, /*stride=*/4);
+  for (double k : {-0.3, -0.1, 0.0, 0.1, 0.3}) {
+    double tau = std::max(stats.mean + k * stats.stddev, 1e-12);
+    BinaryFrame per_pixel = RenderTauFrame(quad, grid_, tau, nullptr);
+    BinaryFrame blocked = RenderTauFrameBlocked(quad, grid_, tau, nullptr);
+    EXPECT_EQ(BinaryMismatchRate(per_pixel.values, blocked.values), 0.0)
+        << "k=" << k;
+  }
+}
+
+TEST_F(BlockTauTest, MatchesPerPixelForOtherKernels) {
+  for (KernelType kernel : {KernelType::kTriangular, KernelType::kCosine,
+                            KernelType::kExponential}) {
+    Workbench bench(GenerateMixture(CrimeSpec(0.003)), kernel);
+    PixelGrid grid(32, 24, bench.data_bounds());
+    KdeEvaluator quad = bench.MakeEvaluator(Method::kQuad);
+    MeanStd stats = EstimateDensityStats(quad, grid, /*stride=*/4);
+    double tau = std::max(stats.mean, 1e-12);
+    BinaryFrame per_pixel = RenderTauFrame(quad, grid, tau, nullptr);
+    BinaryFrame blocked = RenderTauFrameBlocked(quad, grid, tau, nullptr);
+    EXPECT_EQ(BinaryMismatchRate(per_pixel.values, blocked.values), 0.0)
+        << KernelTypeName(kernel);
+  }
+}
+
+TEST_F(BlockTauTest, CertifiesMostPixelsAtBlockLevel) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+  MeanStd stats = EstimateDensityStats(quad, grid_, /*stride=*/4);
+  BlockTauStats block_stats;
+  RenderTauFrameBlocked(quad, grid_, stats.mean, &block_stats);
+  EXPECT_GT(block_stats.blocks_certified, 0u);
+  // The τ boundary is a 1-d curve: the vast majority of pixels should be
+  // decided wholesale.
+  EXPECT_GT(block_stats.pixels_filled_by_blocks,
+            grid_.num_pixels() / 2);
+  EXPECT_EQ(block_stats.pixels_filled_by_blocks +
+                block_stats.pixel_evaluations,
+            grid_.num_pixels());
+}
+
+TEST_F(BlockTauTest, ExtremeThresholdsCertifyInOneBlock) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+  // τ above any possible density: the whole frame certifies "below" fast.
+  BlockTauStats stats;
+  BinaryFrame frame = RenderTauFrameBlocked(
+      quad, grid_, /*tau=*/1e9 * bench_.params().weight *
+                      static_cast<double>(bench_.num_points()),
+      &stats);
+  for (uint8_t v : frame.values) EXPECT_EQ(v, 0);
+  EXPECT_EQ(stats.pixel_evaluations, 0u);
+  EXPECT_EQ(stats.blocks_certified, 1u);
+}
+
+TEST_F(BlockTauTest, SmallBlockIterationBudgetStillCorrect) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+  MeanStd stats = EstimateDensityStats(quad, grid_, /*stride=*/4);
+  BlockTauOptions options;
+  options.max_block_iterations = 1;  // degenerate: splits almost everywhere
+  BinaryFrame per_pixel = RenderTauFrame(quad, grid_, stats.mean, nullptr);
+  BinaryFrame blocked =
+      RenderTauFrameBlocked(quad, grid_, stats.mean, options, nullptr);
+  EXPECT_EQ(BinaryMismatchRate(per_pixel.values, blocked.values), 0.0);
+}
+
+TEST_F(BlockTauTest, NonSquareAndTinyGrids) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+  for (auto [w, h] : {std::pair<int, int>{1, 1}, {7, 3}, {1, 16}, {33, 2}}) {
+    PixelGrid grid(w, h, bench_.data_bounds());
+    MeanStd stats = EstimateDensityStats(quad, grid, /*stride=*/1);
+    double tau = std::max(stats.mean, 1e-12);
+    BinaryFrame per_pixel = RenderTauFrame(quad, grid, tau, nullptr);
+    BinaryFrame blocked = RenderTauFrameBlocked(quad, grid, tau, nullptr);
+    EXPECT_EQ(BinaryMismatchRate(per_pixel.values, blocked.values), 0.0)
+        << w << "x" << h;
+  }
+}
+
+TEST_F(BlockTauTest, FasterThanPerPixelOnLargeFrames) {
+  Workbench bench(GenerateMixture(HomeSpec(0.01)), KernelType::kGaussian);
+  PixelGrid grid(96, 72, bench.data_bounds());
+  KdeEvaluator quad = bench.MakeEvaluator(Method::kQuad);
+  MeanStd stats = EstimateDensityStats(quad, grid, /*stride=*/8);
+
+  BatchStats per_pixel_stats;
+  RenderTauFrame(quad, grid, stats.mean, &per_pixel_stats);
+  BlockTauStats block_stats;
+  RenderTauFrameBlocked(quad, grid, stats.mean, &block_stats);
+  // Per-pixel evaluations collapse to a small fraction; the wall-clock win
+  // follows (allow slack for timer noise on a loaded machine).
+  EXPECT_LT(block_stats.pixel_evaluations, grid.num_pixels() / 2);
+  EXPECT_LT(block_stats.seconds, per_pixel_stats.seconds * 1.5);
+}
+
+}  // namespace
+}  // namespace kdv

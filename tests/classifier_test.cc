@@ -1,0 +1,157 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classify/kde_classifier.h"
+#include "data/datasets.h"
+#include "util/random.h"
+
+namespace kdv {
+namespace {
+
+// Two well-separated blobs.
+std::vector<PointSet> TwoBlobs(int n_per_class, uint64_t seed) {
+  Rng rng(seed);
+  PointSet a, b;
+  for (int i = 0; i < n_per_class; ++i) {
+    a.push_back(Point{rng.Gaussian(-1.0, 0.3), rng.Gaussian(0.0, 0.3)});
+    b.push_back(Point{rng.Gaussian(1.0, 0.3), rng.Gaussian(0.0, 0.3)});
+  }
+  return {a, b};
+}
+
+TEST(KdeClassifierTest, SeparatedBlobsClassifiedByProximity) {
+  KdeClassifier::Options options;
+  KdeClassifier clf(TwoBlobs(500, 1), options);
+  EXPECT_EQ(clf.num_classes(), 2);
+
+  EXPECT_EQ(clf.Classify(Point{-1.0, 0.0}).label, 0);
+  EXPECT_EQ(clf.Classify(Point{1.0, 0.0}).label, 1);
+  EXPECT_EQ(clf.Classify(Point{-0.8, 0.2}).label, 0);
+  EXPECT_EQ(clf.Classify(Point{0.9, -0.1}).label, 1);
+}
+
+TEST(KdeClassifierTest, MatchesExactClassifierEverywhere) {
+  for (Method method : {Method::kAkde, Method::kKarl, Method::kQuad}) {
+    KdeClassifier::Options options;
+    options.method = method;
+    KdeClassifier clf(TwoBlobs(300, 2), options);
+
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+      Point q{rng.Uniform(-2.0, 2.0), rng.Uniform(-1.0, 1.0)};
+      EXPECT_EQ(clf.Classify(q).label, clf.ClassifyExact(q))
+          << MethodName(method) << " at (" << q[0] << "," << q[1] << ")";
+    }
+  }
+}
+
+TEST(KdeClassifierTest, CertifiesWithoutFullRefinementAwayFromBoundary) {
+  KdeClassifier::Options options;
+  options.method = Method::kQuad;
+  KdeClassifier clf(TwoBlobs(2000, 4), options);
+
+  KdeClassifier::Result r = clf.Classify(Point{-1.0, 0.0});
+  EXPECT_TRUE(r.certified);
+  // Pruning must beat exhaustive refinement by a wide margin.
+  EXPECT_LT(r.points_scanned, 800u);
+  ASSERT_EQ(r.lower.size(), 2u);
+  EXPECT_GE(r.lower[0], r.upper[1]);  // class-0 lower dominates class-1 upper
+}
+
+TEST(KdeClassifierTest, QuadCertifiesCheaperThanAkde) {
+  KdeClassifier::Options quad_options;
+  quad_options.method = Method::kQuad;
+  KdeClassifier quad(TwoBlobs(2000, 5), quad_options);
+
+  KdeClassifier::Options akde_options;
+  akde_options.method = Method::kAkde;
+  KdeClassifier akde(TwoBlobs(2000, 5), akde_options);
+
+  Rng rng(6);
+  uint64_t quad_iters = 0, akde_iters = 0;
+  for (int i = 0; i < 50; ++i) {
+    Point q{rng.Uniform(-2.0, 2.0), rng.Uniform(-1.0, 1.0)};
+    quad_iters += quad.Classify(q).iterations;
+    akde_iters += akde.Classify(q).iterations;
+  }
+  EXPECT_LT(quad_iters, akde_iters);
+}
+
+TEST(KdeClassifierTest, MultiClass) {
+  Rng rng(7);
+  std::vector<PointSet> classes(3);
+  const double centers[3][2] = {{-1.0, -1.0}, {1.0, -1.0}, {0.0, 1.0}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 400; ++i) {
+      classes[c].push_back(Point{rng.Gaussian(centers[c][0], 0.25),
+                                 rng.Gaussian(centers[c][1], 0.25)});
+    }
+  }
+  KdeClassifier clf(std::move(classes), KdeClassifier::Options{});
+  EXPECT_EQ(clf.Classify(Point{-1.0, -1.0}).label, 0);
+  EXPECT_EQ(clf.Classify(Point{1.0, -1.0}).label, 1);
+  EXPECT_EQ(clf.Classify(Point{0.0, 1.0}).label, 2);
+
+  Rng probe(8);
+  for (int i = 0; i < 60; ++i) {
+    Point q{probe.Uniform(-2.0, 2.0), probe.Uniform(-2.0, 2.0)};
+    EXPECT_EQ(clf.Classify(q).label, clf.ClassifyExact(q));
+  }
+}
+
+TEST(KdeClassifierTest, SingleClassIsTrivial) {
+  PointSet only{Point{0.0, 0.0}, Point{0.1, 0.1}};
+  KdeClassifier clf(std::vector<PointSet>{only}, KdeClassifier::Options{});
+  KdeClassifier::Result r = clf.Classify(Point{5.0, 5.0});
+  EXPECT_EQ(r.label, 0);
+  EXPECT_TRUE(r.certified);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(KdeClassifierTest, ImbalancedClassesUseClassConditionalDensities) {
+  // Class 0 has 10x the points of class 1, same blob shape. With weights
+  // 1/|P_c| the class-conditional densities match, so points on class 1's
+  // side still classify as 1.
+  Rng rng(9);
+  PointSet big, small;
+  for (int i = 0; i < 3000; ++i) {
+    big.push_back(Point{rng.Gaussian(-1.0, 0.3), rng.Gaussian(0.0, 0.3)});
+  }
+  for (int i = 0; i < 300; ++i) {
+    small.push_back(Point{rng.Gaussian(1.0, 0.3), rng.Gaussian(0.0, 0.3)});
+  }
+  KdeClassifier clf(std::vector<PointSet>{big, small},
+                    KdeClassifier::Options{});
+  EXPECT_EQ(clf.Classify(Point{1.0, 0.0}).label, 1);
+  EXPECT_EQ(clf.Classify(Point{-1.0, 0.0}).label, 0);
+}
+
+TEST(KdeClassifierTest, ExactMethodStillClassifiesCorrectly) {
+  KdeClassifier::Options options;
+  options.method = Method::kExact;
+  KdeClassifier clf(TwoBlobs(200, 10), options);
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    Point q{rng.Uniform(-2.0, 2.0), rng.Uniform(-1.0, 1.0)};
+    EXPECT_EQ(clf.Classify(q).label, clf.ClassifyExact(q));
+  }
+}
+
+TEST(KdeClassifierTest, NonGaussianKernels) {
+  for (KernelType kernel : {KernelType::kTriangular, KernelType::kCosine,
+                            KernelType::kExponential}) {
+    KdeClassifier::Options options;
+    options.kernel = kernel;
+    KdeClassifier clf(TwoBlobs(300, 12), options);
+    Rng rng(13);
+    for (int i = 0; i < 30; ++i) {
+      Point q{rng.Uniform(-1.8, 1.8), rng.Uniform(-0.8, 0.8)};
+      EXPECT_EQ(clf.Classify(q).label, clf.ClassifyExact(q))
+          << KernelTypeName(kernel);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kdv

@@ -1,0 +1,155 @@
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+
+namespace kdv {
+namespace {
+
+TEST(MixtureTest, GeneratesRequestedCardinalityAndDim) {
+  MixtureSpec spec;
+  spec.n = 1234;
+  spec.dim = 3;
+  PointSet pts = GenerateMixture(spec);
+  ASSERT_EQ(pts.size(), 1234u);
+  for (const Point& p : pts) EXPECT_EQ(p.dim(), 3);
+}
+
+TEST(MixtureTest, DeterministicInSeed) {
+  MixtureSpec spec;
+  spec.n = 200;
+  spec.seed = 77;
+  PointSet a = GenerateMixture(spec);
+  PointSet b = GenerateMixture(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(MixtureTest, DifferentSeedsDiffer) {
+  MixtureSpec spec;
+  spec.n = 200;
+  spec.seed = 1;
+  PointSet a = GenerateMixture(spec);
+  spec.seed = 2;
+  PointSet b = GenerateMixture(spec);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(MixtureTest, ClusteredDataIsDenserThanUniform) {
+  // With zero noise and tight clusters, the bounding box of most points is
+  // much smaller than the whole domain: measure the fraction inside a small
+  // disc around each cluster seed indirectly via coordinate variance.
+  MixtureSpec tight;
+  tight.n = 5000;
+  tight.num_clusters = 2;
+  tight.cluster_stddev_min = tight.cluster_stddev_max = 0.005;
+  tight.noise_fraction = 0.0;
+  tight.seed = 5;
+  PointSet pts = GenerateMixture(tight);
+  // All mass sits in two tiny blobs: the set of rounded-to-0.05 cells
+  // occupied must be small.
+  std::set<std::pair<int, int>> cells;
+  for (const Point& p : pts) {
+    cells.insert({static_cast<int>(p[0] * 20), static_cast<int>(p[1] * 20)});
+  }
+  EXPECT_LT(cells.size(), 30u);
+}
+
+TEST(PaperSpecsTest, MatchTable5Cardinalities) {
+  EXPECT_EQ(ElNinoSpec(1.0).n, 178080u);
+  EXPECT_EQ(CrimeSpec(1.0).n, 270688u);
+  EXPECT_EQ(HomeSpec(1.0).n, 919438u);
+  EXPECT_EQ(HepSpec(1.0).n, 7000000u);
+  EXPECT_EQ(PaperDatasetSpecs(1.0).size(), 4u);
+}
+
+TEST(PaperSpecsTest, ScalingShrinksCardinality) {
+  EXPECT_EQ(HepSpec(0.001).n, 7000u);
+  EXPECT_GE(ElNinoSpec(1e-9).n, 100u);  // floor
+}
+
+TEST(NormalizeTest, MapsToUnitCube) {
+  PointSet pts{Point{-5.0, 10.0}, Point{5.0, 20.0}, Point{0.0, 15.0}};
+  NormalizeToUnitCube(&pts);
+  EXPECT_DOUBLE_EQ(pts[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(pts[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(pts[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(pts[1][1], 1.0);
+  EXPECT_DOUBLE_EQ(pts[2][0], 0.5);
+}
+
+TEST(NormalizeTest, DegenerateDimensionMapsToHalf) {
+  PointSet pts{Point{1.0, 3.0}, Point{2.0, 3.0}};
+  NormalizeToUnitCube(&pts);
+  EXPECT_DOUBLE_EQ(pts[0][1], 0.5);
+  EXPECT_DOUBLE_EQ(pts[1][1], 0.5);
+}
+
+TEST(BoundingBoxTest, TightBox) {
+  PointSet pts{Point{1.0, 4.0}, Point{-2.0, 6.0}};
+  Rect box = BoundingBox(pts);
+  EXPECT_DOUBLE_EQ(box.lo(0), -2.0);
+  EXPECT_DOUBLE_EQ(box.hi(1), 6.0);
+}
+
+TEST(SampleTest, SampleSizeAndMembership) {
+  MixtureSpec spec;
+  spec.n = 1000;
+  PointSet pts = GenerateMixture(spec);
+  PointSet sample = SamplePoints(pts, 100, 3);
+  ASSERT_EQ(sample.size(), 100u);
+  // Spot-check membership of a few samples.
+  for (size_t i = 0; i < 10; ++i) {
+    bool found = false;
+    for (const Point& p : pts) {
+      if (p == sample[i]) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(SampleTest, OversizeRequestReturnsAll) {
+  PointSet pts{Point{1.0, 2.0}, Point{3.0, 4.0}};
+  EXPECT_EQ(SamplePoints(pts, 10, 1).size(), 2u);
+}
+
+TEST(CsvPointsTest, SaveAndLoadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/kdv_points.csv";
+  PointSet pts{Point{1.5, 2.5}, Point{-3.0, 0.25}};
+  ASSERT_TRUE(SavePointsCsv(path, pts));
+
+  PointSet back;
+  ASSERT_TRUE(LoadPointsCsv(path, {}, &back));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], pts[0]);
+  EXPECT_EQ(back[1], pts[1]);
+
+  // Column selection: load only the second attribute.
+  PointSet col;
+  ASSERT_TRUE(LoadPointsCsv(path, {1}, &col));
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col[0].dim(), 1);
+  EXPECT_DOUBLE_EQ(col[0][0], 2.5);
+  std::remove(path.c_str());
+}
+
+TEST(CsvPointsTest, MissingColumnFails) {
+  std::string path = ::testing::TempDir() + "/kdv_points2.csv";
+  ASSERT_TRUE(SavePointsCsv(path, PointSet{Point{1.0, 2.0}}));
+  PointSet out;
+  EXPECT_FALSE(LoadPointsCsv(path, {5}, &out));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kdv

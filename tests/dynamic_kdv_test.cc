@@ -1,0 +1,220 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "dynamic/dynamic_kdv.h"
+#include "util/random.h"
+
+namespace kdv {
+namespace {
+
+PointSet Blob(int n, double cx, double cy, uint64_t seed) {
+  Rng rng(seed);
+  PointSet pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.Gaussian(cx, 0.2), rng.Gaussian(cy, 0.2)});
+  }
+  return pts;
+}
+
+// Brute force over an explicit live set.
+double Brute(const PointSet& live, const KernelParams& params,
+             const Point& q) {
+  double s = 0.0;
+  for (const Point& p : live) {
+    s += params.EvalSquaredDistance(SquaredDistance(q, p));
+  }
+  return params.weight * s;
+}
+
+TEST(DynamicKdvTest, InitialStateMatchesStaticEvaluation) {
+  PointSet pts = Blob(2000, 0.5, 0.5, 1);
+  DynamicKdv dyn(PointSet(pts), DynamicKdv::Options{});
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    Point q{rng.NextDouble(), rng.NextDouble()};
+    double exact = Brute(pts, dyn.params(), q);
+    EXPECT_NEAR(dyn.EvaluateExact(q), exact, 1e-9 * std::max(1.0, exact));
+    EvalResult r = dyn.EvaluateEps(q, 0.01);
+    if (exact > 1e-12) {
+      EXPECT_LE(std::abs(r.estimate - exact) / exact, 0.0101);
+    }
+  }
+}
+
+TEST(DynamicKdvTest, InsertsAreVisibleWithGuarantee) {
+  PointSet pts = Blob(2000, 0.5, 0.5, 3);
+  DynamicKdv::Options options;
+  options.rebuild_fraction = 10.0;  // keep everything in the buffer
+  DynamicKdv dyn(PointSet(pts), options);
+
+  PointSet live = pts;
+  Rng rng(4);
+  for (int i = 0; i < 150; ++i) {
+    Point p{rng.Gaussian(0.8, 0.05), rng.Gaussian(0.8, 0.05)};
+    dyn.Insert(p);
+    live.push_back(p);
+  }
+  EXPECT_EQ(dyn.pending_inserts(), 150u);
+  EXPECT_EQ(dyn.num_points(), live.size());
+
+  for (int i = 0; i < 20; ++i) {
+    Point q{rng.NextDouble(), rng.NextDouble()};
+    double exact = Brute(live, dyn.params(), q);
+    EvalResult r = dyn.EvaluateEps(q, 0.01);
+    EXPECT_LE(r.lower, exact * (1 + 1e-9) + 1e-12);
+    EXPECT_GE(r.upper, exact * (1 - 1e-9) - 1e-12);
+    if (exact > 1e-12) {
+      EXPECT_LE(std::abs(r.estimate - exact) / exact, 0.0101);
+    }
+  }
+}
+
+TEST(DynamicKdvTest, RemovalsAreVisibleWithGuarantee) {
+  PointSet pts = Blob(2000, 0.5, 0.5, 5);
+  DynamicKdv::Options options;
+  options.rebuild_fraction = 10.0;
+  DynamicKdv dyn(PointSet(pts), options);
+
+  PointSet live = pts;
+  // Remove 100 existing points.
+  for (int i = 0; i < 100; ++i) {
+    dyn.Remove(pts[i * 7]);
+    live.erase(std::find(live.begin(), live.end(), pts[i * 7]));
+  }
+  EXPECT_EQ(dyn.pending_removals(), 100u);
+  EXPECT_EQ(dyn.num_points(), live.size());
+
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    Point q{rng.NextDouble(), rng.NextDouble()};
+    double exact = Brute(live, dyn.params(), q);
+    EvalResult r = dyn.EvaluateEps(q, 0.01);
+    if (exact > 1e-12) {
+      EXPECT_LE(std::abs(r.estimate - exact) / exact, 0.0101);
+    }
+  }
+}
+
+TEST(DynamicKdvTest, InsertThenRemoveCancels) {
+  PointSet pts = Blob(500, 0.5, 0.5, 7);
+  DynamicKdv dyn(PointSet(pts), DynamicKdv::Options{});
+  Point extra{0.9, 0.9};
+  dyn.Insert(extra);
+  EXPECT_EQ(dyn.pending_inserts(), 1u);
+  dyn.Remove(extra);
+  EXPECT_EQ(dyn.pending_inserts(), 0u);
+  EXPECT_EQ(dyn.pending_removals(), 0u);
+  EXPECT_EQ(dyn.num_points(), 500u);
+}
+
+TEST(DynamicKdvTest, RemoveThenReinsertCancels) {
+  PointSet pts = Blob(500, 0.5, 0.5, 8);
+  DynamicKdv::Options options;
+  options.rebuild_fraction = 10.0;
+  DynamicKdv dyn(PointSet(pts), options);
+  dyn.Remove(pts[0]);
+  EXPECT_EQ(dyn.pending_removals(), 1u);
+  dyn.Insert(pts[0]);
+  EXPECT_EQ(dyn.pending_removals(), 0u);
+  EXPECT_EQ(dyn.num_points(), 500u);
+}
+
+TEST(DynamicKdvTest, AutomaticRebuildFoldsBuffers) {
+  PointSet pts = Blob(100, 0.5, 0.5, 9);
+  DynamicKdv::Options options;
+  options.rebuild_fraction = 0.2;  // rebuild after >20 buffered inserts
+  DynamicKdv dyn(PointSet(pts), options);
+
+  Rng rng(10);
+  for (int i = 0; i < 30; ++i) {
+    dyn.Insert(Point{rng.NextDouble(), rng.NextDouble()});
+  }
+  EXPECT_LT(dyn.pending_inserts(), 30u);  // at least one rebuild happened
+  EXPECT_EQ(dyn.num_points(), 130u);
+}
+
+TEST(DynamicKdvTest, ManualRebuildPreservesAnswers) {
+  PointSet pts = Blob(1000, 0.4, 0.6, 11);
+  DynamicKdv::Options options;
+  options.rebuild_fraction = 10.0;
+  options.gamma_override =
+      MakeScottParams(KernelType::kGaussian, pts).gamma;  // freeze gamma
+  DynamicKdv dyn(PointSet(pts), options);
+
+  Rng rng(12);
+  PointSet live = pts;
+  for (int i = 0; i < 50; ++i) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    dyn.Insert(p);
+    live.push_back(p);
+  }
+  Point q{0.5, 0.5};
+  double before = dyn.EvaluateExact(q);
+  dyn.Rebuild();
+  EXPECT_EQ(dyn.pending_inserts(), 0u);
+  double after = dyn.EvaluateExact(q);
+  EXPECT_NEAR(before, after, 1e-9 * std::max(1.0, before));
+  EXPECT_NEAR(after, Brute(live, dyn.params(), q),
+              1e-9 * std::max(1.0, after));
+}
+
+TEST(DynamicKdvTest, TauTracksLiveSet) {
+  // Start with one blob; τ between "blob present" and "blob absent" at its
+  // center flips when the blob is removed.
+  PointSet a = Blob(500, 0.3, 0.3, 13);
+  PointSet b = Blob(500, 0.8, 0.8, 14);
+  PointSet all = a;
+  all.insert(all.end(), b.begin(), b.end());
+
+  DynamicKdv::Options options;
+  options.rebuild_fraction = 10.0;
+  DynamicKdv dyn(PointSet(all), options);
+
+  Point center_b{0.8, 0.8};
+  double density_with = dyn.EvaluateExact(center_b);
+  double tau = 0.5 * density_with;
+  EXPECT_TRUE(dyn.EvaluateTau(center_b, tau).above_threshold);
+
+  for (const Point& p : b) dyn.Remove(p);
+  EXPECT_EQ(dyn.num_points(), a.size());
+  EXPECT_FALSE(dyn.EvaluateTau(center_b, tau).above_threshold);
+}
+
+TEST(DynamicKdvTest, StressRandomMutationsStayConsistent) {
+  PointSet pts = Blob(800, 0.5, 0.5, 15);
+  DynamicKdv::Options options;
+  options.rebuild_fraction = 0.1;
+  options.gamma_override =
+      MakeScottParams(KernelType::kGaussian, pts).gamma;
+  DynamicKdv dyn(PointSet(pts), options);
+
+  PointSet live = pts;
+  Rng rng(16);
+  for (int round = 0; round < 200; ++round) {
+    if (rng.NextDouble() < 0.6 || live.size() < 100) {
+      Point p{rng.NextDouble(), rng.NextDouble()};
+      dyn.Insert(p);
+      live.push_back(p);
+    } else {
+      size_t idx = rng.UniformInt(live.size());
+      dyn.Remove(live[idx]);
+      live.erase(live.begin() + idx);
+    }
+  }
+  EXPECT_EQ(dyn.num_points(), live.size());
+  for (int i = 0; i < 10; ++i) {
+    Point q{rng.NextDouble(), rng.NextDouble()};
+    double exact = Brute(live, dyn.params(), q);
+    EXPECT_NEAR(dyn.EvaluateExact(q), exact, 1e-8 * std::max(1.0, exact));
+    EvalResult r = dyn.EvaluateEps(q, 0.02);
+    if (exact > 1e-12) {
+      EXPECT_LE(std::abs(r.estimate - exact) / exact, 0.0201);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kdv

@@ -1,0 +1,86 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace kdv {
+namespace {
+
+Flags Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  Flags flags;
+  std::string error;
+  EXPECT_TRUE(Flags::Parse(static_cast<int>(args.size()), args.data(), &flags,
+                           &error))
+      << error;
+  return flags;
+}
+
+TEST(FlagsTest, KeyValuePairs) {
+  Flags f = Parse({"--eps", "0.01", "--out", "x.ppm"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 1.0), 0.01);
+  EXPECT_EQ(f.GetString("out", ""), "x.ppm");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = Parse({"--width=640", "--kernel=cosine"});
+  EXPECT_EQ(f.GetInt("width", 0), 640);
+  EXPECT_EQ(f.GetString("kernel", ""), "cosine");
+}
+
+TEST(FlagsTest, BooleanFlagWithoutValue) {
+  Flags f = Parse({"--verbose", "--eps", "0.05"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.0), 0.05);
+}
+
+TEST(FlagsTest, TrailingFlagIsBoolean) {
+  Flags f = Parse({"--fast"});
+  EXPECT_TRUE(f.GetBool("fast", false));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = Parse({"render", "--eps", "0.01", "input.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "render");
+  EXPECT_EQ(f.positional()[1], "input.csv");
+}
+
+TEST(FlagsTest, NegativeNumberAsValue) {
+  Flags f = Parse({"--gamma", "-1.5"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("gamma", 0.0), -1.5);
+}
+
+TEST(FlagsTest, DefaultsWhenMissingOrMalformed) {
+  Flags f = Parse({"--eps", "abc"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.25), 0.25);
+  EXPECT_EQ(f.GetInt("width", 77), 77);
+  EXPECT_FALSE(f.Has("width"));
+  EXPECT_TRUE(f.Has("eps"));
+}
+
+TEST(FlagsTest, BoolParsingVariants) {
+  Flags f = Parse({"--a=1", "--b=off", "--c=yes", "--d=banana"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_TRUE(f.GetBool("d", true));  // malformed -> default
+}
+
+TEST(FlagsTest, BareDoubleDashFails) {
+  const char* args[] = {"prog", "--"};
+  Flags flags;
+  std::string error;
+  EXPECT_FALSE(Flags::Parse(2, args, &flags, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  Flags f = Parse({"--eps", "0.1", "--eps", "0.2"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.0), 0.2);
+}
+
+}  // namespace
+}  // namespace kdv

@@ -1,0 +1,248 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geom/morton.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "util/random.h"
+
+namespace kdv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Point
+// ---------------------------------------------------------------------------
+
+TEST(PointTest, InitializerListConstruction) {
+  Point p{1.0, 2.0, 3.0};
+  EXPECT_EQ(p.dim(), 3);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[2], 3.0);
+}
+
+TEST(PointTest, DimensionConstructorZeroInitializes) {
+  Point p(4);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(p[i], 0.0);
+}
+
+TEST(PointTest, FromVector) {
+  Point p = Point::FromVector({0.5, -2.0});
+  EXPECT_EQ(p.dim(), 2);
+  EXPECT_DOUBLE_EQ(p[1], -2.0);
+}
+
+TEST(PointTest, SquaredNorm) {
+  Point p{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(p.SquaredNorm(), 25.0);
+}
+
+TEST(PointTest, DotAndDistance) {
+  Point a{1.0, 2.0};
+  Point b{4.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 16.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+}
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ((Point{1.0, 2.0}), (Point{1.0, 2.0}));
+  EXPECT_FALSE((Point{1.0, 2.0}) == (Point{1.0, 3.0}));
+  EXPECT_FALSE((Point{1.0}) == (Point{1.0, 0.0}));
+}
+
+// ---------------------------------------------------------------------------
+// Rect
+// ---------------------------------------------------------------------------
+
+TEST(RectTest, ExpandBuildsBoundingBox) {
+  Rect r(2);
+  r.Expand(Point{1.0, 5.0});
+  r.Expand(Point{-2.0, 3.0});
+  EXPECT_DOUBLE_EQ(r.lo(0), -2.0);
+  EXPECT_DOUBLE_EQ(r.hi(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.lo(1), 3.0);
+  EXPECT_DOUBLE_EQ(r.hi(1), 5.0);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(RectTest, EmptyUntilExpanded) {
+  Rect r(2);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RectTest, ContainsAndCenter) {
+  Rect r(2);
+  r.Expand(Point{0.0, 0.0});
+  r.Expand(Point{2.0, 4.0});
+  EXPECT_TRUE(r.Contains(Point{1.0, 2.0}));
+  EXPECT_FALSE(r.Contains(Point{3.0, 2.0}));
+  EXPECT_EQ(r.Center(), (Point{1.0, 2.0}));
+  EXPECT_EQ(r.WidestDimension(), 1);
+}
+
+TEST(RectTest, MinDistanceZeroInside) {
+  Rect r = Rect::FromPoints(
+      PointSet{Point{0.0, 0.0}, Point{1.0, 1.0}}.data(), 2, 2);
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(Point{0.5, 0.5}), 0.0);
+}
+
+TEST(RectTest, MinMaxDistanceOutside) {
+  Rect r(2);
+  r.Expand(Point{0.0, 0.0});
+  r.Expand(Point{1.0, 1.0});
+  Point q{2.0, 0.5};
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(q), 1.0);  // to face x = 1
+  // Farthest corner is (0, 1) at distance sqrt(4 + 0.25).
+  EXPECT_DOUBLE_EQ(r.MaxSquaredDistance(q), 4.0 + 0.25);
+  EXPECT_DOUBLE_EQ(r.MinDistance(q), 1.0);
+  EXPECT_DOUBLE_EQ(r.MaxDistance(q), std::sqrt(4.25));
+}
+
+// Property: for random boxes and queries, every point inside the box is
+// between min and max distance from the query.
+TEST(RectTest, MinMaxDistanceBracketAllInteriorPoints) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Rect r(2);
+    Point a{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    Point b{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    r.Expand(a);
+    r.Expand(b);
+    Point q{rng.Uniform(-8, 8), rng.Uniform(-8, 8)};
+    double min_sq = r.MinSquaredDistance(q);
+    double max_sq = r.MaxSquaredDistance(q);
+    for (int i = 0; i < 20; ++i) {
+      Point p{rng.Uniform(r.lo(0), r.hi(0)), rng.Uniform(r.lo(1), r.hi(1))};
+      double d = SquaredDistance(q, p);
+      EXPECT_LE(min_sq, d + 1e-12);
+      EXPECT_GE(max_sq, d - 1e-12);
+    }
+  }
+}
+
+TEST(RectTest, RectRectDistancesKnownValues) {
+  Rect a(2);
+  a.Expand(Point{0.0, 0.0});
+  a.Expand(Point{1.0, 1.0});
+  Rect b(2);
+  b.Expand(Point{3.0, 0.0});
+  b.Expand(Point{4.0, 1.0});
+  EXPECT_DOUBLE_EQ(a.MinSquaredDistance(b), 4.0);  // gap of 2 along x
+  // Farthest corner pair: (0,0)-(4,1) or (0,1)-(4,0): 16 + 1.
+  EXPECT_DOUBLE_EQ(a.MaxSquaredDistance(b), 17.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(b.MinSquaredDistance(a), 4.0);
+  EXPECT_DOUBLE_EQ(b.MaxSquaredDistance(a), 17.0);
+}
+
+TEST(RectTest, OverlappingRectsHaveZeroMinDistance) {
+  Rect a(2);
+  a.Expand(Point{0.0, 0.0});
+  a.Expand(Point{2.0, 2.0});
+  Rect b(2);
+  b.Expand(Point{1.0, 1.0});
+  b.Expand(Point{3.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.MinSquaredDistance(b), 0.0);
+  EXPECT_GT(a.MaxSquaredDistance(b), 0.0);
+}
+
+// Property: rect-rect min/max distances bracket all point-pair distances.
+TEST(RectTest, RectRectDistancesBracketAllPointPairs) {
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    Rect a(2), b(2);
+    a.Expand(Point{rng.Uniform(-4, 4), rng.Uniform(-4, 4)});
+    a.Expand(Point{rng.Uniform(-4, 4), rng.Uniform(-4, 4)});
+    b.Expand(Point{rng.Uniform(-4, 4), rng.Uniform(-4, 4)});
+    b.Expand(Point{rng.Uniform(-4, 4), rng.Uniform(-4, 4)});
+    double min_sq = a.MinSquaredDistance(b);
+    double max_sq = a.MaxSquaredDistance(b);
+    EXPECT_LE(min_sq, max_sq);
+    for (int i = 0; i < 15; ++i) {
+      Point p{rng.Uniform(a.lo(0), a.hi(0)), rng.Uniform(a.lo(1), a.hi(1))};
+      Point q{rng.Uniform(b.lo(0), b.hi(0)), rng.Uniform(b.lo(1), b.hi(1))};
+      double d = SquaredDistance(p, q);
+      EXPECT_LE(min_sq, d + 1e-12);
+      EXPECT_GE(max_sq, d - 1e-12);
+    }
+  }
+}
+
+// Consistency: a degenerate rect behaves like a point.
+TEST(RectTest, DegenerateRectMatchesPointDistances) {
+  Rect a(2);
+  a.Expand(Point{1.0, 2.0});  // zero-extent box
+  Rect b(2);
+  b.Expand(Point{4.0, 5.0});
+  b.Expand(Point{6.0, 7.0});
+  Point p{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.MinSquaredDistance(b), b.MinSquaredDistance(p));
+  EXPECT_DOUBLE_EQ(a.MaxSquaredDistance(b), b.MaxSquaredDistance(p));
+}
+
+// ---------------------------------------------------------------------------
+// Morton
+// ---------------------------------------------------------------------------
+
+TEST(MortonTest, SpreadBitsInterleavesCorrectly) {
+  EXPECT_EQ(MortonSpreadBits(0u), 0ull);
+  EXPECT_EQ(MortonSpreadBits(1u), 1ull);
+  EXPECT_EQ(MortonSpreadBits(2u), 4ull);      // bit 1 -> bit 2
+  EXPECT_EQ(MortonSpreadBits(3u), 5ull);      // bits 0,1 -> 0,2
+  EXPECT_EQ(MortonSpreadBits(0xFFFFu), 0x55555555ull);
+}
+
+TEST(MortonTest, Encode2DKnownValues) {
+  EXPECT_EQ(MortonEncode2D(0, 0), 0ull);
+  EXPECT_EQ(MortonEncode2D(1, 0), 1ull);
+  EXPECT_EQ(MortonEncode2D(0, 1), 2ull);
+  EXPECT_EQ(MortonEncode2D(1, 1), 3ull);
+  EXPECT_EQ(MortonEncode2D(2, 2), 12ull);
+}
+
+TEST(MortonTest, CodePreservesQuadrantOrder) {
+  Rect box(2);
+  box.Expand(Point{0.0, 0.0});
+  box.Expand(Point{1.0, 1.0});
+  // Z-order visits quadrants in the order SW, SE, NW, NE for (x, y) codes.
+  uint64_t sw = MortonCodeForPoint(Point{0.1, 0.1}, box);
+  uint64_t se = MortonCodeForPoint(Point{0.9, 0.1}, box);
+  uint64_t nw = MortonCodeForPoint(Point{0.1, 0.9}, box);
+  uint64_t ne = MortonCodeForPoint(Point{0.9, 0.9}, box);
+  EXPECT_LT(sw, se);
+  EXPECT_LT(se, nw);
+  EXPECT_LT(nw, ne);
+}
+
+TEST(MortonTest, BoundaryPointsClampToGrid) {
+  Rect box(2);
+  box.Expand(Point{0.0, 0.0});
+  box.Expand(Point{1.0, 1.0});
+  // Exactly on the upper boundary must not overflow the grid.
+  uint64_t code = MortonCodeForPoint(Point{1.0, 1.0}, box);
+  uint64_t below = MortonCodeForPoint(Point{0.999999, 0.999999}, box);
+  EXPECT_GE(code, below);
+}
+
+TEST(MortonTest, NearbyPointsShareCodePrefixMoreThanFarPoints) {
+  Rect box(2);
+  box.Expand(Point{0.0, 0.0});
+  box.Expand(Point{1.0, 1.0});
+  uint64_t a = MortonCodeForPoint(Point{0.2, 0.2}, box);
+  uint64_t near = MortonCodeForPoint(Point{0.2001, 0.2001}, box);
+  uint64_t far = MortonCodeForPoint(Point{0.9, 0.9}, box);
+  auto top_bit = [](uint64_t x) {
+    int b = 0;
+    while (x) {
+      x >>= 1;
+      ++b;
+    }
+    return b;
+  };
+  EXPECT_LT(top_bit(a ^ near), top_bit(a ^ far));
+}
+
+}  // namespace
+}  // namespace kdv

@@ -1,0 +1,150 @@
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "index/kdtree.h"
+#include "util/random.h"
+
+namespace kdv {
+namespace {
+
+PointSet RandomPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  PointSet pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+  }
+  return pts;
+}
+
+TEST(KdTreeTest, RootCoversAllPoints) {
+  PointSet pts = RandomPoints(500, 1);
+  KdTree tree(pts);
+  const KdTree::Node& root = tree.node(tree.root());
+  EXPECT_EQ(root.count(), 500u);
+  EXPECT_EQ(root.stats.count(), 500u);
+  for (const Point& p : pts) EXPECT_TRUE(root.stats.mbr().Contains(p));
+}
+
+TEST(KdTreeTest, TreeIsAPermutationOfInput) {
+  PointSet pts = RandomPoints(300, 2);
+  KdTree tree(pts);
+  auto key = [](const Point& p) { return std::make_pair(p[0], p[1]); };
+  std::vector<std::pair<double, double>> a, b;
+  for (const Point& p : pts) a.push_back(key(p));
+  for (const Point& p : tree.points()) b.push_back(key(p));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(KdTreeTest, LeavesRespectLeafSize) {
+  PointSet pts = RandomPoints(1000, 3);
+  KdTree::Options options;
+  options.leaf_size = 16;
+  KdTree tree(std::move(pts), options);
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const KdTree::Node& n = tree.node(static_cast<int32_t>(i));
+    if (n.IsLeaf()) {
+      EXPECT_LE(n.count(), 16u);
+      EXPECT_GE(n.count(), 1u);
+    }
+  }
+}
+
+TEST(KdTreeTest, ChildrenPartitionParent) {
+  PointSet pts = RandomPoints(1000, 4);
+  KdTree tree(std::move(pts));
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const KdTree::Node& n = tree.node(static_cast<int32_t>(i));
+    if (n.IsLeaf()) continue;
+    const KdTree::Node& l = tree.node(n.left);
+    const KdTree::Node& r = tree.node(n.right);
+    EXPECT_EQ(l.begin, n.begin);
+    EXPECT_EQ(l.end, r.begin);
+    EXPECT_EQ(r.end, n.end);
+    EXPECT_EQ(l.count() + r.count(), n.count());
+    EXPECT_EQ(l.stats.count() + r.stats.count(), n.stats.count());
+  }
+}
+
+TEST(KdTreeTest, NodeStatsConsistentWithOwnedSlice) {
+  PointSet pts = RandomPoints(400, 5);
+  KdTree tree(std::move(pts));
+  Rng rng(6);
+  Point q{rng.NextDouble(), rng.NextDouble()};
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const KdTree::Node& n = tree.node(static_cast<int32_t>(i));
+    double brute = 0.0;
+    for (uint32_t j = n.begin; j < n.end; ++j) {
+      brute += SquaredDistance(q, tree.points()[j]);
+    }
+    EXPECT_NEAR(n.stats.SumSquaredDistances(q), brute,
+                1e-9 * std::max(1.0, brute));
+  }
+}
+
+TEST(KdTreeTest, DepthIsLogarithmic) {
+  PointSet pts = RandomPoints(4096, 7);
+  KdTree::Options options;
+  options.leaf_size = 1;
+  KdTree tree(std::move(pts), options);
+  // Median splits: depth == ceil(log2(4096)) + 1 = 13 for leaf_size 1.
+  EXPECT_LE(tree.Depth(), 14);
+  EXPECT_GE(tree.Depth(), 12);
+}
+
+TEST(KdTreeTest, HandlesDuplicatePoints) {
+  PointSet pts(100, Point{0.5, 0.5});
+  KdTree::Options options;
+  options.leaf_size = 4;
+  KdTree tree(std::move(pts), options);
+  const KdTree::Node& root = tree.node(tree.root());
+  EXPECT_EQ(root.count(), 100u);
+  // Every leaf non-empty, all splits valid.
+  std::function<size_t(int32_t)> count_leaf_points =
+      [&](int32_t id) -> size_t {
+    const KdTree::Node& n = tree.node(id);
+    if (n.IsLeaf()) {
+      EXPECT_GE(n.count(), 1u);
+      return n.count();
+    }
+    return count_leaf_points(n.left) + count_leaf_points(n.right);
+  };
+  EXPECT_EQ(count_leaf_points(tree.root()), 100u);
+}
+
+TEST(KdTreeTest, SinglePointTree) {
+  PointSet pts{Point{1.0, 2.0}};
+  KdTree tree(std::move(pts));
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_TRUE(tree.node(tree.root()).IsLeaf());
+  EXPECT_EQ(tree.Depth(), 1);
+}
+
+TEST(KdTreeTest, ChildMbrsShrink) {
+  PointSet pts = GenerateMixture(CrimeSpec(0.01));
+  KdTree tree(std::move(pts));
+  const KdTree::Node& root = tree.node(tree.root());
+  ASSERT_FALSE(root.IsLeaf());
+  const Rect& root_mbr = root.stats.mbr();
+  const Rect& l = tree.node(root.left).stats.mbr();
+  const Rect& r = tree.node(root.right).stats.mbr();
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_GE(l.lo(d), root_mbr.lo(d));
+    EXPECT_LE(l.hi(d), root_mbr.hi(d));
+    EXPECT_GE(r.lo(d), root_mbr.lo(d));
+    EXPECT_LE(r.hi(d), root_mbr.hi(d));
+  }
+  // The split dimension should actually divide the extent.
+  int split = root_mbr.WidestDimension();
+  EXPECT_LE(l.Length(split), root_mbr.Length(split));
+  EXPECT_LE(r.Length(split), root_mbr.Length(split));
+}
+
+}  // namespace
+}  // namespace kdv

@@ -1,0 +1,154 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "kernel/kernel.h"
+
+namespace kdv {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+const KernelType kAllKernels[] = {
+    KernelType::kGaussian,     KernelType::kTriangular,
+    KernelType::kCosine,       KernelType::kExponential,
+    KernelType::kEpanechnikov, KernelType::kQuartic,
+    KernelType::kUniform,
+};
+
+TEST(KernelTest, NamesAreUnique) {
+  for (KernelType a : kAllKernels) {
+    for (KernelType b : kAllKernels) {
+      if (a != b) {
+        EXPECT_STRNE(KernelTypeName(a), KernelTypeName(b));
+      }
+    }
+  }
+}
+
+TEST(KernelTest, ProfileAtZeroIsOne) {
+  for (KernelType k : kAllKernels) {
+    EXPECT_DOUBLE_EQ(KernelProfile(k, 0.0), 1.0) << KernelTypeName(k);
+  }
+}
+
+TEST(KernelTest, ProfileIsNonNegativeAndBounded) {
+  for (KernelType k : kAllKernels) {
+    for (double x = 0.0; x < 10.0; x += 0.01) {
+      double v = KernelProfile(k, x);
+      EXPECT_GE(v, 0.0) << KernelTypeName(k) << " at x=" << x;
+      EXPECT_LE(v, 1.0) << KernelTypeName(k) << " at x=" << x;
+    }
+  }
+}
+
+TEST(KernelTest, ProfileIsMonotoneNonIncreasing) {
+  for (KernelType k : kAllKernels) {
+    double prev = KernelProfile(k, 0.0);
+    for (double x = 0.001; x < 10.0; x += 0.001) {
+      double v = KernelProfile(k, x);
+      EXPECT_LE(v, prev + 1e-15) << KernelTypeName(k) << " at x=" << x;
+      prev = v;
+    }
+  }
+}
+
+TEST(KernelTest, FiniteSupportKernelsVanishPastEdge) {
+  for (KernelType k : kAllKernels) {
+    if (!HasFiniteSupport(k)) continue;
+    double edge = SupportEdge(k);
+    // At the edge the profile is (numerically) zero except for the uniform
+    // indicator, whose support is the closed interval [0, 1].
+    if (k != KernelType::kUniform) {
+      EXPECT_NEAR(KernelProfile(k, edge), 0.0, 1e-15) << KernelTypeName(k);
+    }
+    EXPECT_DOUBLE_EQ(KernelProfile(k, edge + 0.5), 0.0) << KernelTypeName(k);
+    EXPECT_DOUBLE_EQ(KernelProfile(k, edge * 1.0001), 0.0)
+        << KernelTypeName(k);
+  }
+}
+
+TEST(KernelTest, GaussianMatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(KernelProfile(KernelType::kGaussian, 1.3), std::exp(-1.3));
+}
+
+TEST(KernelTest, TriangularMatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(KernelProfile(KernelType::kTriangular, 0.25), 0.75);
+  EXPECT_DOUBLE_EQ(KernelProfile(KernelType::kTriangular, 2.0), 0.0);
+}
+
+TEST(KernelTest, CosineMatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(KernelProfile(KernelType::kCosine, 0.5), std::cos(0.5));
+  EXPECT_DOUBLE_EQ(KernelProfile(KernelType::kCosine, kPi / 2 + 0.01), 0.0);
+}
+
+TEST(KernelTest, EpanechnikovAndQuarticMatchClosedForms) {
+  EXPECT_DOUBLE_EQ(KernelProfile(KernelType::kEpanechnikov, 0.5), 0.75);
+  EXPECT_DOUBLE_EQ(KernelProfile(KernelType::kQuartic, 0.5), 0.75 * 0.75);
+}
+
+TEST(KernelTest, UniformIsIndicator) {
+  EXPECT_DOUBLE_EQ(KernelProfile(KernelType::kUniform, 0.999), 1.0);
+  EXPECT_DOUBLE_EQ(KernelProfile(KernelType::kUniform, 1.001), 0.0);
+}
+
+TEST(KernelParamsTest, XConventionMatchesKernelFamily) {
+  KernelParams gaussian{KernelType::kGaussian, 2.0, 1.0};
+  // x = gamma * dist^2.
+  EXPECT_DOUBLE_EQ(gaussian.XFromSquaredDistance(9.0), 18.0);
+
+  KernelParams triangular{KernelType::kTriangular, 2.0, 1.0};
+  // x = gamma * dist.
+  EXPECT_DOUBLE_EQ(triangular.XFromSquaredDistance(9.0), 6.0);
+}
+
+TEST(KernelParamsTest, EvalSquaredDistanceComposesProfile) {
+  KernelParams p{KernelType::kGaussian, 0.5, 1.0};
+  EXPECT_DOUBLE_EQ(p.EvalSquaredDistance(4.0), std::exp(-2.0));
+}
+
+// ---------------------------------------------------------------------------
+// Scott's rule
+// ---------------------------------------------------------------------------
+
+TEST(ScottTest, MatchesHandComputation) {
+  // 1-d-like data embedded in 2-d with the same stddev in both dims.
+  PointSet pts;
+  for (int i = 0; i < 100; ++i) {
+    double v = static_cast<double>(i);
+    pts.push_back(Point{v, v});
+  }
+  double h = ScottBandwidth(pts);
+  // sigma per dim = std of 0..99 ~ 29.0115; h = sigma * 100^(-1/6).
+  double sigma = 29.011491975882016;
+  EXPECT_NEAR(h, sigma * std::pow(100.0, -1.0 / 6.0), 1e-9);
+}
+
+TEST(ScottTest, DegenerateInputsFallBack) {
+  PointSet single{Point{1.0, 2.0}};
+  EXPECT_GT(ScottBandwidth(single), 0.0);
+  PointSet constant(10, Point{3.0, 3.0});
+  EXPECT_GT(ScottBandwidth(constant), 0.0);
+}
+
+TEST(ScottTest, MakeScottParamsGaussianUsesHalfInverseSquare) {
+  PointSet pts = GenerateMixture(MixtureSpec{});
+  double h = ScottBandwidth(pts);
+  KernelParams p = MakeScottParams(KernelType::kGaussian, pts);
+  EXPECT_NEAR(p.gamma, 1.0 / (2.0 * h * h), 1e-12);
+  EXPECT_NEAR(p.weight, 1.0 / static_cast<double>(pts.size()), 1e-15);
+}
+
+TEST(ScottTest, MakeScottParamsDistanceKernelsUseInverseH) {
+  PointSet pts = GenerateMixture(MixtureSpec{});
+  double h = ScottBandwidth(pts);
+  for (KernelType k : {KernelType::kTriangular, KernelType::kCosine,
+                       KernelType::kExponential}) {
+    KernelParams p = MakeScottParams(k, pts);
+    EXPECT_NEAR(p.gamma, 1.0 / h, 1e-12) << KernelTypeName(k);
+  }
+}
+
+}  // namespace
+}  // namespace kdv

@@ -1,0 +1,155 @@
+// Tests for the batch drivers (core/kdv_runner.h) and the step-wise
+// RefinementStream (core/refinement_stream.h).
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/kdv_runner.h"
+#include "core/refinement_stream.h"
+#include "data/datasets.h"
+#include "util/random.h"
+#include "workbench/workbench.h"
+
+namespace kdv {
+namespace {
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  RunnerTest()
+      : bench_(GenerateMixture(CrimeSpec(0.002)), KernelType::kGaussian) {
+    Rng rng(21);
+    for (int i = 0; i < 50; ++i) {
+      queries_.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+    }
+  }
+
+  Workbench bench_;
+  PointSet queries_;
+};
+
+TEST_F(RunnerTest, EpsBatchMatchesPerQueryEvaluation) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+  BatchStats stats;
+  std::vector<double> batch = RunEpsBatch(quad, queries_, 0.01, &stats);
+  ASSERT_EQ(batch.size(), queries_.size());
+  EXPECT_EQ(stats.queries, queries_.size());
+  EXPECT_TRUE(stats.completed);
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], quad.EvaluateEps(queries_[i], 0.01).estimate);
+  }
+}
+
+TEST_F(RunnerTest, TauBatchMatchesPerQueryEvaluation) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+  double tau = 0.5;
+  std::vector<uint8_t> batch = RunTauBatch(quad, queries_, tau, nullptr);
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    EXPECT_EQ(batch[i] != 0, quad.EvaluateTau(queries_[i], tau).above_threshold);
+  }
+}
+
+TEST_F(RunnerTest, ExactBatchCountsAllPoints) {
+  KdeEvaluator exact = bench_.MakeEvaluator(Method::kExact);
+  BatchStats stats;
+  std::vector<double> batch = RunExactBatch(exact, queries_, &stats);
+  EXPECT_EQ(stats.points_scanned,
+            queries_.size() * bench_.num_points());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], exact.EvaluateExact(queries_[i]));
+  }
+}
+
+TEST_F(RunnerTest, OrderedRunRespectsOrderAndDeadline) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+
+  // Reverse order, no deadline: all evaluated.
+  std::vector<uint32_t> order(queries_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::reverse(order.begin(), order.end());
+  std::vector<double> out(queries_.size(), -1.0);
+  BatchStats stats;
+  size_t evaluated =
+      RunEpsOrdered(quad, queries_, order, 0.01, nullptr, &out, &stats);
+  EXPECT_EQ(evaluated, queries_.size());
+  EXPECT_TRUE(stats.completed);
+  for (double v : out) EXPECT_GE(v, 0.0);
+
+  // Expired deadline: nothing evaluated, sentinel values untouched.
+  std::vector<double> out2(queries_.size(), -1.0);
+  Deadline expired(1e-12);
+  while (!expired.Expired()) {
+  }
+  BatchStats stats2;
+  size_t evaluated2 =
+      RunEpsOrdered(quad, queries_, order, 0.01, &expired, &out2, &stats2);
+  EXPECT_EQ(evaluated2, 0u);
+  EXPECT_FALSE(stats2.completed);
+  for (double v : out2) EXPECT_DOUBLE_EQ(v, -1.0);
+}
+
+TEST_F(RunnerTest, OrderedRunPartialPrefix) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+  std::vector<uint32_t> order = {3, 1, 4};
+  std::vector<double> out(queries_.size(), -1.0);
+  size_t evaluated =
+      RunEpsOrdered(quad, queries_, order, 0.01, nullptr, &out, nullptr);
+  EXPECT_EQ(evaluated, 3u);
+  EXPECT_GE(out[3], 0.0);
+  EXPECT_GE(out[1], 0.0);
+  EXPECT_GE(out[4], 0.0);
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+}
+
+// ---------------------------------------------------------------------------
+// RefinementStream
+// ---------------------------------------------------------------------------
+
+TEST_F(RunnerTest, StreamTightensMonotonicallyToExact) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+  Point q = bench_.data_bounds().Center();
+  double exact = quad.EvaluateExact(q);
+
+  RefinementStream stream(&bench_.tree(), bench_.params(),
+                          quad.bounds(), q);
+  double prev_lb = stream.lower();
+  double prev_ub = stream.upper();
+  EXPECT_LE(prev_lb, exact + 1e-12);
+  EXPECT_GE(prev_ub, exact - 1e-12);
+
+  while (stream.Step()) {
+    EXPECT_GE(stream.lower(), prev_lb - 1e-12);
+    EXPECT_LE(stream.upper(), prev_ub + 1e-12);
+    EXPECT_LE(stream.lower(), exact * (1 + 1e-9) + 1e-12);
+    EXPECT_GE(stream.upper(), exact * (1 - 1e-9) - 1e-12);
+    prev_lb = stream.lower();
+    prev_ub = stream.upper();
+  }
+  EXPECT_TRUE(stream.exhausted());
+  EXPECT_NEAR(stream.lower(), exact, 1e-6 * std::max(1.0, exact));
+  EXPECT_NEAR(stream.gap(), 0.0, 1e-9);
+  EXPECT_EQ(stream.points_scanned(), bench_.num_points());
+}
+
+TEST_F(RunnerTest, ExactStreamStartsExhausted) {
+  Point q = bench_.data_bounds().Center();
+  RefinementStream stream(&bench_.tree(), bench_.params(), nullptr, q);
+  EXPECT_TRUE(stream.exhausted());
+  EXPECT_FALSE(stream.Step());
+  EXPECT_DOUBLE_EQ(stream.gap(), 0.0);
+  KdeEvaluator exact = bench_.MakeEvaluator(Method::kExact);
+  EXPECT_NEAR(stream.lower(), exact.EvaluateExact(q), 1e-12);
+}
+
+TEST_F(RunnerTest, StepCountMatchesIterations) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+  Point q = bench_.data_bounds().Center();
+  RefinementStream stream(&bench_.tree(), bench_.params(), quad.bounds(), q);
+  uint64_t steps = 0;
+  while (stream.Step()) ++steps;
+  EXPECT_EQ(steps, stream.iterations());
+}
+
+}  // namespace
+}  // namespace kdv

@@ -1,0 +1,152 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "index/serialization.h"
+#include "core/evaluator.h"
+#include "bounds/node_bounds.h"
+#include "util/random.h"
+
+namespace kdv {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  PointSet pts = GenerateMixture(CrimeSpec(0.002));
+  KdTree tree{PointSet(pts)};
+
+  std::string path = TempPath("kdv_tree.bin");
+  ASSERT_TRUE(SaveKdTree(tree, path));
+  std::unique_ptr<KdTree> loaded = LoadKdTree(path);
+  ASSERT_NE(loaded, nullptr);
+
+  EXPECT_EQ(loaded->num_points(), tree.num_points());
+  EXPECT_EQ(loaded->num_nodes(), tree.num_nodes());
+  EXPECT_EQ(loaded->dim(), tree.dim());
+  EXPECT_EQ(loaded->Depth(), tree.Depth());
+  for (size_t i = 0; i < tree.num_points(); ++i) {
+    EXPECT_EQ(loaded->points()[i], tree.points()[i]);
+    EXPECT_EQ(loaded->original_index(i), tree.original_index(i));
+  }
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const KdTree::Node& a = tree.node(static_cast<int32_t>(i));
+    const KdTree::Node& b = loaded->node(static_cast<int32_t>(i));
+    EXPECT_EQ(a.begin, b.begin);
+    EXPECT_EQ(a.end, b.end);
+    EXPECT_EQ(a.left, b.left);
+    EXPECT_EQ(a.right, b.right);
+    // Recomputed stats match.
+    EXPECT_DOUBLE_EQ(a.stats.sum_sq_norm(), b.stats.sum_sq_norm());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadedTreeAnswersQueriesIdentically) {
+  PointSet pts = GenerateMixture(HomeSpec(0.002));
+  KernelParams params = MakeScottParams(KernelType::kGaussian, pts);
+  KdTree tree{PointSet(pts)};
+
+  std::string path = TempPath("kdv_tree2.bin");
+  ASSERT_TRUE(SaveKdTree(tree, path));
+  std::unique_ptr<KdTree> loaded = LoadKdTree(path);
+  ASSERT_NE(loaded, nullptr);
+
+  auto bounds_a = MakeNodeBounds(Method::kQuad, params);
+  auto bounds_b = MakeNodeBounds(Method::kQuad, params);
+  KdeEvaluator original(&tree, params, bounds_a.get());
+  KdeEvaluator reloaded(loaded.get(), params, bounds_b.get());
+
+  Rng rng(3);
+  for (int i = 0; i < 25; ++i) {
+    Point q{rng.NextDouble(), rng.NextDouble()};
+    EvalResult ra = original.EvaluateEps(q, 0.01);
+    EvalResult rb = reloaded.EvaluateEps(q, 0.01);
+    EXPECT_EQ(ra.estimate, rb.estimate);
+    EXPECT_EQ(ra.iterations, rb.iterations);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsMissingFile) {
+  EXPECT_EQ(LoadKdTree("/nonexistent/tree.bin"), nullptr);
+}
+
+TEST(SerializationTest, RejectsBadMagicAndTruncation) {
+  std::string path = TempPath("kdv_bad.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE this is not a tree";
+  }
+  EXPECT_EQ(LoadKdTree(path), nullptr);
+
+  // Valid header then truncation.
+  PointSet pts = GenerateMixture(MixtureSpec{});
+  KdTree tree{std::move(pts)};
+  ASSERT_TRUE(SaveKdTree(tree, path));
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary);
+    out.write(content.data(), content.size() / 2);
+  }
+  EXPECT_EQ(LoadKdTree(path), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, FromSerializedRejectsCorruptStructure) {
+  PointSet pts = GenerateMixture(MixtureSpec{});
+  KdTree tree{PointSet(pts)};
+
+  // Clone the parts.
+  std::vector<KdTree::Node> nodes;
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    nodes.push_back(tree.node(static_cast<int32_t>(i)));
+  }
+
+  // (a) Broken permutation.
+  {
+    std::vector<uint32_t> idx = tree.original_indices();
+    idx[0] = idx[1];
+    EXPECT_EQ(KdTree::FromSerialized(PointSet(tree.points()), idx, nodes),
+              nullptr);
+  }
+  // (b) Child range that does not partition the parent.
+  if (!nodes[0].IsLeaf()) {
+    std::vector<KdTree::Node> bad = nodes;
+    bad[bad[0].left].end -= 1;
+    EXPECT_EQ(KdTree::FromSerialized(PointSet(tree.points()),
+                                     tree.original_indices(), bad),
+              nullptr);
+  }
+  // (c) Cycle (node pointing at the root).
+  if (!nodes[0].IsLeaf()) {
+    std::vector<KdTree::Node> bad = nodes;
+    bad[bad[0].left].left = 0;
+    bad[bad[0].left].right = 0;
+    EXPECT_EQ(KdTree::FromSerialized(PointSet(tree.points()),
+                                     tree.original_indices(), bad),
+              nullptr);
+  }
+  // (d) Root not covering all points.
+  {
+    std::vector<KdTree::Node> bad = nodes;
+    bad[0].end -= 1;
+    EXPECT_EQ(KdTree::FromSerialized(PointSet(tree.points()),
+                                     tree.original_indices(), bad),
+              nullptr);
+  }
+  // Sanity: unmodified parts load fine.
+  EXPECT_NE(KdTree::FromSerialized(PointSet(tree.points()),
+                                   tree.original_indices(), nodes),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace kdv

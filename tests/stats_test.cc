@@ -1,0 +1,200 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "stats/density_stats.h"
+#include "stats/pca.h"
+#include "util/random.h"
+#include "workbench/workbench.h"
+
+namespace kdv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MeanStd / TauSweep
+// ---------------------------------------------------------------------------
+
+TEST(MeanStdTest, KnownValues) {
+  MeanStd s = ComputeMeanStd({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(MeanStdTest, ConstantVector) {
+  MeanStd s = ComputeMeanStd({5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(TauSweepTest, SevenThresholdsCenteredOnMean) {
+  std::vector<double> taus = TauSweep({10.0, 2.0});
+  ASSERT_EQ(taus.size(), 7u);
+  EXPECT_NEAR(taus[0], 10.0 - 0.6, 1e-9);
+  EXPECT_NEAR(taus[3], 10.0, 1e-9);
+  EXPECT_NEAR(taus[6], 10.0 + 0.6, 1e-9);
+}
+
+TEST(TauSweepTest, FlooredAtPositive) {
+  std::vector<double> taus = TauSweep({0.0, 1.0});
+  for (double t : taus) EXPECT_GT(t, 0.0);
+}
+
+TEST(DensityStatsTest, SubsampledEstimateTracksFullGridStats) {
+  Workbench bench(GenerateMixture(CrimeSpec(0.002)), KernelType::kGaussian);
+  KdeEvaluator quad = bench.MakeEvaluator(Method::kQuad);
+  PixelGrid grid(32, 24, bench.data_bounds());
+
+  MeanStd full = EstimateDensityStats(quad, grid, /*stride=*/1);
+  MeanStd sub = EstimateDensityStats(quad, grid, /*stride=*/4);
+  ASSERT_GT(full.mean, 0.0);
+  EXPECT_NEAR(sub.mean / full.mean, 1.0, 0.35);
+  // σ should at least be in the same ballpark.
+  EXPECT_GT(sub.stddev, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Covariance / Jacobi / PCA
+// ---------------------------------------------------------------------------
+
+TEST(CovarianceTest, DiagonalForIndependentDims) {
+  Rng rng(1);
+  PointSet pts;
+  for (int i = 0; i < 20000; ++i) {
+    pts.push_back(Point{rng.Gaussian(0.0, 2.0), rng.Gaussian(5.0, 0.5)});
+  }
+  SymMatrix cov = Covariance(pts);
+  EXPECT_NEAR(cov.at(0, 0), 4.0, 0.15);
+  EXPECT_NEAR(cov.at(1, 1), 0.25, 0.02);
+  EXPECT_NEAR(cov.at(0, 1), 0.0, 0.05);
+  EXPECT_DOUBLE_EQ(cov.at(0, 1), cov.at(1, 0));
+}
+
+TEST(JacobiTest, DiagonalMatrixEigenvalues) {
+  SymMatrix m;
+  m.dim = 3;
+  m.m = {3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0};
+  EigenDecomposition eig = JacobiEigenSymmetric(m);
+  ASSERT_EQ(eig.eigenvalues.size(), 3u);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownSymmetricMatrix) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with eigenvectors (1,1), (1,-1).
+  SymMatrix m;
+  m.dim = 2;
+  m.m = {2.0, 1.0, 1.0, 2.0};
+  EigenDecomposition eig = JacobiEigenSymmetric(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-10);
+  double ratio = eig.eigenvectors[0][0] / eig.eigenvectors[0][1];
+  EXPECT_NEAR(ratio, 1.0, 1e-8);
+}
+
+TEST(JacobiTest, EigenvectorsAreOrthonormal) {
+  Rng rng(7);
+  SymMatrix m;
+  m.dim = 5;
+  m.m.assign(25, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i; j < 5; ++j) {
+      double v = rng.Uniform(-1.0, 1.0);
+      m.at(i, j) = v;
+      m.at(j, i) = v;
+    }
+  }
+  EigenDecomposition eig = JacobiEigenSymmetric(m);
+  for (int a = 0; a < 5; ++a) {
+    for (int b = 0; b < 5; ++b) {
+      double dot = 0.0;
+      for (int i = 0; i < 5; ++i) {
+        dot += eig.eigenvectors[a][i] * eig.eigenvectors[b][i];
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8) << a << "," << b;
+    }
+  }
+}
+
+TEST(JacobiTest, ReconstructsMatrix) {
+  // A = V diag(λ) V^T must reproduce the input.
+  Rng rng(8);
+  SymMatrix m;
+  m.dim = 4;
+  m.m.assign(16, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i; j < 4; ++j) {
+      double v = rng.Uniform(-2.0, 2.0);
+      m.at(i, j) = v;
+      m.at(j, i) = v;
+    }
+  }
+  EigenDecomposition eig = JacobiEigenSymmetric(m);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        sum += eig.eigenvalues[k] * eig.eigenvectors[k][i] *
+               eig.eigenvectors[k][j];
+      }
+      EXPECT_NEAR(sum, m.at(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along y = 2x with small noise: PC1 explains almost everything.
+  Rng rng(9);
+  PointSet pts;
+  for (int i = 0; i < 5000; ++i) {
+    double t = rng.Gaussian();
+    pts.push_back(Point{t + rng.Gaussian(0.0, 0.01),
+                        2.0 * t + rng.Gaussian(0.0, 0.01)});
+  }
+  PointSet projected = PcaProject(pts, 1);
+  ASSERT_EQ(projected.size(), pts.size());
+  EXPECT_EQ(projected[0].dim(), 1);
+
+  // Variance along PC1 ~ variance of sqrt(5) * t = 5.
+  double mean = 0.0;
+  for (const Point& p : projected) mean += p[0];
+  mean /= static_cast<double>(projected.size());
+  double var = 0.0;
+  for (const Point& p : projected) var += (p[0] - mean) * (p[0] - mean);
+  var /= static_cast<double>(projected.size());
+  EXPECT_NEAR(var, 5.0, 0.5);
+}
+
+TEST(PcaTest, FullDimensionProjectionPreservesPairwiseDistances) {
+  Rng rng(10);
+  PointSet pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back(Point{rng.NextDouble(), rng.NextDouble(), rng.NextDouble()});
+  }
+  PointSet projected = PcaProject(pts, 3);
+  // A rotation: pairwise distances are preserved.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NEAR(Distance(pts[i], pts[i + 1]),
+                Distance(projected[i], projected[i + 1]), 1e-8);
+  }
+}
+
+TEST(PcaTest, ProjectionDimensionsAreVarianceOrdered) {
+  Rng rng(11);
+  PointSet pts;
+  for (int i = 0; i < 3000; ++i) {
+    pts.push_back(Point{rng.Gaussian(0.0, 3.0), rng.Gaussian(0.0, 1.0),
+                        rng.Gaussian(0.0, 0.2)});
+  }
+  PointSet projected = PcaProject(pts, 3);
+  double var[3] = {0.0, 0.0, 0.0};
+  for (const Point& p : projected) {
+    for (int j = 0; j < 3; ++j) var[j] += p[j] * p[j];
+  }
+  EXPECT_GT(var[0], var[1]);
+  EXPECT_GT(var[1], var[2]);
+}
+
+}  // namespace
+}  // namespace kdv

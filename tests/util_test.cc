@@ -1,0 +1,173 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace kdv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianShiftScale) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Timer / Deadline
+// ---------------------------------------------------------------------------
+
+TEST(TimerTest, ElapsedIsMonotonic) {
+  Timer timer;
+  double t1 = timer.ElapsedSeconds();
+  double t2 = timer.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(TimerTest, ResetRestartsClock) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.5);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetNeverExpires) {
+  Deadline d(0.0);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 1e20);
+}
+
+TEST(DeadlineTest, TinyBudgetExpires) {
+  Deadline d(1e-9);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingSeconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, ParsesSimpleLine) {
+  std::vector<double> out;
+  ASSERT_TRUE(ParseCsvDoubles("1.5,2,-3e4", &out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], -30000.0);
+}
+
+TEST(CsvTest, ParsesWithWhitespace) {
+  std::vector<double> out;
+  ASSERT_TRUE(ParseCsvDoubles(" 1 , 2.25 ,3 \r", &out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[1], 2.25);
+}
+
+TEST(CsvTest, RejectsNonNumeric) {
+  std::vector<double> out;
+  EXPECT_FALSE(ParseCsvDoubles("a,b", &out));
+  EXPECT_FALSE(ParseCsvDoubles("1,2x", &out));
+  EXPECT_FALSE(ParseCsvDoubles("1,,2", &out));
+}
+
+TEST(CsvTest, EmptyLineYieldsEmptyVector) {
+  std::vector<double> out{1.0};
+  ASSERT_TRUE(ParseCsvDoubles("", &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CsvTest, RoundTripFile) {
+  std::string path = ::testing::TempDir() + "/kdv_csv_roundtrip.csv";
+  std::vector<std::vector<double>> rows = {{1.0, 2.0}, {3.25, -4.5}};
+  ASSERT_TRUE(WriteCsvFile(path, "x,y", rows));
+
+  std::vector<std::vector<double>> back;
+  size_t skipped = 0;
+  ASSERT_TRUE(ReadCsvFile(path, &back, &skipped));
+  EXPECT_EQ(skipped, 1u);  // header
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[1][0], 3.25);
+  EXPECT_DOUBLE_EQ(back[1][1], -4.5);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  std::vector<std::vector<double>> rows;
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/path/file.csv", &rows, nullptr));
+}
+
+}  // namespace
+}  // namespace kdv

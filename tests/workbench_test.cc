@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "workbench/workbench.h"
+
+namespace kdv {
+namespace {
+
+TEST(WorkbenchTest, IndexesDatasetAndDerivesScottParams) {
+  PointSet pts = GenerateMixture(CrimeSpec(0.002));
+  size_t n = pts.size();
+  KernelParams reference = MakeScottParams(KernelType::kGaussian, pts);
+
+  Workbench bench(std::move(pts), KernelType::kGaussian);
+  EXPECT_EQ(bench.num_points(), n);
+  EXPECT_DOUBLE_EQ(bench.params().gamma, reference.gamma);
+  EXPECT_DOUBLE_EQ(bench.params().weight, reference.weight);
+  EXPECT_EQ(bench.kernel(), KernelType::kGaussian);
+}
+
+TEST(WorkbenchTest, GammaOverride) {
+  Workbench::Options options;
+  options.gamma_override = 3.5;
+  Workbench bench(GenerateMixture(MixtureSpec{}), KernelType::kGaussian,
+                  options);
+  EXPECT_DOUBLE_EQ(bench.params().gamma, 3.5);
+}
+
+TEST(WorkbenchTest, SupportMatrixMatchesTable6) {
+  Workbench gaussian(GenerateMixture(MixtureSpec{}), KernelType::kGaussian);
+  EXPECT_TRUE(gaussian.Supports(Method::kExact));
+  EXPECT_TRUE(gaussian.Supports(Method::kAkde));
+  EXPECT_TRUE(gaussian.Supports(Method::kTkdc));
+  EXPECT_TRUE(gaussian.Supports(Method::kKarl));
+  EXPECT_TRUE(gaussian.Supports(Method::kQuad));
+  EXPECT_TRUE(gaussian.Supports(Method::kZorder));
+
+  Workbench triangular(GenerateMixture(MixtureSpec{}),
+                       KernelType::kTriangular);
+  EXPECT_FALSE(triangular.Supports(Method::kKarl));  // paper §5.1
+  EXPECT_TRUE(triangular.Supports(Method::kQuad));
+  EXPECT_TRUE(triangular.Supports(Method::kAkde));
+}
+
+TEST(WorkbenchTest, EvaluatorsShareTheSameTree) {
+  Workbench bench(GenerateMixture(MixtureSpec{}), KernelType::kGaussian);
+  KdeEvaluator a = bench.MakeEvaluator(Method::kQuad);
+  KdeEvaluator b = bench.MakeEvaluator(Method::kAkde);
+  EXPECT_EQ(&a.tree(), &b.tree());
+  EXPECT_EQ(&a.tree(), &bench.tree());
+}
+
+TEST(WorkbenchTest, MethodsAgreeOnDensityValues) {
+  Workbench bench(GenerateMixture(CrimeSpec(0.002)), KernelType::kGaussian);
+  KdeEvaluator exact = bench.MakeEvaluator(Method::kExact);
+  KdeEvaluator quad = bench.MakeEvaluator(Method::kQuad);
+  KdeEvaluator karl = bench.MakeEvaluator(Method::kKarl);
+
+  Point q = bench.data_bounds().Center();
+  double truth = exact.EvaluateExact(q);
+  EXPECT_NEAR(quad.EvaluateEps(q, 0.01).estimate, truth, 0.011 * truth);
+  EXPECT_NEAR(karl.EvaluateEps(q, 0.01).estimate, truth, 0.011 * truth);
+}
+
+TEST(WorkbenchTest, ZorderEvaluatorUsesReducedWeightedSample) {
+  Workbench bench(GenerateMixture(HomeSpec(0.005)), KernelType::kGaussian);
+  // At ε = 0.2 the coreset bound asks for ~900 points, well below n.
+  KdeEvaluator zorder = bench.MakeZorderEvaluator(0.2);
+  // Sample is smaller than the full dataset...
+  EXPECT_LT(zorder.tree().num_points(), bench.num_points());
+  // ...and reweighted to compensate.
+  EXPECT_GT(zorder.params().weight, bench.params().weight);
+
+  // Aggregate scale is preserved at the data centroid.
+  KdeEvaluator exact = bench.MakeEvaluator(Method::kExact);
+  Point q = bench.data_bounds().Center();
+  double full = exact.EvaluateExact(q);
+  double reduced = zorder.EvaluateExact(q);
+  ASSERT_GT(full, 0.0);
+  EXPECT_NEAR(reduced / full, 1.0, 0.3);
+}
+
+TEST(WorkbenchTest, ZorderCacheReturnsSameTreeForSameEps) {
+  Workbench bench(GenerateMixture(MixtureSpec{}), KernelType::kGaussian);
+  KdeEvaluator a = bench.MakeZorderEvaluator(0.05);
+  KdeEvaluator b = bench.MakeZorderEvaluator(0.05);
+  EXPECT_EQ(&a.tree(), &b.tree());
+  KdeEvaluator c = bench.MakeZorderEvaluator(0.2);
+  EXPECT_NE(&a.tree(), &c.tree());
+}
+
+}  // namespace
+}  // namespace kdv

@@ -1,0 +1,447 @@
+// kdvtool — command-line front end to the QUAD KDV library.
+//
+// Subcommands:
+//   generate    synthesize a dataset analogue and write it as CSV
+//   info        dataset summary (bounds, Scott bandwidth, index stats)
+//   render      εKDV heat map -> PPM
+//   hotspot     τKDV two-color map -> PPM
+//   progressive anytime εKDV under a time budget -> PPM
+//
+// Examples:
+//   kdvtool generate --dataset crime --scale 0.05 --out crime.csv
+//   kdvtool render --in crime.csv --eps 0.01 --width 640 --out heat.ppm
+//   kdvtool hotspot --in crime.csv --tau-sigma 0.1 --out mask.ppm
+//   kdvtool progressive --in crime.csv --budget 0.5 --out partial.ppm
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "quadkdv.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace kdv;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: kdvtool "
+      "<generate|info|render|hotspot|progressive|classify|regress> [flags]\n"
+      "  common flags: --in FILE.csv | --dataset el_nino|crime|home|hep\n"
+      "                --scale S --kernel NAME --method quad|karl|akde|exact\n"
+      "                --width W --height H --out FILE\n"
+      "  render:       --eps E\n"
+      "  hotspot:      --tau T | --tau-sigma K (tau = mu + K*sigma)\n"
+      "                --block (certify whole pixel blocks)\n"
+      "  progressive:  --eps E --budget SECONDS\n"
+      "  classify:     --in FILE.csv --label-col I (x,y + integer labels)\n"
+      "  regress:      --in FILE.csv --target-col I (x,y + target >= 0)\n");
+  return 2;
+}
+
+bool ParseKernel(const std::string& name, KernelType* out) {
+  const KernelType all[] = {
+      KernelType::kGaussian,     KernelType::kTriangular,
+      KernelType::kCosine,       KernelType::kExponential,
+      KernelType::kEpanechnikov, KernelType::kQuartic,
+      KernelType::kUniform,
+  };
+  for (KernelType k : all) {
+    if (name == KernelTypeName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseMethod(const std::string& name, Method* out) {
+  if (name == "quad") {
+    *out = Method::kQuad;
+  } else if (name == "karl") {
+    *out = Method::kKarl;
+  } else if (name == "akde") {
+    *out = Method::kAkde;
+  } else if (name == "tkdc") {
+    *out = Method::kTkdc;
+  } else if (name == "exact") {
+    *out = Method::kExact;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool MakeSpec(const std::string& name, double scale, MixtureSpec* spec) {
+  if (name == "el_nino") {
+    *spec = ElNinoSpec(scale);
+  } else if (name == "crime") {
+    *spec = CrimeSpec(scale);
+  } else if (name == "home") {
+    *spec = HomeSpec(scale);
+  } else if (name == "hep") {
+    *spec = HepSpec(scale);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Loads the input dataset from --in CSV or synthesizes from --dataset.
+bool LoadInput(const Flags& flags, PointSet* points) {
+  std::string in = flags.GetString("in", "");
+  if (!in.empty()) {
+    if (!LoadPointsCsv(in, {}, points) || points->empty()) {
+      std::fprintf(stderr, "kdvtool: cannot read points from %s\n",
+                   in.c_str());
+      return false;
+    }
+    if ((*points)[0].dim() < 2) {
+      std::fprintf(stderr, "kdvtool: need >= 2 columns\n");
+      return false;
+    }
+    return true;
+  }
+  MixtureSpec spec;
+  if (!MakeSpec(flags.GetString("dataset", "crime"),
+                flags.GetDouble("scale", 0.01), &spec)) {
+    std::fprintf(stderr, "kdvtool: unknown --dataset\n");
+    return false;
+  }
+  *points = GenerateMixture(spec);
+  return true;
+}
+
+int CmdGenerate(const Flags& flags) {
+  PointSet points;
+  if (!LoadInput(flags, &points)) return 1;
+  std::string out = flags.GetString("out", "points.csv");
+  if (!SavePointsCsv(out, points)) {
+    std::fprintf(stderr, "kdvtool: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu points to %s\n", points.size(), out.c_str());
+  return 0;
+}
+
+struct Session {
+  std::unique_ptr<Workbench> bench;
+  Method method = Method::kQuad;
+  int width = 640;
+  int height = 480;
+};
+
+bool OpenSession(const Flags& flags, Session* session) {
+  PointSet points;
+  if (!LoadInput(flags, &points)) return false;
+
+  KernelType kernel = KernelType::kGaussian;
+  if (!ParseKernel(flags.GetString("kernel", "gaussian"), &kernel)) {
+    std::fprintf(stderr, "kdvtool: unknown --kernel\n");
+    return false;
+  }
+  if (!ParseMethod(flags.GetString("method", "quad"), &session->method)) {
+    std::fprintf(stderr, "kdvtool: unknown --method\n");
+    return false;
+  }
+  Workbench::Options options;
+  options.gamma_override = flags.GetDouble("gamma", -1.0);
+  session->bench =
+      std::make_unique<Workbench>(std::move(points), kernel, options);
+  if (session->method != Method::kExact &&
+      !session->bench->Supports(session->method)) {
+    std::fprintf(stderr, "kdvtool: method does not support this kernel\n");
+    return false;
+  }
+  session->width = flags.GetInt("width", 640);
+  session->height = flags.GetInt("height", session->width * 3 / 4);
+  if (session->width < 1 || session->height < 1) {
+    std::fprintf(stderr, "kdvtool: bad resolution\n");
+    return false;
+  }
+  return true;
+}
+
+int CmdInfo(const Flags& flags) {
+  Session s;
+  if (!OpenSession(flags, &s)) return 1;
+  const Workbench& b = *s.bench;
+  std::printf("points:       %zu (dim %d)\n", b.num_points(), b.tree().dim());
+  std::printf("bounds:       [%g, %g] x [%g, %g]\n", b.data_bounds().lo(0),
+              b.data_bounds().hi(0), b.data_bounds().lo(1),
+              b.data_bounds().hi(1));
+  std::printf("kernel:       %s (gamma=%g, weight=%g)\n",
+              KernelTypeName(b.kernel()), b.params().gamma,
+              b.params().weight);
+  std::printf("kd-tree:      %zu nodes, depth %d\n", b.tree().num_nodes(),
+              b.tree().Depth());
+  return 0;
+}
+
+int CmdRender(const Flags& flags) {
+  Session s;
+  if (!OpenSession(flags, &s)) return 1;
+  double eps = flags.GetDouble("eps", 0.01);
+  KdeEvaluator evaluator = s.bench->MakeEvaluator(s.method);
+  PixelGrid grid(s.width, s.height, s.bench->data_bounds());
+  BatchStats stats;
+  DensityFrame frame = RenderEpsFrame(evaluator, grid, eps, &stats);
+  std::string out = flags.GetString("out", "kdv.ppm");
+  if (!RenderHeatMap(frame).WritePpm(out)) {
+    std::fprintf(stderr, "kdvtool: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("εKDV (%s, eps=%g): %dx%d in %.3fs -> %s\n",
+              MethodName(s.method), eps, s.width, s.height, stats.seconds,
+              out.c_str());
+  return 0;
+}
+
+int CmdHotspot(const Flags& flags) {
+  Session s;
+  if (!OpenSession(flags, &s)) return 1;
+  KdeEvaluator evaluator = s.bench->MakeEvaluator(
+      s.method == Method::kQuad ? Method::kQuad : s.method);
+  PixelGrid grid(s.width, s.height, s.bench->data_bounds());
+
+  double tau;
+  if (flags.Has("tau")) {
+    tau = flags.GetDouble("tau", 0.0);
+  } else {
+    MeanStd stats = EstimateDensityStats(evaluator, grid, /*stride=*/8);
+    tau = stats.mean + flags.GetDouble("tau-sigma", 0.0) * stats.stddev;
+    std::printf("tau = %g (mu=%g, sigma=%g)\n", tau, stats.mean,
+                stats.stddev);
+  }
+  BinaryFrame mask;
+  double seconds = 0.0;
+  if (flags.GetBool("block", false)) {
+    // Block-certified rendering: whole pixel regions decided wholesale.
+    BlockTauStats stats;
+    mask = RenderTauFrameBlocked(evaluator, grid, tau, &stats);
+    seconds = stats.seconds;
+    std::printf("block mode: %llu blocks certified, %llu per-pixel "
+                "fallbacks\n",
+                static_cast<unsigned long long>(stats.blocks_certified),
+                static_cast<unsigned long long>(stats.pixel_evaluations));
+  } else {
+    BatchStats stats;
+    mask = RenderTauFrame(evaluator, grid, tau, &stats);
+    seconds = stats.seconds;
+  }
+  std::string out = flags.GetString("out", "hotspots.ppm");
+  if (!RenderThresholdMap(mask).WritePpm(out)) {
+    std::fprintf(stderr, "kdvtool: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  size_t hot = 0;
+  for (uint8_t v : mask.values) hot += v;
+  std::printf("τKDV (%s): %.1f%% hot pixels in %.3fs -> %s\n",
+              MethodName(s.method),
+              100.0 * static_cast<double>(hot) /
+                  static_cast<double>(mask.values.size()),
+              seconds, out.c_str());
+  return 0;
+}
+
+int CmdProgressive(const Flags& flags) {
+  Session s;
+  if (!OpenSession(flags, &s)) return 1;
+  double eps = flags.GetDouble("eps", 0.01);
+  double budget = flags.GetDouble("budget", 0.5);
+  KdeEvaluator evaluator = s.bench->MakeEvaluator(s.method);
+  PixelGrid grid(s.width, s.height, s.bench->data_bounds());
+  ProgressiveResult r = RenderProgressive(evaluator, grid, eps, budget);
+  std::string out = flags.GetString("out", "progressive.ppm");
+  if (!RenderHeatMap(r.frame).WritePpm(out)) {
+    std::fprintf(stderr, "kdvtool: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf(
+      "progressive εKDV (%s): %llu/%zu pixels in %.3fs%s -> %s\n",
+      MethodName(s.method),
+      static_cast<unsigned long long>(r.pixels_evaluated), grid.num_pixels(),
+      r.stats.seconds, r.completed ? " (completed)" : "", out.c_str());
+  return 0;
+}
+
+// Renders a kernel-density-classification map: each pixel colored by the
+// class with the highest class-conditional density. Input CSV must carry a
+// label column (--label-col, default: last column); the remaining first two
+// numeric columns are the coordinates.
+int CmdClassify(const Flags& flags) {
+  std::string in = flags.GetString("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "kdvtool classify: --in FILE.csv required\n");
+    return 1;
+  }
+  PointSet rows;
+  if (!LoadPointsCsv(in, {}, &rows) || rows.empty()) {
+    std::fprintf(stderr, "kdvtool: cannot read %s\n", in.c_str());
+    return 1;
+  }
+  const int cols = rows[0].dim();
+  int label_col = flags.GetInt("label-col", cols - 1);
+  if (cols < 3 || label_col < 0 || label_col >= cols) {
+    std::fprintf(stderr, "kdvtool classify: need x,y plus a label column\n");
+    return 1;
+  }
+
+  std::vector<PointSet> classes;
+  Rect domain(2);
+  for (const Point& row : rows) {
+    int label = static_cast<int>(row[label_col]);
+    if (label < 0 || label > 63) {
+      std::fprintf(stderr, "kdvtool classify: labels must be in [0, 63]\n");
+      return 1;
+    }
+    Point p(2);
+    int c = 0;
+    for (int j = 0; j < cols && c < 2; ++j) {
+      if (j == label_col) continue;
+      p[c++] = row[j];
+    }
+    if (static_cast<size_t>(label) >= classes.size()) {
+      classes.resize(label + 1);
+    }
+    classes[label].push_back(p);
+    domain.Expand(p);
+  }
+  for (size_t c = 0; c < classes.size(); ++c) {
+    if (classes[c].empty()) {
+      std::fprintf(stderr, "kdvtool classify: class %zu has no points\n", c);
+      return 1;
+    }
+  }
+  const int k = static_cast<int>(classes.size());
+
+  KdeClassifier::Options options;
+  if (!ParseMethod(flags.GetString("method", "quad"), &options.method)) {
+    std::fprintf(stderr, "kdvtool: unknown --method\n");
+    return 1;
+  }
+  if (!ParseKernel(flags.GetString("kernel", "gaussian"), &options.kernel)) {
+    std::fprintf(stderr, "kdvtool: unknown --kernel\n");
+    return 1;
+  }
+  KdeClassifier classifier(std::move(classes), options);
+
+  int width = flags.GetInt("width", 320);
+  int height = flags.GetInt("height", width * 3 / 4);
+  PixelGrid grid(width, height, domain);
+  Image img(width, height);
+  Timer timer;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      int label = classifier.Classify(grid.PixelCenter(x, y)).label;
+      img.at(x, y) = HeatColor(k > 1 ? static_cast<double>(label) / (k - 1)
+                                     : 0.5);
+    }
+  }
+  std::string out = flags.GetString("out", "classes.ppm");
+  if (!img.WritePpm(out)) {
+    std::fprintf(stderr, "kdvtool: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("classification map (%d classes, %s): %dx%d in %.3fs -> %s\n",
+              k, MethodName(options.method), width, height,
+              timer.ElapsedSeconds(), out.c_str());
+  return 0;
+}
+
+// Renders a Nadaraya–Watson regression field from a CSV with a non-negative
+// target column (--target-col, default: last column).
+int CmdRegress(const Flags& flags) {
+  std::string in = flags.GetString("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "kdvtool regress: --in FILE.csv required\n");
+    return 1;
+  }
+  PointSet rows;
+  if (!LoadPointsCsv(in, {}, &rows) || rows.empty()) {
+    std::fprintf(stderr, "kdvtool: cannot read %s\n", in.c_str());
+    return 1;
+  }
+  const int cols = rows[0].dim();
+  int target_col = flags.GetInt("target-col", cols - 1);
+  if (cols < 3 || target_col < 0 || target_col >= cols) {
+    std::fprintf(stderr, "kdvtool regress: need x,y plus a target column\n");
+    return 1;
+  }
+
+  PointSet xs;
+  std::vector<double> ys;
+  Rect domain(2);
+  for (const Point& row : rows) {
+    if (row[target_col] < 0.0) {
+      std::fprintf(stderr, "kdvtool regress: targets must be >= 0\n");
+      return 1;
+    }
+    Point p(2);
+    int c = 0;
+    for (int j = 0; j < cols && c < 2; ++j) {
+      if (j == target_col) continue;
+      p[c++] = row[j];
+    }
+    xs.push_back(p);
+    ys.push_back(row[target_col]);
+    domain.Expand(p);
+  }
+
+  KernelRegressor::Options options;
+  if (!ParseMethod(flags.GetString("method", "quad"), &options.method)) {
+    std::fprintf(stderr, "kdvtool: unknown --method\n");
+    return 1;
+  }
+  if (!ParseKernel(flags.GetString("kernel", "gaussian"), &options.kernel)) {
+    std::fprintf(stderr, "kdvtool: unknown --kernel\n");
+    return 1;
+  }
+  KernelRegressor regressor(std::move(xs), std::move(ys), options);
+
+  int width = flags.GetInt("width", 320);
+  int height = flags.GetInt("height", width * 3 / 4);
+  double eps = flags.GetDouble("eps", 0.01);
+  PixelGrid grid(width, height, domain);
+  DensityFrame field(width, height);
+  Timer timer;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      field.at(x, y) = regressor.Estimate(grid.PixelCenter(x, y),
+                                          eps).estimate;
+    }
+  }
+  std::string out = flags.GetString("out", "regression.ppm");
+  if (!RenderHeatMap(field).WritePpm(out)) {
+    std::fprintf(stderr, "kdvtool: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("regression field (%s, eps=%g): %dx%d in %.3fs -> %s\n",
+              MethodName(options.method), eps, width, height,
+              timer.ElapsedSeconds(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+
+  kdv::Flags flags;
+  std::string error;
+  if (!kdv::Flags::Parse(argc - 1, argv + 1, &flags, &error)) {
+    std::fprintf(stderr, "kdvtool: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "render") return CmdRender(flags);
+  if (cmd == "hotspot") return CmdHotspot(flags);
+  if (cmd == "progressive") return CmdProgressive(flags);
+  if (cmd == "classify") return CmdClassify(flags);
+  if (cmd == "regress") return CmdRegress(flags);
+  return Usage();
+}
