@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_quad"
+  "../bench/bench_ablation_quad.pdb"
+  "CMakeFiles/bench_ablation_quad.dir/bench_ablation_quad.cc.o"
+  "CMakeFiles/bench_ablation_quad.dir/bench_ablation_quad.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_classification.cc" "bench-build/CMakeFiles/bench_ext_classification.dir/bench_ext_classification.cc.o" "gcc" "bench-build/CMakeFiles/bench_ext_classification.dir/bench_ext_classification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dynamic/CMakeFiles/kdv_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/kdv_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/regress/CMakeFiles/kdv_regress.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/kdv_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/workbench/CMakeFiles/kdv_workbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/progressive/CMakeFiles/kdv_progressive.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/kdv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/kdv_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/kdv_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kdv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/kdv_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/kdv_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kdv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/kdv_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/kdv_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kdv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

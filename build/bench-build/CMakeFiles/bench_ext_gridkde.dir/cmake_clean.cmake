@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_gridkde"
+  "../bench/bench_ext_gridkde.pdb"
+  "CMakeFiles/bench_ext_gridkde.dir/bench_ext_gridkde.cc.o"
+  "CMakeFiles/bench_ext_gridkde.dir/bench_ext_gridkde.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gridkde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

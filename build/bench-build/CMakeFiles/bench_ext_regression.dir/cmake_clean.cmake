@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_regression"
+  "../bench/bench_ext_regression.pdb"
+  "CMakeFiles/bench_ext_regression.dir/bench_ext_regression.cc.o"
+  "CMakeFiles/bench_ext_regression.dir/bench_ext_regression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

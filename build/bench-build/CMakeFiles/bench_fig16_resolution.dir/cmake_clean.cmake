@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_resolution"
+  "../bench/bench_fig16_resolution.pdb"
+  "CMakeFiles/bench_fig16_resolution.dir/bench_fig16_resolution.cc.o"
+  "CMakeFiles/bench_fig16_resolution.dir/bench_fig16_resolution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

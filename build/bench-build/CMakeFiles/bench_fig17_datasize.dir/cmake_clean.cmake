@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_datasize"
+  "../bench/bench_fig17_datasize.pdb"
+  "CMakeFiles/bench_fig17_datasize.dir/bench_fig17_datasize.cc.o"
+  "CMakeFiles/bench_fig17_datasize.dir/bench_fig17_datasize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

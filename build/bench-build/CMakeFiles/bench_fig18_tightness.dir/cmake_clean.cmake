@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_tightness"
+  "../bench/bench_fig18_tightness.pdb"
+  "CMakeFiles/bench_fig18_tightness.dir/bench_fig18_tightness.cc.o"
+  "CMakeFiles/bench_fig18_tightness.dir/bench_fig18_tightness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig20_progressive"
+  "../bench/bench_fig20_progressive.pdb"
+  "CMakeFiles/bench_fig20_progressive.dir/bench_fig20_progressive.cc.o"
+  "CMakeFiles/bench_fig20_progressive.dir/bench_fig20_progressive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

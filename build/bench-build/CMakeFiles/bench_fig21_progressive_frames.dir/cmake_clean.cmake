@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig21_progressive_frames"
+  "../bench/bench_fig21_progressive_frames.pdb"
+  "CMakeFiles/bench_fig21_progressive_frames.dir/bench_fig21_progressive_frames.cc.o"
+  "CMakeFiles/bench_fig21_progressive_frames.dir/bench_fig21_progressive_frames.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_progressive_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

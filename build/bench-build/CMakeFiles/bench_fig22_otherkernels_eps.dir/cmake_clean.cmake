@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig22_otherkernels_eps"
+  "../bench/bench_fig22_otherkernels_eps.pdb"
+  "CMakeFiles/bench_fig22_otherkernels_eps.dir/bench_fig22_otherkernels_eps.cc.o"
+  "CMakeFiles/bench_fig22_otherkernels_eps.dir/bench_fig22_otherkernels_eps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_otherkernels_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig23_otherkernels_tau"
+  "../bench/bench_fig23_otherkernels_tau.pdb"
+  "CMakeFiles/bench_fig23_otherkernels_tau.dir/bench_fig23_otherkernels_tau.cc.o"
+  "CMakeFiles/bench_fig23_otherkernels_tau.dir/bench_fig23_otherkernels_tau.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_otherkernels_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig24_dimensionality"
+  "../bench/bench_fig24_dimensionality.pdb"
+  "CMakeFiles/bench_fig24_dimensionality.dir/bench_fig24_dimensionality.cc.o"
+  "CMakeFiles/bench_fig24_dimensionality.dir/bench_fig24_dimensionality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig27_expkernel"
+  "../bench/bench_fig27_expkernel.pdb"
+  "CMakeFiles/bench_fig27_expkernel.dir/bench_fig27_expkernel.cc.o"
+  "CMakeFiles/bench_fig27_expkernel.dir/bench_fig27_expkernel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27_expkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

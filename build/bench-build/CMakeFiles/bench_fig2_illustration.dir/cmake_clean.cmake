@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_illustration"
+  "../bench/bench_fig2_illustration.pdb"
+  "CMakeFiles/bench_fig2_illustration.dir/bench_fig2_illustration.cc.o"
+  "CMakeFiles/bench_fig2_illustration.dir/bench_fig2_illustration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_illustration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

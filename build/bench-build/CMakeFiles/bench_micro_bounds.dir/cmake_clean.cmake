@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_bounds"
+  "../bench/bench_micro_bounds.pdb"
+  "CMakeFiles/bench_micro_bounds.dir/bench_micro_bounds.cc.o"
+  "CMakeFiles/bench_micro_bounds.dir/bench_micro_bounds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crime_hotspots.dir/crime_hotspots.cpp.o"
+  "CMakeFiles/crime_hotspots.dir/crime_hotspots.cpp.o.d"
+  "crime_hotspots"
+  "crime_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crime_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_kernel_ecology.dir/multi_kernel_ecology.cpp.o"
+  "CMakeFiles/multi_kernel_ecology.dir/multi_kernel_ecology.cpp.o.d"
+  "multi_kernel_ecology"
+  "multi_kernel_ecology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_kernel_ecology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

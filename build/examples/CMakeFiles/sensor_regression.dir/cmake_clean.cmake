@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_regression.dir/sensor_regression.cpp.o"
+  "CMakeFiles/sensor_regression.dir/sensor_regression.cpp.o.d"
+  "sensor_regression"
+  "sensor_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_progressive.dir/traffic_progressive.cpp.o"
+  "CMakeFiles/traffic_progressive.dir/traffic_progressive.cpp.o.d"
+  "traffic_progressive"
+  "traffic_progressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("kernel")
+subdirs("data")
+subdirs("index")
+subdirs("bounds")
+subdirs("core")
+subdirs("sampling")
+subdirs("viz")
+subdirs("progressive")
+subdirs("stats")
+subdirs("workbench")
+subdirs("classify")
+subdirs("regress")
+subdirs("approx")
+subdirs("dynamic")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_approx.dir/grid_kde.cc.o"
+  "CMakeFiles/kdv_approx.dir/grid_kde.cc.o.d"
+  "libkdv_approx.a"
+  "libkdv_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_bounds.dir/node_bounds.cc.o"
+  "CMakeFiles/kdv_bounds.dir/node_bounds.cc.o.d"
+  "CMakeFiles/kdv_bounds.dir/profile.cc.o"
+  "CMakeFiles/kdv_bounds.dir/profile.cc.o.d"
+  "libkdv_bounds.a"
+  "libkdv_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

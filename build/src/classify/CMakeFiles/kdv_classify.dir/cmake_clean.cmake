@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_classify.dir/kde_classifier.cc.o"
+  "CMakeFiles/kdv_classify.dir/kde_classifier.cc.o.d"
+  "libkdv_classify.a"
+  "libkdv_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

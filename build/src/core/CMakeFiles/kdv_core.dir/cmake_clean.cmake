@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_core.dir/evaluator.cc.o"
+  "CMakeFiles/kdv_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/kdv_core.dir/kdv_runner.cc.o"
+  "CMakeFiles/kdv_core.dir/kdv_runner.cc.o.d"
+  "CMakeFiles/kdv_core.dir/refinement_stream.cc.o"
+  "CMakeFiles/kdv_core.dir/refinement_stream.cc.o.d"
+  "libkdv_core.a"
+  "libkdv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_data.dir/datasets.cc.o"
+  "CMakeFiles/kdv_data.dir/datasets.cc.o.d"
+  "libkdv_data.a"
+  "libkdv_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

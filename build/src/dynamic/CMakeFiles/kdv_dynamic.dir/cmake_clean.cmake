@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_dynamic.dir/dynamic_kdv.cc.o"
+  "CMakeFiles/kdv_dynamic.dir/dynamic_kdv.cc.o.d"
+  "libkdv_dynamic.a"
+  "libkdv_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

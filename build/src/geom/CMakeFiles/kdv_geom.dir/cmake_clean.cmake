@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_geom.dir/morton.cc.o"
+  "CMakeFiles/kdv_geom.dir/morton.cc.o.d"
+  "libkdv_geom.a"
+  "libkdv_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

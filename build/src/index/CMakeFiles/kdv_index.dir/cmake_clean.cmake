@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_index.dir/kdtree.cc.o"
+  "CMakeFiles/kdv_index.dir/kdtree.cc.o.d"
+  "CMakeFiles/kdv_index.dir/node_stats.cc.o"
+  "CMakeFiles/kdv_index.dir/node_stats.cc.o.d"
+  "CMakeFiles/kdv_index.dir/serialization.cc.o"
+  "CMakeFiles/kdv_index.dir/serialization.cc.o.d"
+  "libkdv_index.a"
+  "libkdv_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkdv_index.a"
+)

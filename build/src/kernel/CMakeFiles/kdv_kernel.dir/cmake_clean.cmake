@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_kernel.dir/bandwidth.cc.o"
+  "CMakeFiles/kdv_kernel.dir/bandwidth.cc.o.d"
+  "CMakeFiles/kdv_kernel.dir/kernel.cc.o"
+  "CMakeFiles/kdv_kernel.dir/kernel.cc.o.d"
+  "libkdv_kernel.a"
+  "libkdv_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_progressive.dir/progressive.cc.o"
+  "CMakeFiles/kdv_progressive.dir/progressive.cc.o.d"
+  "libkdv_progressive.a"
+  "libkdv_progressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

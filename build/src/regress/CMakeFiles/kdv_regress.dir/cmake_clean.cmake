@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_regress.dir/kernel_regressor.cc.o"
+  "CMakeFiles/kdv_regress.dir/kernel_regressor.cc.o.d"
+  "CMakeFiles/kdv_regress.dir/weighted_bounds.cc.o"
+  "CMakeFiles/kdv_regress.dir/weighted_bounds.cc.o.d"
+  "CMakeFiles/kdv_regress.dir/weighted_stats.cc.o"
+  "CMakeFiles/kdv_regress.dir/weighted_stats.cc.o.d"
+  "libkdv_regress.a"
+  "libkdv_regress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_regress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

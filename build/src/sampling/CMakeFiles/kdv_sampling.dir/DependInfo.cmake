@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/zorder.cc" "src/sampling/CMakeFiles/kdv_sampling.dir/zorder.cc.o" "gcc" "src/sampling/CMakeFiles/kdv_sampling.dir/zorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/kdv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/kdv_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/kdv_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kdv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_sampling.dir/zorder.cc.o"
+  "CMakeFiles/kdv_sampling.dir/zorder.cc.o.d"
+  "libkdv_sampling.a"
+  "libkdv_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

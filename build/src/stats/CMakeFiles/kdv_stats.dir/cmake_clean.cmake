@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_stats.dir/density_stats.cc.o"
+  "CMakeFiles/kdv_stats.dir/density_stats.cc.o.d"
+  "CMakeFiles/kdv_stats.dir/pca.cc.o"
+  "CMakeFiles/kdv_stats.dir/pca.cc.o.d"
+  "libkdv_stats.a"
+  "libkdv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

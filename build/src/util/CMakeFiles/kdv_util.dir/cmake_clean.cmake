@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_util.dir/csv.cc.o"
+  "CMakeFiles/kdv_util.dir/csv.cc.o.d"
+  "CMakeFiles/kdv_util.dir/flags.cc.o"
+  "CMakeFiles/kdv_util.dir/flags.cc.o.d"
+  "libkdv_util.a"
+  "libkdv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

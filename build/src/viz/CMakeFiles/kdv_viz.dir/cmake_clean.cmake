@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_viz.dir/block_tau.cc.o"
+  "CMakeFiles/kdv_viz.dir/block_tau.cc.o.d"
+  "CMakeFiles/kdv_viz.dir/color_map.cc.o"
+  "CMakeFiles/kdv_viz.dir/color_map.cc.o.d"
+  "CMakeFiles/kdv_viz.dir/frame.cc.o"
+  "CMakeFiles/kdv_viz.dir/frame.cc.o.d"
+  "CMakeFiles/kdv_viz.dir/render.cc.o"
+  "CMakeFiles/kdv_viz.dir/render.cc.o.d"
+  "libkdv_viz.a"
+  "libkdv_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

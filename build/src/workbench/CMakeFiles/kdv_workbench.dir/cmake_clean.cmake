@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdv_workbench.dir/workbench.cc.o"
+  "CMakeFiles/kdv_workbench.dir/workbench.cc.o.d"
+  "libkdv_workbench.a"
+  "libkdv_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdv_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_tau_test.dir/block_tau_test.cc.o"
+  "CMakeFiles/block_tau_test.dir/block_tau_test.cc.o.d"
+  "block_tau_test"
+  "block_tau_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_tau_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_kdv_test.dir/dynamic_kdv_test.cc.o"
+  "CMakeFiles/dynamic_kdv_test.dir/dynamic_kdv_test.cc.o.d"
+  "dynamic_kdv_test"
+  "dynamic_kdv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_kdv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_kde_test.dir/grid_kde_test.cc.o"
+  "CMakeFiles/grid_kde_test.dir/grid_kde_test.cc.o.d"
+  "grid_kde_test"
+  "grid_kde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_kde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

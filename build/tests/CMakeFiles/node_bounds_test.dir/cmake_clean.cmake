@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_bounds_test.dir/node_bounds_test.cc.o"
+  "CMakeFiles/node_bounds_test.dir/node_bounds_test.cc.o.d"
+  "node_bounds_test"
+  "node_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

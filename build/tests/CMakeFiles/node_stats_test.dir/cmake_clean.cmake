@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_stats_test.dir/node_stats_test.cc.o"
+  "CMakeFiles/node_stats_test.dir/node_stats_test.cc.o.d"
+  "node_stats_test"
+  "node_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_bounds_test.dir/profile_bounds_test.cc.o"
+  "CMakeFiles/profile_bounds_test.dir/profile_bounds_test.cc.o.d"
+  "profile_bounds_test"
+  "profile_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regressor_test.dir/regressor_test.cc.o"
+  "CMakeFiles/regressor_test.dir/regressor_test.cc.o.d"
+  "regressor_test"
+  "regressor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regressor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

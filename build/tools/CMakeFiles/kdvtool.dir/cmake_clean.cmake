@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdvtool.dir/kdvtool.cpp.o"
+  "CMakeFiles/kdvtool.dir/kdvtool.cpp.o.d"
+  "kdvtool"
+  "kdvtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdvtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(kdvtool_usage "/root/repo/build/tools/kdvtool")
+set_tests_properties(kdvtool_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kdvtool_generate "/root/repo/build/tools/kdvtool" "generate" "--dataset" "crime" "--scale" "0.001" "--out" "kdvtool_test.csv")
+set_tests_properties(kdvtool_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kdvtool_info "/root/repo/build/tools/kdvtool" "info" "--dataset" "el_nino" "--scale" "0.001")
+set_tests_properties(kdvtool_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kdvtool_render "/root/repo/build/tools/kdvtool" "render" "--dataset" "crime" "--scale" "0.001" "--width" "64" "--eps" "0.01" "--out" "kdvtool_test.ppm")
+set_tests_properties(kdvtool_render PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kdvtool_render_csv_roundtrip "/root/repo/build/tools/kdvtool" "render" "--in" "kdvtool_test.csv" "--width" "48" "--method" "karl" "--out" "kdvtool_csv.ppm")
+set_tests_properties(kdvtool_render_csv_roundtrip PROPERTIES  DEPENDS "kdvtool_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kdvtool_hotspot "/root/repo/build/tools/kdvtool" "hotspot" "--dataset" "crime" "--scale" "0.001" "--width" "64" "--tau-sigma" "0.1" "--out" "kdvtool_hot.ppm")
+set_tests_properties(kdvtool_hotspot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kdvtool_hotspot_block "/root/repo/build/tools/kdvtool" "hotspot" "--dataset" "crime" "--scale" "0.001" "--width" "64" "--tau-sigma" "0.1" "--block" "--out" "kdvtool_hot_block.ppm")
+set_tests_properties(kdvtool_hotspot_block PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kdvtool_progressive "/root/repo/build/tools/kdvtool" "progressive" "--dataset" "crime" "--scale" "0.001" "--width" "64" "--budget" "0.2" "--out" "kdvtool_prog.ppm")
+set_tests_properties(kdvtool_progressive PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kdvtool_classify "/root/repo/build/tools/kdvtool" "classify" "--in" "/root/repo/tools/testdata/labeled.csv" "--width" "48" "--out" "kdvtool_classes.ppm")
+set_tests_properties(kdvtool_classify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kdvtool_regress "/root/repo/build/tools/kdvtool" "regress" "--in" "/root/repo/tools/testdata/targets.csv" "--width" "48" "--eps" "0.02" "--out" "kdvtool_regress.ppm")
+set_tests_properties(kdvtool_regress PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kdvtool_classify_rejects_missing_input "/root/repo/build/tools/kdvtool" "classify" "--width" "32")
+set_tests_properties(kdvtool_classify_rejects_missing_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kdvtool_rejects_unknown_kernel "/root/repo/build/tools/kdvtool" "render" "--dataset" "crime" "--scale" "0.001" "--kernel" "bogus")
+set_tests_properties(kdvtool_rejects_unknown_kernel PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;40;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kdvtool_rejects_karl_triangular "/root/repo/build/tools/kdvtool" "render" "--dataset" "crime" "--scale" "0.001" "--kernel" "triangular" "--method" "karl")
+set_tests_properties(kdvtool_rejects_karl_triangular PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;44;add_test;/root/repo/tools/CMakeLists.txt;0;")
