@@ -15,7 +15,14 @@ int main(int argc, char** argv) {
   std::printf("crime-analogue dataset: %zu incident locations\n",
               points.size());
 
-  kdv::Workbench bench(std::move(points), kdv::KernelType::kGaussian);
+  kdv::StatusOr<std::unique_ptr<kdv::Workbench>> bench_or =
+      kdv::Workbench::Create(std::move(points), kdv::KernelType::kGaussian);
+  if (!bench_or.ok()) {
+    std::fprintf(stderr, "crime_hotspots: %s\n",
+                 bench_or.status().ToString().c_str());
+    return 1;
+  }
+  kdv::Workbench& bench = **bench_or;
   kdv::PixelGrid grid(320, 240, bench.data_bounds());
 
   // Thresholds placed around the density statistics (paper §7.2):

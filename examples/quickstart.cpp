@@ -14,8 +14,17 @@ int main(int argc, char** argv) {
   kdv::PointSet points = kdv::GenerateMixture(kdv::CrimeSpec(0.1));
   std::printf("dataset: %zu points\n", points.size());
 
-  // 2. Index it and pick the Gaussian kernel with Scott's-rule bandwidth.
-  kdv::Workbench bench(std::move(points), kdv::KernelType::kGaussian);
+  // 2. Validate + index it and pick the Gaussian kernel with Scott's-rule
+  //    bandwidth. Create() returns a Status instead of aborting on bad data.
+  kdv::StatusOr<std::unique_ptr<kdv::Workbench>> bench_or =
+      kdv::Workbench::Create(std::move(points), kdv::KernelType::kGaussian);
+  if (!bench_or.ok()) {
+    std::fprintf(stderr, "quickstart: %s\n",
+                 bench_or.status().ToString().c_str());
+    return 1;
+  }
+  kdv::Workbench& bench = **bench_or;
+  std::printf("ingest: %s\n", bench.ingest_report().Summary().c_str());
   std::printf("kernel: %s, gamma=%.4g, weight=%.4g\n",
               kdv::KernelTypeName(bench.kernel()), bench.params().gamma,
               bench.params().weight);

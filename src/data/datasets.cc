@@ -157,12 +157,19 @@ PointSet SamplePoints(const PointSet& points, size_t m, uint64_t seed) {
   return out;
 }
 
-bool LoadPointsCsv(const std::string& path, const std::vector<int>& attributes,
-                   PointSet* points) {
+Status LoadPointsCsv(const std::string& path,
+                     const std::vector<int>& attributes, PointSet* points,
+                     CsvReadStats* stats_out) {
   points->clear();
   std::vector<std::vector<double>> rows;
-  size_t skipped = 0;
-  if (!ReadCsvFile(path, &rows, &skipped)) return false;
+  CsvReadStats stats;
+  KDV_RETURN_IF_ERROR(ReadCsvFile(path, &rows, &stats));
+  if (stats_out != nullptr) *stats_out = stats;
+  if (rows.empty()) {
+    return InvalidArgumentError(path + " contains no parseable numeric rows (" +
+                                std::to_string(stats.skipped()) +
+                                " rows skipped)");
+  }
   for (const auto& row : rows) {
     std::vector<double> coords;
     if (attributes.empty()) {
@@ -170,17 +177,26 @@ bool LoadPointsCsv(const std::string& path, const std::vector<int>& attributes,
     } else {
       coords.reserve(attributes.size());
       for (int a : attributes) {
-        if (a < 0 || a >= static_cast<int>(row.size())) return false;
+        if (a < 0 || a >= static_cast<int>(row.size())) {
+          return InvalidArgumentError(
+              "attribute column " + std::to_string(a) + " out of range for " +
+              std::to_string(row.size()) + "-column CSV " + path);
+        }
         coords.push_back(row[a]);
       }
     }
-    if (static_cast<int>(coords.size()) > kMaxDim) return false;
+    if (static_cast<int>(coords.size()) > kMaxDim) {
+      return InvalidArgumentError(
+          path + " has " + std::to_string(coords.size()) +
+          " columns, more than the supported maximum of " +
+          std::to_string(kMaxDim));
+    }
     points->push_back(Point::FromVector(coords));
   }
-  return true;
+  return OkStatus();
 }
 
-bool SavePointsCsv(const std::string& path, const PointSet& points) {
+Status SavePointsCsv(const std::string& path, const PointSet& points) {
   std::vector<std::vector<double>> rows;
   rows.reserve(points.size());
   for (const Point& p : points) {

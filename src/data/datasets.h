@@ -16,6 +16,8 @@
 
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "util/csv.h"
+#include "util/status.h"
 
 namespace kdv {
 
@@ -65,13 +67,18 @@ Rect BoundingBox(const PointSet& points);
 PointSet SamplePoints(const PointSet& points, size_t m, uint64_t seed);
 
 // Loads points from a numeric CSV, keeping the given attribute columns
-// (empty `attributes` keeps all columns). Returns false if the file cannot
-// be read or the selected columns are missing/too many.
-bool LoadPointsCsv(const std::string& path, const std::vector<int>& attributes,
-                   PointSet* points);
+// (empty `attributes` keeps all columns). Returns NotFound if the file
+// cannot be read and InvalidArgument if the selected columns are
+// missing/too many or no row parses. Non-finite and ragged rows are
+// rejected at the CSV layer (see util/csv.h); `stats` (optional) reports
+// how many rows were skipped that way so callers can warn instead of
+// silently thinning the data.
+Status LoadPointsCsv(const std::string& path,
+                     const std::vector<int>& attributes, PointSet* points,
+                     CsvReadStats* stats = nullptr);
 
-// Writes points as CSV. Returns false on I/O failure.
-bool SavePointsCsv(const std::string& path, const PointSet& points);
+// Writes points as CSV. Returns a non-OK Status on I/O failure.
+Status SavePointsCsv(const std::string& path, const PointSet& points);
 
 }  // namespace kdv
 

@@ -1,0 +1,135 @@
+#include "data/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace kdv {
+
+namespace {
+
+bool IsFinitePoint(const Point& p) {
+  for (int j = 0; j < p.dim(); ++j) {
+    if (!std::isfinite(p[j])) return false;
+  }
+  return true;
+}
+
+// Lexicographic coordinate order; used only to group exact duplicates.
+bool LexLess(const Point& a, const Point& b) {
+  for (int j = 0; j < a.dim(); ++j) {
+    if (a[j] != b[j]) return a[j] < b[j];
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string IngestReport::Summary() const {
+  std::ostringstream oss;
+  oss << "ingested " << kept_points << "/" << input_points << " points";
+  if (dropped_nonfinite > 0) {
+    oss << ", dropped " << dropped_nonfinite << " non-finite";
+  }
+  if (dropped_dim_mismatch > 0) {
+    oss << ", dropped " << dropped_dim_mismatch << " dim-mismatched";
+  }
+  if (duplicate_points > 0) oss << ", " << duplicate_points << " duplicates";
+  if (all_identical) {
+    oss << ", all points identical";
+  } else if (!zero_variance_dims.empty()) {
+    oss << ", " << zero_variance_dims.size() << " zero-variance dimension(s)";
+  }
+  if (degenerate) oss << " [degenerate geometry]";
+  return oss.str();
+}
+
+Status ValidatePointSet(PointSet* points, const ValidateOptions& options,
+                        IngestReport* report) {
+  IngestReport local;
+  local.input_points = points->size();
+  if (points->empty()) {
+    return InvalidArgumentError("dataset is empty");
+  }
+
+  const bool drop =
+      options.policy == ValidateOptions::BadPointPolicy::kDrop;
+  const int dim = (*points)[0].dim();
+  if (dim < 1) {
+    return InvalidArgumentError("points must have dimension >= 1");
+  }
+
+  size_t write = 0;
+  for (size_t i = 0; i < points->size(); ++i) {
+    const Point& p = (*points)[i];
+    if (p.dim() != dim) {
+      if (!drop) {
+        std::ostringstream oss;
+        oss << "point " << i << " has dimension " << p.dim()
+            << ", expected " << dim;
+        return InvalidArgumentError(oss.str());
+      }
+      ++local.dropped_dim_mismatch;
+      continue;
+    }
+    if (!IsFinitePoint(p)) {
+      if (!drop) {
+        std::ostringstream oss;
+        oss << "point " << i << " has a non-finite (NaN/Inf) coordinate";
+        return InvalidArgumentError(oss.str());
+      }
+      ++local.dropped_nonfinite;
+      continue;
+    }
+    (*points)[write++] = p;
+  }
+  points->resize(write);
+  local.kept_points = write;
+  if (write == 0) {
+    return InvalidArgumentError(
+        "dataset has no usable points after dropping non-finite rows");
+  }
+
+  // Duplicate census over a sorted index permutation (the point order the
+  // caller hands to the kd-tree builder is preserved).
+  std::vector<uint32_t> order(points->size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return LexLess((*points)[a], (*points)[b]);
+  });
+  for (size_t i = 1; i < order.size(); ++i) {
+    if ((*points)[order[i]] == (*points)[order[i - 1]]) {
+      ++local.duplicate_points;
+    }
+  }
+  if (options.max_duplicate_fraction < 1.0 && points->size() > 1) {
+    double fraction = static_cast<double>(local.duplicate_points) /
+                      static_cast<double>(points->size());
+    if (fraction > options.max_duplicate_fraction && !drop) {
+      std::ostringstream oss;
+      oss << "duplicate fraction " << fraction << " exceeds maximum "
+          << options.max_duplicate_fraction;
+      return InvalidArgumentError(oss.str());
+    }
+  }
+
+  // Geometry census: per-dimension extent.
+  for (int j = 0; j < dim; ++j) {
+    double lo = (*points)[0][j], hi = lo;
+    for (const Point& p : *points) {
+      lo = std::min(lo, p[j]);
+      hi = std::max(hi, p[j]);
+    }
+    if (lo == hi) local.zero_variance_dims.push_back(j);
+  }
+  local.all_identical =
+      static_cast<int>(local.zero_variance_dims.size()) == dim;
+  local.degenerate = points->size() < 2 || local.all_identical ||
+                     !local.zero_variance_dims.empty();
+
+  if (report != nullptr) *report = local;
+  return OkStatus();
+}
+
+}  // namespace kdv

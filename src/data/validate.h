@@ -1,0 +1,73 @@
+// Ingestion validation: the gate between untrusted point data (CSV files,
+// live feeds) and the index/evaluator layers, which assume finite
+// coordinates and uniform dimensionality.
+//
+// A single NaN coordinate poisons every kd-tree node aggregate above it and
+// turns whole density frames into NaN; all-identical points drive Scott's
+// rule toward a zero bandwidth. ValidatePointSet catches both classes up
+// front and reports what it saw in a structured IngestReport, so callers can
+// degrade gracefully (flat frame, fallback bandwidth) instead of rendering
+// garbage.
+#ifndef QUADKDV_DATA_VALIDATE_H_
+#define QUADKDV_DATA_VALIDATE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/status.h"
+
+namespace kdv {
+
+struct ValidateOptions {
+  enum class BadPointPolicy {
+    kReject,  // any bad point fails the whole ingestion (default)
+    kDrop,    // bad points are removed and counted in the report
+  };
+  // Applies to non-finite coordinates and dimensionality mismatches.
+  BadPointPolicy policy = BadPointPolicy::kReject;
+  // When > 0 and the fraction of exactly-duplicated points exceeds this,
+  // the report flags the set as duplicate-heavy (kReject makes it an error:
+  // duplicate floods usually mean a joined/exploded ingestion bug upstream).
+  double max_duplicate_fraction = 1.0;
+};
+
+// What ingestion saw. `kept` is the post-validation cardinality; the
+// degenerate_* flags describe geometry that downstream bandwidth selection
+// must special-case (Scott's rule falls back to h = 1).
+struct IngestReport {
+  size_t input_points = 0;
+  size_t kept_points = 0;
+  size_t dropped_nonfinite = 0;
+  size_t dropped_dim_mismatch = 0;
+  size_t duplicate_points = 0;  // members of duplicate groups beyond the first
+
+  std::vector<int> zero_variance_dims;  // dimensions with zero extent
+  bool all_identical = false;           // every kept point equal
+  // True when the kept geometry cannot support a data-driven bandwidth:
+  // fewer than two points, all points identical, or at least one
+  // zero-variance dimension.
+  bool degenerate = false;
+
+  // One-line human-readable summary for logs/CLIs.
+  std::string Summary() const;
+};
+
+// Validates (and under kDrop, filters) `points` in place. Returns:
+//   * InvalidArgument if the set is empty (before or after dropping),
+//   * InvalidArgument under kReject if any point is non-finite, has a
+//     mismatched dimensionality, or the duplicate fraction exceeds the
+//     configured maximum,
+//   * OK otherwise — including degenerate-but-usable geometry, which is
+//     reported via `report` (may be nullptr) rather than rejected.
+Status ValidatePointSet(PointSet* points, const ValidateOptions& options,
+                        IngestReport* report);
+
+inline Status ValidatePointSet(PointSet* points, IngestReport* report) {
+  return ValidatePointSet(points, ValidateOptions(), report);
+}
+
+}  // namespace kdv
+
+#endif  // QUADKDV_DATA_VALIDATE_H_

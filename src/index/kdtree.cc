@@ -74,59 +74,76 @@ int32_t KdTree::BuildRecursive(const PointSet& input, size_t begin,
   return id;
 }
 
-std::unique_ptr<KdTree> KdTree::FromSerialized(
+StatusOr<std::unique_ptr<KdTree>> KdTree::FromSerialized(
     PointSet points, std::vector<uint32_t> original_indices,
     std::vector<Node> nodes) {
-  if (points.empty() || nodes.empty() ||
-      original_indices.size() != points.size()) {
-    return nullptr;
+  if (points.empty()) return DataLossError("serialized tree has no points");
+  if (nodes.empty()) return DataLossError("serialized tree has no nodes");
+  if (original_indices.size() != points.size()) {
+    return DataLossError("permutation size does not match point count");
   }
   const size_t n = points.size();
   const int dim = points[0].dim();
   for (const Point& p : points) {
-    if (p.dim() != dim) return nullptr;
+    if (p.dim() != dim) {
+      return DataLossError("serialized points have mixed dimensionality");
+    }
   }
   // The permutation must be a bijection on [0, n).
   std::vector<bool> seen(n, false);
   for (uint32_t idx : original_indices) {
-    if (idx >= n || seen[idx]) return nullptr;
+    if (idx >= n || seen[idx]) {
+      return DataLossError(
+          "original_indices is not a permutation of [0, num_points)");
+    }
     seen[idx] = true;
   }
 
   // Validate the structure with an explicit DFS: every node reached exactly
   // once from the root, children partition their parent, root covers all.
-  if (nodes[0].begin != 0 || nodes[0].end != n) return nullptr;
+  if (nodes[0].begin != 0 || nodes[0].end != n) {
+    return DataLossError("root node does not cover all points");
+  }
   std::vector<bool> visited(nodes.size(), false);
   std::vector<int32_t> stack = {0};
   size_t reached = 0;
   while (!stack.empty()) {
     int32_t id = stack.back();
     stack.pop_back();
-    if (id < 0 || static_cast<size_t>(id) >= nodes.size() || visited[id]) {
-      return nullptr;
+    if (id < 0 || static_cast<size_t>(id) >= nodes.size()) {
+      return DataLossError("node child id out of range");
+    }
+    if (visited[id]) {
+      return DataLossError("node graph contains a cycle or shared child");
     }
     visited[id] = true;
     ++reached;
     const Node& node = nodes[id];
-    if (node.begin >= node.end || node.end > n) return nullptr;
+    if (node.begin >= node.end || node.end > n) {
+      return DataLossError("node point range is empty or out of bounds");
+    }
     const bool has_left = node.left >= 0;
     const bool has_right = node.right >= 0;
-    if (has_left != has_right) return nullptr;
+    if (has_left != has_right) {
+      return DataLossError("internal node is missing one child");
+    }
     if (has_left) {
       if (static_cast<size_t>(node.left) >= nodes.size() ||
           static_cast<size_t>(node.right) >= nodes.size()) {
-        return nullptr;
+        return DataLossError("node child id out of range");
       }
       const Node& l = nodes[node.left];
       const Node& r = nodes[node.right];
       if (l.begin != node.begin || l.end != r.begin || r.end != node.end) {
-        return nullptr;
+        return DataLossError("child ranges do not partition their parent");
       }
       stack.push_back(node.left);
       stack.push_back(node.right);
     }
   }
-  if (reached != nodes.size()) return nullptr;
+  if (reached != nodes.size()) {
+    return DataLossError("unreachable nodes in serialized tree");
+  }
 
   std::unique_ptr<KdTree> tree(new KdTree());
   tree->dim_ = dim;

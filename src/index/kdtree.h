@@ -14,6 +14,7 @@
 
 #include "geom/point.h"
 #include "index/node_stats.h"
+#include "util/status.h"
 
 namespace kdv {
 
@@ -45,9 +46,10 @@ class KdTree {
 
   // Reassembles a tree from serialized parts (see index/serialization.h):
   // points in tree order, the build permutation, and the node structure
-  // (stats are recomputed). Returns nullptr if the structure is
-  // inconsistent.
-  static std::unique_ptr<KdTree> FromSerialized(
+  // (stats are recomputed). Every structural invariant is re-verified;
+  // returns DataLoss with a description of the first violated invariant
+  // rather than trusting the input.
+  static StatusOr<std::unique_ptr<KdTree>> FromSerialized(
       PointSet points, std::vector<uint32_t> original_indices,
       std::vector<Node> nodes);
 

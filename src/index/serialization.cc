@@ -1,16 +1,42 @@
 #include "index/serialization.h"
 
-#include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <sstream>
 #include <vector>
+
+#include "util/crc32.h"
 
 namespace kdv {
 
 namespace {
 
 constexpr char kMagic[4] = {'K', 'D', 'V', 'T'};
-constexpr uint32_t kVersion = 1;
+
+// Hard ceiling on the header's num_points before any allocation happens; a
+// corrupt header asking for more than this is rejected as implausible
+// regardless of file size (2^40 points of 2-d doubles is 16 TiB).
+constexpr uint64_t kMaxPlausiblePoints = uint64_t{1} << 40;
+
+constexpr size_t kPointBytes = sizeof(double);
+constexpr size_t kIndexBytes = sizeof(uint32_t);
+// begin, end (uint32) + left, right (int32) per node.
+constexpr size_t kNodeBytes = 2 * sizeof(uint32_t) + 2 * sizeof(int32_t);
+
+std::string Hex(uint32_t v) {
+  std::ostringstream oss;
+  oss << "0x" << std::hex << v;
+  return oss.str();
+}
+
+// Appends a POD value to a byte buffer (v2 sections are staged in memory so
+// a section CRC covers exactly the bytes that hit the disk).
+template <typename T>
+void AppendPod(std::vector<char>* buf, const T& value) {
+  const char* raw = reinterpret_cast<const char*>(&value);
+  buf->insert(buf->end(), raw, raw + sizeof(T));
+}
 
 template <typename T>
 void WritePod(std::ofstream& out, const T& value) {
@@ -23,76 +49,284 @@ bool ReadPod(std::ifstream& in, T* value) {
   return in.good();
 }
 
-}  // namespace
+template <typename T>
+T ParsePod(const char* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
 
-bool SaveKdTree(const KdTree& tree, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return false;
+void AppendPointsSection(const KdTree& tree, std::vector<char>* buf) {
+  for (const Point& p : tree.points()) {
+    for (int j = 0; j < tree.dim(); ++j) AppendPod(buf, p[j]);
+  }
+}
 
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
+void AppendIndicesSection(const KdTree& tree, std::vector<char>* buf) {
+  for (uint32_t idx : tree.original_indices()) AppendPod(buf, idx);
+}
+
+void AppendNodesSection(const KdTree& tree, std::vector<char>* buf) {
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const KdTree::Node& node = tree.node(static_cast<int32_t>(i));
+    AppendPod(buf, node.begin);
+    AppendPod(buf, node.end);
+    AppendPod(buf, node.left);
+    AppendPod(buf, node.right);
+  }
+}
+
+Status SaveV1(const KdTree& tree, std::ofstream& out,
+              const std::string& path) {
   WritePod(out, static_cast<uint32_t>(tree.dim()));
   WritePod(out, static_cast<uint64_t>(tree.num_points()));
   WritePod(out, static_cast<uint64_t>(tree.num_nodes()));
-
-  for (const Point& p : tree.points()) {
-    for (int j = 0; j < tree.dim(); ++j) WritePod(out, p[j]);
-  }
-  for (uint32_t idx : tree.original_indices()) WritePod(out, idx);
-  for (size_t i = 0; i < tree.num_nodes(); ++i) {
-    const KdTree::Node& node = tree.node(static_cast<int32_t>(i));
-    WritePod(out, node.begin);
-    WritePod(out, node.end);
-    WritePod(out, node.left);
-    WritePod(out, node.right);
-  }
-  return out.good();
+  std::vector<char> buf;
+  AppendPointsSection(tree, &buf);
+  AppendIndicesSection(tree, &buf);
+  AppendNodesSection(tree, &buf);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out.good()) return DataLossError("write to " + path + " failed");
+  return OkStatus();
 }
 
-std::unique_ptr<KdTree> LoadKdTree(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return nullptr;
+Status SaveV2(const KdTree& tree, std::ofstream& out,
+              const std::string& path) {
+  std::vector<char> points, indices, nodes;
+  AppendPointsSection(tree, &points);
+  AppendIndicesSection(tree, &indices);
+  AppendNodesSection(tree, &nodes);
+  const uint64_t payload_bytes =
+      points.size() + indices.size() + nodes.size() +
+      3 * sizeof(uint32_t);  // three trailing section CRCs
 
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return nullptr;
-  }
-  uint32_t version = 0, dim = 0;
-  uint64_t num_points = 0, num_nodes = 0;
-  if (!ReadPod(in, &version) || version != kVersion) return nullptr;
-  if (!ReadPod(in, &dim) || dim == 0 || dim > static_cast<uint32_t>(kMaxDim)) {
-    return nullptr;
-  }
-  if (!ReadPod(in, &num_points) || num_points == 0) return nullptr;
-  if (!ReadPod(in, &num_nodes) || num_nodes == 0) return nullptr;
-  // A kd-tree over n points has < 2n nodes; reject absurd headers before
-  // allocating.
-  if (num_nodes > 2 * num_points) return nullptr;
+  std::vector<char> header;
+  AppendPod(&header, static_cast<uint32_t>(tree.dim()));
+  AppendPod(&header, static_cast<uint64_t>(tree.num_points()));
+  AppendPod(&header, static_cast<uint64_t>(tree.num_nodes()));
+  AppendPod(&header, payload_bytes);
+  const uint32_t header_crc = Crc32(header.data(), header.size());
 
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  WritePod(out, header_crc);
+  for (const std::vector<char>* section : {&points, &indices, &nodes}) {
+    out.write(section->data(), static_cast<std::streamsize>(section->size()));
+    WritePod(out, Crc32(section->data(), section->size()));
+  }
+  if (!out.good()) return DataLossError("write to " + path + " failed");
+  return OkStatus();
+}
+
+// Reads `bytes` bytes of section `name`, verifying the stored trailing CRC
+// when `checked` is set. The size was validated against the real file size
+// up front, so the allocation is bounded by what is actually on disk.
+StatusOr<std::vector<char>> ReadSection(std::ifstream& in, const char* name,
+                                        uint64_t bytes, bool checked) {
+  std::vector<char> buf(bytes);
+  in.read(buf.data(), static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+    return DataLossError(std::string("unexpected end of file inside ") + name +
+                         " section");
+  }
+  if (checked) {
+    uint32_t stored = 0;
+    if (!ReadPod(in, &stored)) {
+      return DataLossError(std::string("unexpected end of file reading ") +
+                           name + " section checksum");
+    }
+    const uint32_t computed = Crc32(buf.data(), buf.size());
+    if (stored != computed) {
+      return DataLossError(std::string(name) +
+                           " section checksum mismatch (stored " +
+                           Hex(stored) + ", computed " + Hex(computed) + ")");
+    }
+  }
+  return buf;
+}
+
+struct Header {
+  uint32_t version = 0;
+  uint32_t dim = 0;
+  uint64_t num_points = 0;
+  uint64_t num_nodes = 0;
+};
+
+// Validates header bounds before any payload allocation and against the
+// actual on-disk size, so a corrupt header can neither trigger a huge
+// allocation nor mask a truncated payload.
+Status CheckHeaderBounds(const Header& h, uint64_t actual_payload,
+                         uint64_t declared_payload) {
+  if (h.dim == 0 || h.dim > static_cast<uint32_t>(kMaxDim)) {
+    return DataLossError("header dim " + std::to_string(h.dim) +
+                         " outside [1, " + std::to_string(kMaxDim) + "]");
+  }
+  if (h.num_points == 0) return DataLossError("header declares zero points");
+  if (h.num_points > kMaxPlausiblePoints) {
+    return DataLossError("header declares an implausible point count " +
+                         std::to_string(h.num_points));
+  }
+  if (h.num_nodes == 0) return DataLossError("header declares zero nodes");
+  // A kd-tree over n points has < 2n nodes.
+  if (h.num_nodes > 2 * h.num_points) {
+    return DataLossError("header declares " + std::to_string(h.num_nodes) +
+                         " nodes for " + std::to_string(h.num_points) +
+                         " points (limit is 2x)");
+  }
+  const uint64_t expected =
+      h.num_points * h.dim * kPointBytes + h.num_points * kIndexBytes +
+      h.num_nodes * kNodeBytes +
+      (h.version >= 2 ? 3 * sizeof(uint32_t) : uint64_t{0});
+  if (declared_payload != expected) {
+    return DataLossError("header payload length " +
+                         std::to_string(declared_payload) +
+                         " does not match declared counts (expected " +
+                         std::to_string(expected) + ")");
+  }
+  if (actual_payload < expected) {
+    return DataLossError("file truncated: payload has " +
+                         std::to_string(actual_payload) + " bytes, header " +
+                         "declares " + std::to_string(expected));
+  }
+  if (actual_payload > expected) {
+    return DataLossError("file has " +
+                         std::to_string(actual_payload - expected) +
+                         " trailing bytes beyond the declared payload");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::unique_ptr<KdTree>> ParseSections(
+    const Header& h, std::vector<char> points_raw,
+    std::vector<char> indices_raw, std::vector<char> nodes_raw) {
   PointSet points;
-  points.reserve(num_points);
-  for (uint64_t i = 0; i < num_points; ++i) {
-    Point p(static_cast<int>(dim));
-    for (uint32_t j = 0; j < dim; ++j) {
-      if (!ReadPod(in, &p[static_cast<int>(j)])) return nullptr;
+  points.reserve(h.num_points);
+  const char* cursor = points_raw.data();
+  for (uint64_t i = 0; i < h.num_points; ++i) {
+    Point p(static_cast<int>(h.dim));
+    for (uint32_t j = 0; j < h.dim; ++j) {
+      p[static_cast<int>(j)] = ParsePod<double>(cursor);
+      cursor += sizeof(double);
     }
     points.push_back(p);
   }
-  std::vector<uint32_t> original_indices(num_points);
-  for (uint64_t i = 0; i < num_points; ++i) {
-    if (!ReadPod(in, &original_indices[i])) return nullptr;
+  std::vector<uint32_t> original_indices(h.num_points);
+  cursor = indices_raw.data();
+  for (uint64_t i = 0; i < h.num_points; ++i) {
+    original_indices[i] = ParsePod<uint32_t>(cursor);
+    cursor += sizeof(uint32_t);
   }
-  std::vector<KdTree::Node> nodes(num_nodes);
-  for (uint64_t i = 0; i < num_nodes; ++i) {
-    if (!ReadPod(in, &nodes[i].begin) || !ReadPod(in, &nodes[i].end) ||
-        !ReadPod(in, &nodes[i].left) || !ReadPod(in, &nodes[i].right)) {
-      return nullptr;
-    }
+  std::vector<KdTree::Node> nodes(h.num_nodes);
+  cursor = nodes_raw.data();
+  for (uint64_t i = 0; i < h.num_nodes; ++i) {
+    nodes[i].begin = ParsePod<uint32_t>(cursor);
+    nodes[i].end = ParsePod<uint32_t>(cursor + 4);
+    nodes[i].left = ParsePod<int32_t>(cursor + 8);
+    nodes[i].right = ParsePod<int32_t>(cursor + 12);
+    cursor += kNodeBytes;
   }
   return KdTree::FromSerialized(std::move(points),
                                 std::move(original_indices),
                                 std::move(nodes));
+}
+
+}  // namespace
+
+Status SaveKdTree(const KdTree& tree, const std::string& path,
+                  uint32_t version) {
+  if (version != 1 && version != 2) {
+    return InvalidArgumentError("unsupported kd-tree format version " +
+                                std::to_string(version));
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return NotFoundError("cannot open " + path + " for writing");
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, version);
+  return version == 1 ? SaveV1(tree, out, path) : SaveV2(tree, out, path);
+}
+
+StatusOr<std::unique_ptr<KdTree>> LoadKdTree(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return NotFoundError("cannot open index file " + path);
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return DataLossError(path + " is not a KDV index file (bad magic)");
+  }
+  Header h;
+  if (!ReadPod(in, &h.version)) {
+    return DataLossError("unexpected end of file reading format version");
+  }
+  if (h.version != 1 && h.version != 2) {
+    return UnimplementedError("kd-tree format version " +
+                              std::to_string(h.version) +
+                              " is newer than this library (max " +
+                              std::to_string(kKdTreeFormatVersion) + ")");
+  }
+
+  uint64_t declared_payload = 0;
+  uint64_t header_end = 0;
+  if (h.version == 2) {
+    // dim + num_points + num_nodes + payload_bytes, covered by header_crc.
+    char fields[sizeof(uint32_t) + 3 * sizeof(uint64_t)];
+    in.read(fields, sizeof(fields));
+    if (in.gcount() != static_cast<std::streamsize>(sizeof(fields))) {
+      return DataLossError("unexpected end of file inside header");
+    }
+    uint32_t stored_crc = 0;
+    if (!ReadPod(in, &stored_crc)) {
+      return DataLossError("unexpected end of file reading header checksum");
+    }
+    const uint32_t computed_crc = Crc32(fields, sizeof(fields));
+    if (stored_crc != computed_crc) {
+      return DataLossError("header checksum mismatch (stored " +
+                           Hex(stored_crc) + ", computed " +
+                           Hex(computed_crc) + ")");
+    }
+    h.dim = ParsePod<uint32_t>(fields);
+    h.num_points = ParsePod<uint64_t>(fields + 4);
+    h.num_nodes = ParsePod<uint64_t>(fields + 12);
+    declared_payload = ParsePod<uint64_t>(fields + 20);
+    header_end = sizeof(kMagic) + sizeof(uint32_t) + sizeof(fields) +
+                 sizeof(uint32_t);
+  } else {
+    if (!ReadPod(in, &h.dim) || !ReadPod(in, &h.num_points) ||
+        !ReadPod(in, &h.num_nodes)) {
+      return DataLossError("unexpected end of file inside header");
+    }
+    header_end = sizeof(kMagic) + 2 * sizeof(uint32_t) + 2 * sizeof(uint64_t);
+    // v1 has no payload-length field; derive it from the declared counts so
+    // the same bounds check applies.
+    if (h.dim >= 1 && h.dim <= static_cast<uint32_t>(kMaxDim) &&
+        h.num_points >= 1 && h.num_points <= kMaxPlausiblePoints &&
+        h.num_nodes <= 2 * h.num_points) {
+      declared_payload = h.num_points * h.dim * kPointBytes +
+                         h.num_points * kIndexBytes + h.num_nodes * kNodeBytes;
+    }
+  }
+  KDV_RETURN_IF_ERROR(
+      CheckHeaderBounds(h, file_size - header_end, declared_payload));
+
+  const bool checked = h.version >= 2;
+  KDV_ASSIGN_OR_RETURN(
+      std::vector<char> points_raw,
+      ReadSection(in, "points", h.num_points * h.dim * kPointBytes, checked));
+  KDV_ASSIGN_OR_RETURN(
+      std::vector<char> indices_raw,
+      ReadSection(in, "indices", h.num_points * kIndexBytes, checked));
+  KDV_ASSIGN_OR_RETURN(
+      std::vector<char> nodes_raw,
+      ReadSection(in, "nodes", h.num_nodes * kNodeBytes, checked));
+  return ParseSections(h, std::move(points_raw), std::move(indices_raw),
+                       std::move(nodes_raw));
 }
 
 }  // namespace kdv

@@ -3,32 +3,51 @@
 // Index construction is the offline stage of the paper's framework (§3.2);
 // persisting the built tree (structure + per-node aggregates) lets a
 // deployment build once and memory-map/load per session instead of paying
-// the O(n log n · d^2) build on every start.
+// the O(n log n · d^2) build on every start. Because a persisted index is
+// served to many sessions, loading treats the file as untrusted input:
+// checksums catch bit rot and truncation, header bounds are validated before
+// any allocation, and every structural invariant is re-verified.
 //
-// Format (little-endian, version 1):
-//   magic "KDVT", uint32 version, uint32 dim, uint64 num_points,
-//   uint64 num_nodes,
-//   points: num_points * dim doubles (tree order),
-//   original_indices: num_points uint32,
-//   nodes: for each node — begin, end (uint32), left, right (int32)
-// Node aggregates are recomputed on load (cheaper than storing the O(d^2)
-// matrices and immune to format drift in NodeStats).
+// Format version 2 (little-endian, current default):
+//   magic "KDVT", uint32 version = 2,
+//   uint32 dim, uint64 num_points, uint64 num_nodes,
+//   uint64 payload_bytes  (total bytes after the header),
+//   uint32 header_crc     (CRC-32 of the fields between magic and this crc),
+//   points:  num_points * dim doubles (tree order),  uint32 section crc
+//   indices: num_points uint32,                      uint32 section crc
+//   nodes:   per node begin,end (uint32), left,right (int32),
+//                                                    uint32 section crc
+// Version 1 (magic, version=1, dim, num_points, num_nodes, then the same
+// three sections without checksums) is still readable; SaveKdTree can write
+// it for compatibility. Node aggregates are recomputed on load (cheaper than
+// storing the O(d^2) matrices and immune to format drift in NodeStats).
 #ifndef QUADKDV_INDEX_SERIALIZATION_H_
 #define QUADKDV_INDEX_SERIALIZATION_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "index/kdtree.h"
+#include "util/status.h"
 
 namespace kdv {
 
-// Writes the tree to `path`. Returns false on I/O failure.
-bool SaveKdTree(const KdTree& tree, const std::string& path);
+// Current on-disk format version written by default.
+inline constexpr uint32_t kKdTreeFormatVersion = 2;
 
-// Loads a tree written by SaveKdTree. Returns nullptr on I/O failure,
-// bad magic/version, or a structurally inconsistent file.
-std::unique_ptr<KdTree> LoadKdTree(const std::string& path);
+// Writes the tree to `path` in the given format version (1 or 2). Returns a
+// non-OK Status on I/O failure or an unsupported version.
+Status SaveKdTree(const KdTree& tree, const std::string& path,
+                  uint32_t version = kKdTreeFormatVersion);
+
+// Loads a tree written by SaveKdTree (either version). Returns:
+//   * NotFound       — file cannot be opened,
+//   * DataLoss       — bad magic, corrupt/truncated sections, checksum or
+//                      structural-invariant mismatch,
+//   * Unimplemented  — format version newer than this library.
+// The error message names the failing section or invariant.
+StatusOr<std::unique_ptr<KdTree>> LoadKdTree(const std::string& path);
 
 }  // namespace kdv
 

@@ -21,6 +21,7 @@
 #include "core/refinement_stream.h"
 #include "core/kdv_runner.h"
 #include "data/datasets.h"
+#include "data/validate.h"
 #include "dynamic/dynamic_kdv.h"
 #include "geom/morton.h"
 #include "geom/point.h"
@@ -38,8 +39,10 @@
 #include "stats/density_stats.h"
 #include "stats/pca.h"
 #include "util/check.h"
+#include "util/crc32.h"
 #include "util/csv.h"
 #include "util/random.h"
+#include "util/status.h"
 #include "util/timer.h"
 #include "viz/block_tau.h"
 #include "viz/color_map.h"

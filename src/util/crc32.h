@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for persisted-state
+// integrity checks. This is the same CRC used by zlib/PNG/gzip, so externally
+// produced index files can be checked with standard tools.
+#ifndef QUADKDV_UTIL_CRC32_H_
+#define QUADKDV_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kdv {
+
+// CRC-32 of `len` bytes at `data`. Crc32(nullptr, 0) == 0.
+uint32_t Crc32(const void* data, size_t len);
+
+// Incremental form: feed successive chunks, starting from `crc` of the
+// previous prefix (0 for an empty prefix). Equivalent to one-shot Crc32 over
+// the concatenation.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_UTIL_CRC32_H_

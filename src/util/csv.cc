@@ -1,12 +1,14 @@
 #include "util/csv.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 namespace kdv {
 
-bool ParseCsvDoubles(const std::string& line, std::vector<double>* out) {
+bool ParseCsvDoubles(const std::string& line, std::vector<double>* out,
+                     bool allow_nonfinite) {
   out->clear();
   if (line.empty()) return true;
   size_t start = 0;
@@ -19,9 +21,16 @@ bool ParseCsvDoubles(const std::string& line, std::vector<double>* out) {
     size_t e = field.find_last_not_of(" \t\r\n");
     if (b == std::string::npos) return false;  // empty field
     field = field.substr(b, e - b + 1);
+    // strtod accepts hex floats ("0x1p3"); a CSV column that contains them
+    // is not numeric data, so reject before parsing.
+    if (field.find('x') != std::string::npos ||
+        field.find('X') != std::string::npos) {
+      return false;
+    }
     char* parse_end = nullptr;
     double v = std::strtod(field.c_str(), &parse_end);
     if (parse_end == field.c_str() || *parse_end != '\0') return false;
+    if (!allow_nonfinite && !std::isfinite(v)) return false;
     out->push_back(v);
     if (comma == std::string::npos) break;
     start = comma + 1;
@@ -29,29 +38,43 @@ bool ParseCsvDoubles(const std::string& line, std::vector<double>* out) {
   return true;
 }
 
-bool ReadCsvFile(const std::string& path,
-                 std::vector<std::vector<double>>* rows, size_t* skipped) {
+Status ReadCsvFile(const std::string& path,
+                   std::vector<std::vector<double>>* rows,
+                   CsvReadStats* stats) {
   rows->clear();
-  if (skipped != nullptr) *skipped = 0;
+  CsvReadStats local;
   std::ifstream in(path);
-  if (!in.is_open()) return false;
+  if (!in.is_open()) {
+    return NotFoundError("cannot open CSV file " + path);
+  }
   std::string line;
   std::vector<double> fields;
+  size_t expected_columns = 0;
   while (std::getline(in, line)) {
     if (line.empty() || line == "\r") continue;
     if (!ParseCsvDoubles(line, &fields)) {
-      if (skipped != nullptr) ++(*skipped);  // header or malformed row
+      ++local.skipped_malformed;  // header or malformed row
+      continue;
+    }
+    if (expected_columns == 0) {
+      expected_columns = fields.size();
+    } else if (fields.size() != expected_columns) {
+      ++local.skipped_ragged;  // ragged row; never silently mixed in
       continue;
     }
     rows->push_back(fields);
+    ++local.rows_kept;
   }
-  return true;
+  if (stats != nullptr) *stats = local;
+  return OkStatus();
 }
 
-bool WriteCsvFile(const std::string& path, const std::string& header,
-                  const std::vector<std::vector<double>>& rows) {
+Status WriteCsvFile(const std::string& path, const std::string& header,
+                    const std::vector<std::vector<double>>& rows) {
   std::ofstream out(path);
-  if (!out.is_open()) return false;
+  if (!out.is_open()) {
+    return NotFoundError("cannot open " + path + " for writing");
+  }
   if (!header.empty()) out << header << "\n";
   std::ostringstream oss;
   oss.precision(17);
@@ -63,7 +86,10 @@ bool WriteCsvFile(const std::string& path, const std::string& header,
     oss << '\n';
   }
   out << oss.str();
-  return out.good();
+  if (!out.good()) {
+    return DataLossError("write to " + path + " failed (disk full?)");
+  }
+  return OkStatus();
 }
 
 }  // namespace kdv

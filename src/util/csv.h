@@ -5,22 +5,40 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace kdv {
 
 // Parses one CSV line of doubles ("1.5,2,-3e4"). Returns false on any
 // non-numeric field. Empty lines yield an empty vector and return true.
-bool ParseCsvDoubles(const std::string& line, std::vector<double>* out);
+// NaN/Inf fields are rejected unless `allow_nonfinite` is set; hex-float
+// syntax ("0x1p3") is always rejected — both are strtod extensions that
+// silently poison downstream aggregates when they leak in from a header or
+// a sensor glitch.
+bool ParseCsvDoubles(const std::string& line, std::vector<double>* out,
+                     bool allow_nonfinite = false);
 
-// Reads a whole numeric CSV file; rows with parse errors are skipped and
-// counted in *skipped (may be nullptr). Returns false if the file cannot be
-// opened.
-bool ReadCsvFile(const std::string& path,
-                 std::vector<std::vector<double>>* rows, size_t* skipped);
+// Per-file ingestion accounting for ReadCsvFile.
+struct CsvReadStats {
+  size_t rows_kept = 0;
+  size_t skipped_malformed = 0;  // non-numeric / non-finite fields (headers)
+  size_t skipped_ragged = 0;     // column count differs from first data row
+
+  size_t skipped() const { return skipped_malformed + skipped_ragged; }
+};
+
+// Reads a whole numeric CSV file. Rows with parse errors are skipped, and
+// rows whose column count differs from the first accepted row are skipped as
+// ragged, never silently mixed in; both are counted in *stats (may be
+// nullptr). Returns NotFound if the file cannot be opened.
+Status ReadCsvFile(const std::string& path,
+                   std::vector<std::vector<double>>* rows,
+                   CsvReadStats* stats);
 
 // Writes rows of doubles as CSV with the given header (header may be empty).
-// Returns false if the file cannot be opened.
-bool WriteCsvFile(const std::string& path, const std::string& header,
-                  const std::vector<std::vector<double>>& rows);
+// Returns a non-OK Status if the file cannot be opened or the write fails.
+Status WriteCsvFile(const std::string& path, const std::string& header,
+                    const std::vector<std::vector<double>>& rows);
 
 }  // namespace kdv
 

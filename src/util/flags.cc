@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <cmath>
 #include <cstdlib>
 
 namespace kdv {
@@ -47,7 +48,13 @@ double Flags::GetDouble(const std::string& key, double default_value) const {
   if (it == values_.end()) return default_value;
   char* end = nullptr;
   double v = std::strtod(it->second.c_str(), &end);
-  return (end == it->second.c_str() || *end != '\0') ? default_value : v;
+  // Malformed and non-finite values ("nan", "inf") fall back to the default;
+  // a NaN threshold or epsilon would silently disable every comparison
+  // downstream.
+  if (end == it->second.c_str() || *end != '\0' || !std::isfinite(v)) {
+    return default_value;
+  }
+  return v;
 }
 
 int Flags::GetInt(const std::string& key, int default_value) const {

@@ -1,0 +1,177 @@
+// Error propagation without exceptions (Google style).
+//
+// Every recoverable failure at an API boundary (file I/O, parsing, index
+// deserialization, dataset ingestion) is reported as a kdv::Status carrying a
+// machine-readable code and a human-readable message; functions that produce
+// a value on success return kdv::StatusOr<T>. Unrecoverable programming
+// errors keep using KDV_CHECK (util/check.h) and abort.
+//
+// Conventions:
+//   * A function that can fail for reasons the caller can act on returns
+//     Status / StatusOr<T>, never bool/nullptr.
+//   * Status messages are complete sentences' worth of context without a
+//     trailing period: "cannot open /x/y.csv", "points section checksum
+//     mismatch (stored 0x1234, computed 0x5678)".
+//   * KDV_RETURN_IF_ERROR / KDV_ASSIGN_OR_RETURN keep call sites linear.
+#ifndef QUADKDV_UTIL_STATUS_H_
+#define QUADKDV_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace kdv {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,     // caller passed bad data (malformed CSV, bad column)
+  kNotFound,            // missing file / resource
+  kDataLoss,            // corrupt or truncated persisted state
+  kFailedPrecondition,  // operation not valid in the current state
+  kOutOfRange,          // value outside the representable/allowed range
+  kUnimplemented,       // recognized but unsupported (e.g. future version)
+  kInternal,            // invariant violation that was caught, not proven
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    KDV_DCHECK(code != StatusCode::kOk);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "DATA_LOSS: header checksum mismatch" (or "OK").
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+inline Status UnimplementedError(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+// Holds either a value of type T or a non-OK Status explaining why there is
+// no value. Accessing value() on an error aborts (programming error).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Implicit from a non-OK Status (so `return DataLossError(...)` works).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    KDV_CHECK_MSG(!status_.ok(),
+                  "StatusOr constructed from OK status without a value");
+  }
+  // Implicit from a value (so `return tree;` works).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    KDV_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    KDV_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    KDV_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace kdv
+
+// Propagates a non-OK Status to the caller; evaluates `expr` exactly once.
+#define KDV_RETURN_IF_ERROR(expr)                        \
+  do {                                                   \
+    ::kdv::Status kdv_status_macro_tmp = (expr);         \
+    if (!kdv_status_macro_tmp.ok()) {                    \
+      return kdv_status_macro_tmp;                       \
+    }                                                    \
+  } while (0)
+
+// Assigns the value of a StatusOr expression to `lhs` (which may be a
+// declaration) or propagates its error status to the caller.
+#define KDV_ASSIGN_OR_RETURN(lhs, expr) \
+  KDV_ASSIGN_OR_RETURN_IMPL_(           \
+      KDV_STATUS_MACRO_CONCAT_(kdv_statusor_, __LINE__), lhs, expr)
+
+#define KDV_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = *std::move(tmp)
+
+#define KDV_STATUS_MACRO_CONCAT_INNER_(a, b) a##b
+#define KDV_STATUS_MACRO_CONCAT_(a, b) KDV_STATUS_MACRO_CONCAT_INNER_(a, b)
+
+#endif  // QUADKDV_UTIL_STATUS_H_

@@ -8,6 +8,18 @@
 
 namespace kdv {
 
+StatusOr<std::unique_ptr<Workbench>> Workbench::Create(PointSet points,
+                                                       KernelType kernel,
+                                                       Options options) {
+  IngestReport report;
+  KDV_RETURN_IF_ERROR(
+      ValidatePointSet(&points, options.validate, &report));
+  auto bench =
+      std::make_unique<Workbench>(std::move(points), kernel, options);
+  bench->ingest_report_ = report;
+  return bench;
+}
+
 Workbench::Workbench(PointSet points, KernelType kernel, Options options)
     : options_(options) {
   KDV_CHECK_MSG(!points.empty(), "Workbench requires a non-empty dataset");

@@ -16,9 +16,11 @@
 
 #include "bounds/node_bounds.h"
 #include "core/evaluator.h"
+#include "data/validate.h"
 #include "geom/rect.h"
 #include "index/kdtree.h"
 #include "kernel/kernel.h"
+#include "util/status.h"
 
 namespace kdv {
 
@@ -29,9 +31,27 @@ class Workbench {
     // If >= 0, overrides Scott's-rule gamma; weight stays 1/n.
     double gamma_override = -1.0;
     BoundsOptions bounds;
+    // Ingestion policy applied by Create() before indexing.
+    ValidateOptions validate;
   };
 
+  // Validating factory: runs ValidatePointSet under options.validate, then
+  // indexes the surviving points. Returns InvalidArgument for unusable data
+  // (empty, or rejected under the configured policy); degenerate-but-usable
+  // geometry (single point, all-identical, zero-variance dimension) succeeds
+  // with the degeneracy recorded in ingest_report() — Scott's rule falls
+  // back to a unit bandwidth, so densities stay finite.
+  static StatusOr<std::unique_ptr<Workbench>> Create(PointSet points,
+                                                     KernelType kernel,
+                                                     Options options);
+  static StatusOr<std::unique_ptr<Workbench>> Create(PointSet points,
+                                                     KernelType kernel) {
+    return Create(std::move(points), kernel, Options());
+  }
+
   // Indexes `points` and derives kernel parameters (Scott's rule).
+  // Pre-validated trusted inputs only: aborts on an empty set and indexes
+  // NaN/Inf coordinates as-is. Untrusted data goes through Create().
   Workbench(PointSet points, KernelType kernel)
       : Workbench(std::move(points), kernel, Options()) {}
   Workbench(PointSet points, KernelType kernel, Options options);
@@ -42,6 +62,9 @@ class Workbench {
   const KdTree& tree() const { return *tree_; }
   const KernelParams& params() const { return params_; }
   const Rect& data_bounds() const { return data_bounds_; }
+  // What ingestion saw; only meaningful for Create()-built workbenches
+  // (default-empty otherwise).
+  const IngestReport& ingest_report() const { return ingest_report_; }
   KernelType kernel() const { return params_.type; }
   size_t num_points() const { return tree_->num_points(); }
 
@@ -66,6 +89,7 @@ class Workbench {
   KernelParams params_;
   Rect data_bounds_;
   Options options_;
+  IngestReport ingest_report_;
   std::map<Method, std::unique_ptr<NodeBounds>> bounds_cache_;
 
   struct ZorderContext {

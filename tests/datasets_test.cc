@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <fstream>
 #include <set>
 #include <string>
 
@@ -126,17 +127,17 @@ TEST(SampleTest, OversizeRequestReturnsAll) {
 TEST(CsvPointsTest, SaveAndLoadRoundTrip) {
   std::string path = ::testing::TempDir() + "/kdv_points.csv";
   PointSet pts{Point{1.5, 2.5}, Point{-3.0, 0.25}};
-  ASSERT_TRUE(SavePointsCsv(path, pts));
+  ASSERT_TRUE(SavePointsCsv(path, pts).ok());
 
   PointSet back;
-  ASSERT_TRUE(LoadPointsCsv(path, {}, &back));
+  ASSERT_TRUE(LoadPointsCsv(path, {}, &back).ok());
   ASSERT_EQ(back.size(), 2u);
   EXPECT_EQ(back[0], pts[0]);
   EXPECT_EQ(back[1], pts[1]);
 
   // Column selection: load only the second attribute.
   PointSet col;
-  ASSERT_TRUE(LoadPointsCsv(path, {1}, &col));
+  ASSERT_TRUE(LoadPointsCsv(path, {1}, &col).ok());
   ASSERT_EQ(col.size(), 2u);
   EXPECT_EQ(col[0].dim(), 1);
   EXPECT_DOUBLE_EQ(col[0][0], 2.5);
@@ -145,9 +146,31 @@ TEST(CsvPointsTest, SaveAndLoadRoundTrip) {
 
 TEST(CsvPointsTest, MissingColumnFails) {
   std::string path = ::testing::TempDir() + "/kdv_points2.csv";
-  ASSERT_TRUE(SavePointsCsv(path, PointSet{Point{1.0, 2.0}}));
+  ASSERT_TRUE(SavePointsCsv(path, PointSet{Point{1.0, 2.0}}).ok());
   PointSet out;
-  EXPECT_FALSE(LoadPointsCsv(path, {5}, &out));
+  Status status = LoadPointsCsv(path, {5}, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvPointsTest, MissingFileReportsNotFound) {
+  PointSet out;
+  Status status = LoadPointsCsv("/nonexistent/points.csv", {}, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(CsvPointsTest, AllRowsMalformedIsInvalidArgument) {
+  std::string path = ::testing::TempDir() + "/kdv_points3.csv";
+  {
+    std::ofstream out(path);
+    out << "x,y\nfoo,bar\n";
+  }
+  PointSet out;
+  Status status = LoadPointsCsv(path, {}, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 

@@ -61,6 +61,14 @@ TEST(FlagsTest, DefaultsWhenMissingOrMalformed) {
   EXPECT_TRUE(f.Has("eps"));
 }
 
+TEST(FlagsTest, NonFiniteDoubleFallsBackToDefault) {
+  // "--eps nan" must not leak a NaN into threshold comparisons downstream.
+  Flags f = Parse({"--eps", "nan", "--tau=inf", "--budget", "-inf"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(f.GetDouble("tau", 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(f.GetDouble("budget", 0.5), 0.5);
+}
+
 TEST(FlagsTest, BoolParsingVariants) {
   Flags f = Parse({"--a=1", "--b=off", "--c=yes", "--d=banana"});
   EXPECT_TRUE(f.GetBool("a", false));

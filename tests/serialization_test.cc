@@ -17,34 +17,66 @@ std::string TempPath(const char* name) {
   return ::testing::TempDir() + "/" + name;
 }
 
+void ExpectTreesEqual(const KdTree& a, const KdTree& b) {
+  ASSERT_EQ(b.num_points(), a.num_points());
+  ASSERT_EQ(b.num_nodes(), a.num_nodes());
+  EXPECT_EQ(b.dim(), a.dim());
+  EXPECT_EQ(b.Depth(), a.Depth());
+  for (size_t i = 0; i < a.num_points(); ++i) {
+    EXPECT_EQ(b.points()[i], a.points()[i]);
+    EXPECT_EQ(b.original_index(i), a.original_index(i));
+  }
+  for (size_t i = 0; i < a.num_nodes(); ++i) {
+    const KdTree::Node& na = a.node(static_cast<int32_t>(i));
+    const KdTree::Node& nb = b.node(static_cast<int32_t>(i));
+    EXPECT_EQ(na.begin, nb.begin);
+    EXPECT_EQ(na.end, nb.end);
+    EXPECT_EQ(na.left, nb.left);
+    EXPECT_EQ(na.right, nb.right);
+    // Recomputed stats match.
+    EXPECT_DOUBLE_EQ(na.stats.sum_sq_norm(), nb.stats.sum_sq_norm());
+  }
+}
+
 TEST(SerializationTest, RoundTripPreservesEverything) {
   PointSet pts = GenerateMixture(CrimeSpec(0.002));
   KdTree tree{PointSet(pts)};
 
   std::string path = TempPath("kdv_tree.bin");
-  ASSERT_TRUE(SaveKdTree(tree, path));
-  std::unique_ptr<KdTree> loaded = LoadKdTree(path);
-  ASSERT_NE(loaded, nullptr);
-
-  EXPECT_EQ(loaded->num_points(), tree.num_points());
-  EXPECT_EQ(loaded->num_nodes(), tree.num_nodes());
-  EXPECT_EQ(loaded->dim(), tree.dim());
-  EXPECT_EQ(loaded->Depth(), tree.Depth());
-  for (size_t i = 0; i < tree.num_points(); ++i) {
-    EXPECT_EQ(loaded->points()[i], tree.points()[i]);
-    EXPECT_EQ(loaded->original_index(i), tree.original_index(i));
-  }
-  for (size_t i = 0; i < tree.num_nodes(); ++i) {
-    const KdTree::Node& a = tree.node(static_cast<int32_t>(i));
-    const KdTree::Node& b = loaded->node(static_cast<int32_t>(i));
-    EXPECT_EQ(a.begin, b.begin);
-    EXPECT_EQ(a.end, b.end);
-    EXPECT_EQ(a.left, b.left);
-    EXPECT_EQ(a.right, b.right);
-    // Recomputed stats match.
-    EXPECT_DOUBLE_EQ(a.stats.sum_sq_norm(), b.stats.sum_sq_norm());
-  }
+  ASSERT_TRUE(SaveKdTree(tree, path).ok());
+  StatusOr<std::unique_ptr<KdTree>> loaded = LoadKdTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectTreesEqual(tree, **loaded);
   std::remove(path.c_str());
+}
+
+TEST(SerializationTest, V1RoundTripStillReadable) {
+  PointSet pts = GenerateMixture(CrimeSpec(0.002));
+  KdTree tree{PointSet(pts)};
+
+  std::string path = TempPath("kdv_tree_v1.bin");
+  ASSERT_TRUE(SaveKdTree(tree, path, /*version=*/1).ok());
+  StatusOr<std::unique_ptr<KdTree>> loaded = LoadKdTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectTreesEqual(tree, **loaded);
+
+  // The v1 file really is the legacy layout: smaller than v2 by exactly the
+  // payload-length + four CRC fields.
+  std::string path_v2 = TempPath("kdv_tree_v2.bin");
+  ASSERT_TRUE(SaveKdTree(tree, path_v2, /*version=*/2).ok());
+  std::ifstream v1(path, std::ios::binary | std::ios::ate);
+  std::ifstream v2(path_v2, std::ios::binary | std::ios::ate);
+  EXPECT_EQ(static_cast<long>(v1.tellg()) + 24, static_cast<long>(v2.tellg()));
+  std::remove(path.c_str());
+  std::remove(path_v2.c_str());
+}
+
+TEST(SerializationTest, RejectsUnsupportedSaveVersion) {
+  PointSet pts = GenerateMixture(MixtureSpec{});
+  KdTree tree{std::move(pts)};
+  Status status = SaveKdTree(tree, TempPath("kdv_tree_v9.bin"), 9);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SerializationTest, LoadedTreeAnswersQueriesIdentically) {
@@ -53,14 +85,14 @@ TEST(SerializationTest, LoadedTreeAnswersQueriesIdentically) {
   KdTree tree{PointSet(pts)};
 
   std::string path = TempPath("kdv_tree2.bin");
-  ASSERT_TRUE(SaveKdTree(tree, path));
-  std::unique_ptr<KdTree> loaded = LoadKdTree(path);
-  ASSERT_NE(loaded, nullptr);
+  ASSERT_TRUE(SaveKdTree(tree, path).ok());
+  StatusOr<std::unique_ptr<KdTree>> loaded = LoadKdTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
 
   auto bounds_a = MakeNodeBounds(Method::kQuad, params);
   auto bounds_b = MakeNodeBounds(Method::kQuad, params);
   KdeEvaluator original(&tree, params, bounds_a.get());
-  KdeEvaluator reloaded(loaded.get(), params, bounds_b.get());
+  KdeEvaluator reloaded(loaded->get(), params, bounds_b.get());
 
   Rng rng(3);
   for (int i = 0; i < 25; ++i) {
@@ -74,7 +106,9 @@ TEST(SerializationTest, LoadedTreeAnswersQueriesIdentically) {
 }
 
 TEST(SerializationTest, RejectsMissingFile) {
-  EXPECT_EQ(LoadKdTree("/nonexistent/tree.bin"), nullptr);
+  StatusOr<std::unique_ptr<KdTree>> result = LoadKdTree("/nonexistent/t.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
 TEST(SerializationTest, RejectsBadMagicAndTruncation) {
@@ -83,12 +117,15 @@ TEST(SerializationTest, RejectsBadMagicAndTruncation) {
     std::ofstream out(path, std::ios::binary);
     out << "NOPE this is not a tree";
   }
-  EXPECT_EQ(LoadKdTree(path), nullptr);
+  StatusOr<std::unique_ptr<KdTree>> bad_magic = LoadKdTree(path);
+  ASSERT_FALSE(bad_magic.ok());
+  EXPECT_EQ(bad_magic.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(bad_magic.status().message().find("magic"), std::string::npos);
 
   // Valid header then truncation.
   PointSet pts = GenerateMixture(MixtureSpec{});
   KdTree tree{std::move(pts)};
-  ASSERT_TRUE(SaveKdTree(tree, path));
+  ASSERT_TRUE(SaveKdTree(tree, path).ok());
   {
     std::ifstream in(path, std::ios::binary);
     std::string content((std::istreambuf_iterator<char>(in)),
@@ -96,7 +133,27 @@ TEST(SerializationTest, RejectsBadMagicAndTruncation) {
     std::ofstream out(path, std::ios::binary);
     out.write(content.data(), content.size() / 2);
   }
-  EXPECT_EQ(LoadKdTree(path), nullptr);
+  StatusOr<std::unique_ptr<KdTree>> truncated = LoadKdTree(path);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsFutureFormatVersion) {
+  PointSet pts = GenerateMixture(MixtureSpec{});
+  KdTree tree{std::move(pts)};
+  std::string path = TempPath("kdv_future.bin");
+  ASSERT_TRUE(SaveKdTree(tree, path).ok());
+  {
+    std::fstream io(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(4);  // version field follows the 4-byte magic
+    uint32_t version = 99;
+    io.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  }
+  StatusOr<std::unique_ptr<KdTree>> result = LoadKdTree(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
   std::remove(path.c_str());
 }
 
@@ -114,38 +171,44 @@ TEST(SerializationTest, FromSerializedRejectsCorruptStructure) {
   {
     std::vector<uint32_t> idx = tree.original_indices();
     idx[0] = idx[1];
-    EXPECT_EQ(KdTree::FromSerialized(PointSet(tree.points()), idx, nodes),
-              nullptr);
+    auto result = KdTree::FromSerialized(PointSet(tree.points()), idx, nodes);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(result.status().message().find("permutation"),
+              std::string::npos);
   }
   // (b) Child range that does not partition the parent.
   if (!nodes[0].IsLeaf()) {
     std::vector<KdTree::Node> bad = nodes;
     bad[bad[0].left].end -= 1;
-    EXPECT_EQ(KdTree::FromSerialized(PointSet(tree.points()),
-                                     tree.original_indices(), bad),
-              nullptr);
+    auto result = KdTree::FromSerialized(PointSet(tree.points()),
+                                         tree.original_indices(), bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
   }
   // (c) Cycle (node pointing at the root).
   if (!nodes[0].IsLeaf()) {
     std::vector<KdTree::Node> bad = nodes;
     bad[bad[0].left].left = 0;
     bad[bad[0].left].right = 0;
-    EXPECT_EQ(KdTree::FromSerialized(PointSet(tree.points()),
-                                     tree.original_indices(), bad),
-              nullptr);
+    auto result = KdTree::FromSerialized(PointSet(tree.points()),
+                                         tree.original_indices(), bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
   }
   // (d) Root not covering all points.
   {
     std::vector<KdTree::Node> bad = nodes;
     bad[0].end -= 1;
-    EXPECT_EQ(KdTree::FromSerialized(PointSet(tree.points()),
-                                     tree.original_indices(), bad),
-              nullptr);
+    auto result = KdTree::FromSerialized(PointSet(tree.points()),
+                                         tree.original_indices(), bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
   }
   // Sanity: unmodified parts load fine.
-  EXPECT_NE(KdTree::FromSerialized(PointSet(tree.points()),
-                                   tree.original_indices(), nodes),
-            nullptr);
+  EXPECT_TRUE(KdTree::FromSerialized(PointSet(tree.points()),
+                                     tree.original_indices(), nodes)
+                  .ok());
 }
 
 }  // namespace

@@ -1,3 +1,4 @@
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -5,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include "util/crc32.h"
 #include "util/csv.h"
 #include "util/random.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace kdv {
@@ -149,24 +152,169 @@ TEST(CsvTest, EmptyLineYieldsEmptyVector) {
   EXPECT_TRUE(out.empty());
 }
 
+TEST(CsvTest, RejectsNonFiniteByDefault) {
+  std::vector<double> out;
+  EXPECT_FALSE(ParseCsvDoubles("nan,1", &out));
+  EXPECT_FALSE(ParseCsvDoubles("1,inf", &out));
+  EXPECT_FALSE(ParseCsvDoubles("-inf,2", &out));
+  EXPECT_FALSE(ParseCsvDoubles("1,infinity", &out));
+  EXPECT_FALSE(ParseCsvDoubles("nan(0123),1", &out));
+}
+
+TEST(CsvTest, AllowNonFiniteKnob) {
+  std::vector<double> out;
+  ASSERT_TRUE(ParseCsvDoubles("nan,inf,-inf,2", &out,
+                              /*allow_nonfinite=*/true));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_TRUE(std::isnan(out[0]));
+  EXPECT_TRUE(std::isinf(out[1]));
+  EXPECT_TRUE(std::isinf(out[2]));
+  EXPECT_DOUBLE_EQ(out[3], 2.0);
+}
+
+TEST(CsvTest, RejectsHexFloatsAlways) {
+  std::vector<double> out;
+  EXPECT_FALSE(ParseCsvDoubles("0x10,1", &out));
+  EXPECT_FALSE(ParseCsvDoubles("0X1p3,1", &out, /*allow_nonfinite=*/true));
+}
+
 TEST(CsvTest, RoundTripFile) {
   std::string path = ::testing::TempDir() + "/kdv_csv_roundtrip.csv";
   std::vector<std::vector<double>> rows = {{1.0, 2.0}, {3.25, -4.5}};
-  ASSERT_TRUE(WriteCsvFile(path, "x,y", rows));
+  ASSERT_TRUE(WriteCsvFile(path, "x,y", rows).ok());
 
   std::vector<std::vector<double>> back;
-  size_t skipped = 0;
-  ASSERT_TRUE(ReadCsvFile(path, &back, &skipped));
-  EXPECT_EQ(skipped, 1u);  // header
+  CsvReadStats stats;
+  ASSERT_TRUE(ReadCsvFile(path, &back, &stats).ok());
+  EXPECT_EQ(stats.skipped_malformed, 1u);  // header
+  EXPECT_EQ(stats.skipped_ragged, 0u);
+  EXPECT_EQ(stats.rows_kept, 2u);
   ASSERT_EQ(back.size(), 2u);
   EXPECT_DOUBLE_EQ(back[1][0], 3.25);
   EXPECT_DOUBLE_EQ(back[1][1], -4.5);
   std::remove(path.c_str());
 }
 
+TEST(CsvTest, RaggedRowsAreSkippedNotMixedIn) {
+  std::string path = ::testing::TempDir() + "/kdv_csv_ragged.csv";
+  {
+    std::ofstream out(path);
+    out << "1,2\n3,4,5\n6\n7,8\n";
+  }
+  std::vector<std::vector<double>> rows;
+  CsvReadStats stats;
+  ASSERT_TRUE(ReadCsvFile(path, &rows, &stats).ok());
+  ASSERT_EQ(rows.size(), 2u);  // only the 2-column rows survive
+  EXPECT_DOUBLE_EQ(rows[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(rows[1][1], 8.0);
+  EXPECT_EQ(stats.skipped_ragged, 2u);
+  EXPECT_EQ(stats.skipped_malformed, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NonFiniteRowsCountAsMalformed) {
+  std::string path = ::testing::TempDir() + "/kdv_csv_nonfinite.csv";
+  {
+    std::ofstream out(path);
+    out << "1,2\nnan,3\n4,inf\n5,6\n";
+  }
+  std::vector<std::vector<double>> rows;
+  CsvReadStats stats;
+  ASSERT_TRUE(ReadCsvFile(path, &rows, &stats).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(stats.skipped_malformed, 2u);
+  std::remove(path.c_str());
+}
+
 TEST(CsvTest, ReadMissingFileFails) {
   std::vector<std::vector<double>> rows;
-  EXPECT_FALSE(ReadCsvFile("/nonexistent/path/file.csv", &rows, nullptr));
+  Status status = ReadCsvFile("/nonexistent/path/file.csv", &rows, nullptr);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("/nonexistent/path/file.csv"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = DataLossError("checksum mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "checksum mismatch");
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: checksum mismatch");
+}
+
+TEST(StatusTest, StatusOrHoldsValueOrError) {
+  StatusOr<int> ok_value(42);
+  ASSERT_TRUE(ok_value.ok());
+  EXPECT_EQ(*ok_value, 42);
+
+  StatusOr<int> err(InvalidArgumentError("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return NotFoundError("missing"); };
+  auto wrapper = [&]() -> Status {
+    KDV_RETURN_IF_ERROR(fails());
+    return InternalError("unreachable");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, AssignOrReturnUnwraps) {
+  auto produce = []() -> StatusOr<std::string> {
+    return std::string("payload");
+  };
+  auto wrapper = [&]() -> Status {
+    KDV_ASSIGN_OR_RETURN(std::string value, produce());
+    EXPECT_EQ(value, "payload");
+    return OkStatus();
+  };
+  EXPECT_TRUE(wrapper().ok());
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // Standard check value for CRC-32/ISO-HDLC.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const char data[] = "the quick brown fox jumps over the lazy dog";
+  const size_t len = sizeof(data) - 1;
+  uint32_t whole = Crc32(data, len);
+  for (size_t split = 0; split <= len; ++split) {
+    uint32_t crc = Crc32Update(0, data, split);
+    crc = Crc32Update(crc, data + split, len - split);
+    EXPECT_EQ(crc, whole);
+  }
+}
+
+TEST(Crc32Test, DetectsEverySingleByteFlip) {
+  std::string data = "kd-tree payload bytes";
+  const uint32_t reference = Crc32(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+    EXPECT_NE(Crc32(mutated.data(), mutated.size()), reference);
+  }
 }
 
 }  // namespace

@@ -1,10 +1,26 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "data/datasets.h"
+#include "viz/pixel_grid.h"
+#include "viz/render.h"
 #include "workbench/workbench.h"
 
 namespace kdv {
 namespace {
+
+// Renders a small εKDV frame and requires every density to be finite; the
+// degenerate-input contract is "flat frame, never NaN".
+void ExpectFiniteFrame(Workbench& bench) {
+  KdeEvaluator quad = bench.MakeEvaluator(Method::kQuad);
+  PixelGrid grid(16, 12, bench.data_bounds());
+  DensityFrame frame = RenderEpsFrame(quad, grid, 0.05, nullptr);
+  for (double v : frame.values) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+}
 
 TEST(WorkbenchTest, IndexesDatasetAndDerivesScottParams) {
   PointSet pts = GenerateMixture(CrimeSpec(0.002));
@@ -78,6 +94,73 @@ TEST(WorkbenchTest, ZorderEvaluatorUsesReducedWeightedSample) {
   double reduced = zorder.EvaluateExact(q);
   ASSERT_GT(full, 0.0);
   EXPECT_NEAR(reduced / full, 1.0, 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs: each must yield a Status (empty) or a finite flat
+// frame (single point, all-identical, zero-variance dimension) — never an
+// abort or NaN densities.
+// ---------------------------------------------------------------------------
+
+TEST(WorkbenchDegenerateTest, EmptyDatasetReturnsStatus) {
+  StatusOr<std::unique_ptr<Workbench>> bench =
+      Workbench::Create(PointSet{}, KernelType::kGaussian);
+  ASSERT_FALSE(bench.ok());
+  EXPECT_EQ(bench.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkbenchDegenerateTest, NonFinitePointRejectedByDefault) {
+  PointSet pts{Point{0.0, 0.0}, Point{std::nan(""), 1.0}};
+  StatusOr<std::unique_ptr<Workbench>> bench =
+      Workbench::Create(std::move(pts), KernelType::kGaussian);
+  ASSERT_FALSE(bench.ok());
+  EXPECT_EQ(bench.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkbenchDegenerateTest, DropPolicyRecoversFromNaNRows) {
+  PointSet pts = GenerateMixture(MixtureSpec{});
+  pts[3] = Point{std::nan(""), 0.5};
+  const size_t n = pts.size();
+  Workbench::Options options;
+  options.validate.policy = ValidateOptions::BadPointPolicy::kDrop;
+  StatusOr<std::unique_ptr<Workbench>> bench =
+      Workbench::Create(std::move(pts), KernelType::kGaussian, options);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  EXPECT_EQ((*bench)->num_points(), n - 1);
+  EXPECT_EQ((*bench)->ingest_report().dropped_nonfinite, 1u);
+  ExpectFiniteFrame(**bench);
+}
+
+TEST(WorkbenchDegenerateTest, SinglePointRendersFiniteFrame) {
+  StatusOr<std::unique_ptr<Workbench>> bench =
+      Workbench::Create(PointSet{Point{0.5, 0.5}}, KernelType::kGaussian);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  EXPECT_TRUE((*bench)->ingest_report().degenerate);
+  ExpectFiniteFrame(**bench);
+}
+
+TEST(WorkbenchDegenerateTest, AllIdenticalPointsRenderFiniteFrame) {
+  StatusOr<std::unique_ptr<Workbench>> bench = Workbench::Create(
+      PointSet(64, Point{2.0, -1.0}), KernelType::kGaussian);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  EXPECT_TRUE((*bench)->ingest_report().all_identical);
+  ExpectFiniteFrame(**bench);
+  // Scott's rule must have fallen back to a positive bandwidth.
+  EXPECT_GT((*bench)->params().gamma, 0.0);
+  EXPECT_TRUE(std::isfinite((*bench)->params().gamma));
+}
+
+TEST(WorkbenchDegenerateTest, ZeroVarianceDimensionRendersFiniteFrame) {
+  PointSet pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back(Point{static_cast<double>(i) / 100.0, 0.25});
+  }
+  StatusOr<std::unique_ptr<Workbench>> bench =
+      Workbench::Create(std::move(pts), KernelType::kGaussian);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  ASSERT_EQ((*bench)->ingest_report().zero_variance_dims.size(), 1u);
+  EXPECT_EQ((*bench)->ingest_report().zero_variance_dims[0], 1);
+  ExpectFiniteFrame(**bench);
 }
 
 TEST(WorkbenchTest, ZorderCacheReturnsSameTreeForSameEps) {

@@ -2,13 +2,20 @@
 //
 // Subcommands:
 //   generate    synthesize a dataset analogue and write it as CSV
-//   info        dataset summary (bounds, Scott bandwidth, index stats)
+//   info        dataset summary (bounds, Scott bandwidth, index stats);
+//               with --index FILE, verify and summarize a saved index
+//   index       build a kd-tree index and persist it (checksummed v2)
 //   render      εKDV heat map -> PPM
 //   hotspot     τKDV two-color map -> PPM
 //   progressive anytime εKDV under a time budget -> PPM
 //
+// Every failure path exits non-zero with a printed reason; bad input (a
+// malformed CSV, a truncated index, a NaN flag value) must never abort.
+//
 // Examples:
 //   kdvtool generate --dataset crime --scale 0.05 --out crime.csv
+//   kdvtool index --in crime.csv --out crime.kdv
+//   kdvtool info --index crime.kdv
 //   kdvtool render --in crime.csv --eps 0.01 --width 640 --out heat.ppm
 //   kdvtool hotspot --in crime.csv --tau-sigma 0.1 --out mask.ppm
 //   kdvtool progressive --in crime.csv --budget 0.5 --out partial.ppm
@@ -27,10 +34,14 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: kdvtool "
-      "<generate|info|render|hotspot|progressive|classify|regress> [flags]\n"
+      "<generate|info|index|render|hotspot|progressive|classify|regress> "
+      "[flags]\n"
       "  common flags: --in FILE.csv | --dataset el_nino|crime|home|hep\n"
       "                --scale S --kernel NAME --method quad|karl|akde|exact\n"
       "                --width W --height H --out FILE\n"
+      "                --drop-bad (drop NaN/Inf rows instead of failing)\n"
+      "  info:         --index FILE.kdv (verify + summarize a saved index)\n"
+      "  index:        --out FILE.kdv [--format-version 1|2]\n"
       "  render:       --eps E\n"
       "  hotspot:      --tau T | --tau-sigma K (tau = mu + K*sigma)\n"
       "                --block (certify whole pixel blocks)\n"
@@ -38,6 +49,11 @@ int Usage() {
       "  classify:     --in FILE.csv --label-col I (x,y + integer labels)\n"
       "  regress:      --in FILE.csv --target-col I (x,y + target >= 0)\n");
   return 2;
+}
+
+// Prints a Status as "kdvtool: CODE: message".
+void PrintStatus(const Status& status) {
+  std::fprintf(stderr, "kdvtool: %s\n", status.ToString().c_str());
 }
 
 bool ParseKernel(const std::string& name, KernelType* out) {
@@ -88,18 +104,46 @@ bool MakeSpec(const std::string& name, double scale, MixtureSpec* spec) {
   return true;
 }
 
+// Ingestion policy from flags: --drop-bad switches from reject to drop.
+ValidateOptions ValidateOptionsFromFlags(const Flags& flags) {
+  ValidateOptions options;
+  if (flags.GetBool("drop-bad", false)) {
+    options.policy = ValidateOptions::BadPointPolicy::kDrop;
+  }
+  return options;
+}
+
 // Loads the input dataset from --in CSV or synthesizes from --dataset.
 bool LoadInput(const Flags& flags, PointSet* points) {
   std::string in = flags.GetString("in", "");
   if (!in.empty()) {
-    if (!LoadPointsCsv(in, {}, points) || points->empty()) {
-      std::fprintf(stderr, "kdvtool: cannot read points from %s\n",
-                   in.c_str());
+    CsvReadStats csv_stats;
+    Status status = LoadPointsCsv(in, {}, points, &csv_stats);
+    if (!status.ok()) {
+      PrintStatus(status);
       return false;
     }
+    if (csv_stats.skipped() > 0) {
+      std::fprintf(stderr,
+                   "kdvtool: %s: skipped %zu rows (%zu malformed/non-finite, "
+                   "%zu ragged)\n",
+                   in.c_str(), csv_stats.skipped(), csv_stats.skipped_malformed,
+                   csv_stats.skipped_ragged);
+    }
     if ((*points)[0].dim() < 2) {
-      std::fprintf(stderr, "kdvtool: need >= 2 columns\n");
+      std::fprintf(stderr, "kdvtool: %s: need >= 2 columns\n", in.c_str());
       return false;
+    }
+    IngestReport report;
+    status = ValidatePointSet(points, ValidateOptionsFromFlags(flags),
+                              &report);
+    if (!status.ok()) {
+      PrintStatus(status);
+      return false;
+    }
+    if (report.kept_points < report.input_points || report.degenerate) {
+      std::fprintf(stderr, "kdvtool: %s: %s\n", in.c_str(),
+                   report.Summary().c_str());
     }
     return true;
   }
@@ -117,11 +161,40 @@ int CmdGenerate(const Flags& flags) {
   PointSet points;
   if (!LoadInput(flags, &points)) return 1;
   std::string out = flags.GetString("out", "points.csv");
-  if (!SavePointsCsv(out, points)) {
-    std::fprintf(stderr, "kdvtool: cannot write %s\n", out.c_str());
+  Status status = SavePointsCsv(out, points);
+  if (!status.ok()) {
+    PrintStatus(status);
     return 1;
   }
   std::printf("wrote %zu points to %s\n", points.size(), out.c_str());
+  return 0;
+}
+
+// Builds a kd-tree over the input and persists it (checksummed v2 format by
+// default; --format-version 1 writes the legacy layout).
+int CmdIndex(const Flags& flags) {
+  PointSet points;
+  if (!LoadInput(flags, &points)) return 1;
+  KdTree::Options tree_options;
+  int leaf_size = flags.GetInt("leaf-size", 32);
+  if (leaf_size < 1) {
+    std::fprintf(stderr, "kdvtool: --leaf-size must be >= 1\n");
+    return 1;
+  }
+  tree_options.leaf_size = static_cast<size_t>(leaf_size);
+  KdTree tree(std::move(points), tree_options);
+
+  std::string out = flags.GetString("out", "index.kdv");
+  uint32_t version = static_cast<uint32_t>(
+      flags.GetInt("format-version", static_cast<int>(kKdTreeFormatVersion)));
+  Status status = SaveKdTree(tree, out, version);
+  if (!status.ok()) {
+    PrintStatus(status);
+    return 1;
+  }
+  std::printf("indexed %zu points (%zu nodes, depth %d) -> %s (format v%u)\n",
+              tree.num_points(), tree.num_nodes(), tree.Depth(), out.c_str(),
+              version);
   return 0;
 }
 
@@ -147,8 +220,14 @@ bool OpenSession(const Flags& flags, Session* session) {
   }
   Workbench::Options options;
   options.gamma_override = flags.GetDouble("gamma", -1.0);
-  session->bench =
-      std::make_unique<Workbench>(std::move(points), kernel, options);
+  options.validate = ValidateOptionsFromFlags(flags);
+  StatusOr<std::unique_ptr<Workbench>> bench =
+      Workbench::Create(std::move(points), kernel, options);
+  if (!bench.ok()) {
+    PrintStatus(bench.status());
+    return false;
+  }
+  session->bench = *std::move(bench);
   if (session->method != Method::kExact &&
       !session->bench->Supports(session->method)) {
     std::fprintf(stderr, "kdvtool: method does not support this kernel\n");
@@ -164,6 +243,22 @@ bool OpenSession(const Flags& flags, Session* session) {
 }
 
 int CmdInfo(const Flags& flags) {
+  // --index FILE: verify and summarize a persisted index instead of
+  // building one from points.
+  std::string index_path = flags.GetString("index", "");
+  if (!index_path.empty()) {
+    StatusOr<std::unique_ptr<KdTree>> tree = LoadKdTree(index_path);
+    if (!tree.ok()) {
+      PrintStatus(tree.status());
+      return 1;
+    }
+    std::printf("index:        %s (verified)\n", index_path.c_str());
+    std::printf("points:       %zu (dim %d)\n", (*tree)->num_points(),
+                (*tree)->dim());
+    std::printf("kd-tree:      %zu nodes, depth %d\n", (*tree)->num_nodes(),
+                (*tree)->Depth());
+    return 0;
+  }
   Session s;
   if (!OpenSession(flags, &s)) return 1;
   const Workbench& b = *s.bench;
@@ -277,8 +372,9 @@ int CmdClassify(const Flags& flags) {
     return 1;
   }
   PointSet rows;
-  if (!LoadPointsCsv(in, {}, &rows) || rows.empty()) {
-    std::fprintf(stderr, "kdvtool: cannot read %s\n", in.c_str());
+  Status load_status = LoadPointsCsv(in, {}, &rows);
+  if (!load_status.ok()) {
+    PrintStatus(load_status);
     return 1;
   }
   const int cols = rows[0].dim();
@@ -359,8 +455,9 @@ int CmdRegress(const Flags& flags) {
     return 1;
   }
   PointSet rows;
-  if (!LoadPointsCsv(in, {}, &rows) || rows.empty()) {
-    std::fprintf(stderr, "kdvtool: cannot read %s\n", in.c_str());
+  Status load_status = LoadPointsCsv(in, {}, &rows);
+  if (!load_status.ok()) {
+    PrintStatus(load_status);
     return 1;
   }
   const int cols = rows[0].dim();
@@ -438,6 +535,7 @@ int main(int argc, char** argv) {
 
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "index") return CmdIndex(flags);
   if (cmd == "render") return CmdRender(flags);
   if (cmd == "hotspot") return CmdHotspot(flags);
   if (cmd == "progressive") return CmdProgressive(flags);
