@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernel/kernel.h"
 #include "util/check.h"
 
 namespace kdv {
 
 LinearCoeffs ExpChordUpper(double x_min, double x_max) {
   KDV_DCHECK(x_max > x_min);
-  const double e_min = std::exp(-x_min);
-  const double e_max = std::exp(-x_max);
+  const double e_min = ClampedExpNeg(x_min);
+  const double e_max = ClampedExpNeg(x_max);
   LinearCoeffs lin;
   lin.m = (e_max - e_min) / (x_max - x_min);
   lin.k = e_min - lin.m * x_min;
@@ -19,7 +20,7 @@ LinearCoeffs ExpChordUpper(double x_min, double x_max) {
 
 LinearCoeffs ExpTangentLower(double t) {
   KDV_DCHECK(t >= 0.0);
-  const double e_t = std::exp(-t);
+  const double e_t = ClampedExpNeg(t);
   LinearCoeffs lin;
   lin.m = -e_t;
   lin.k = (1.0 + t) * e_t;
@@ -28,8 +29,8 @@ LinearCoeffs ExpTangentLower(double t) {
 
 QuadraticCoeffs ExpQuadUpper(double x_min, double x_max) {
   KDV_DCHECK(x_max > x_min);
-  const double e_min = std::exp(-x_min);
-  const double e_max = std::exp(-x_max);
+  const double e_min = ClampedExpNeg(x_min);
+  const double e_max = ClampedExpNeg(x_max);
   const double delta = x_max - x_min;
 
   QuadraticCoeffs q;
@@ -44,8 +45,8 @@ QuadraticCoeffs ExpQuadUpper(double x_min, double x_max) {
 QuadraticCoeffs ExpQuadLower(double t, double x_max) {
   KDV_DCHECK(t < x_max);
   KDV_DCHECK(t >= 0.0);
-  const double e_t = std::exp(-t);
-  const double e_max = std::exp(-x_max);
+  const double e_t = ClampedExpNeg(t);
+  const double e_max = ClampedExpNeg(x_max);
   const double d = x_max - t;
 
   QuadraticCoeffs q;
@@ -116,8 +117,8 @@ QuadraticCoeffs CosineQuadLower(double x_max) {
 QuadraticCoeffs ExponentialQuadUpper(double x_min, double x_max) {
   KDV_DCHECK(x_max > x_min);
   KDV_DCHECK(x_min >= 0.0);
-  const double e_min = std::exp(-x_min);
-  const double e_max = std::exp(-x_max);
+  const double e_min = ClampedExpNeg(x_min);
+  const double e_max = ClampedExpNeg(x_max);
   const double denom = x_max * x_max - x_min * x_min;
 
   QuadraticCoeffs q;
@@ -130,7 +131,7 @@ QuadraticCoeffs ExponentialQuadUpper(double x_min, double x_max) {
 
 QuadraticCoeffs ExponentialQuadLower(double t) {
   KDV_DCHECK(t > 0.0);
-  const double e_t = std::exp(-t);
+  const double e_t = ClampedExpNeg(t);
   QuadraticCoeffs q;
   // §9.6.4, Eqs. 16-17.
   q.a = -e_t / (2.0 * t);

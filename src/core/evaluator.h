@@ -7,6 +7,12 @@
 // and the query stops as soon as the operation's termination test holds:
 //   εKDV:  ub <= (1+ε) * lb
 //   τKDV:  lb >= τ  or  ub <= τ
+//
+// Every evaluation accepts an optional QueryControl (deadline +
+// cancellation), polled cooperatively every control.check_interval
+// refinement iterations, and reports numeric faults (NaN/Inf or inverted
+// bound intervals) instead of propagating non-finite values: the returned
+// estimate is always finite.
 #ifndef QUADKDV_CORE_EVALUATOR_H_
 #define QUADKDV_CORE_EVALUATOR_H_
 
@@ -17,17 +23,20 @@
 #include "geom/point.h"
 #include "index/kdtree.h"
 #include "kernel/kernel.h"
+#include "util/cancel.h"
 
 namespace kdv {
 
 // Outcome of one per-pixel evaluation.
 struct EvalResult {
-  double lower = 0.0;       // certified lower bound on F_P(q)
-  double upper = 0.0;       // certified upper bound on F_P(q)
-  double estimate = 0.0;    // returned density value R(q)
+  double lower = 0.0;       // certified lower bound on F_P(q), finite
+  double upper = 0.0;       // certified upper bound on F_P(q), finite
+  double estimate = 0.0;    // returned density value R(q), finite
   uint64_t iterations = 0;  // refinement steps (queue pops)
   uint64_t points_scanned = 0;  // points evaluated exactly in leaves
   bool converged = false;   // termination test satisfied (or fully refined)
+  bool interrupted = false;  // stopped early by deadline/cancellation
+  bool numeric_fault = false;  // bound math misbehaved; interval was clamped
 };
 
 // Outcome of one τKDV classification.
@@ -37,6 +46,8 @@ struct TauResult {
   double upper = 0.0;
   uint64_t iterations = 0;
   uint64_t points_scanned = 0;
+  bool interrupted = false;
+  bool numeric_fault = false;
 };
 
 // One step of a bound-refinement trace (paper Fig. 18).
@@ -56,17 +67,30 @@ class KdeEvaluator {
 
   // εKDV: returns R(q) with |R(q) - F_P(q)| <= ε * F_P(q).
   EvalResult EvaluateEps(const Point& q, double eps) const {
-    return RefineEps(q, eps, nullptr);
+    return RefineEps(q, eps, nullptr, nullptr);
+  }
+
+  // Deadline/cancellation-aware variant; on a stop, result.interrupted is
+  // set and the (wider, still certified) current interval is returned.
+  EvalResult EvaluateEps(const Point& q, double eps,
+                         const QueryControl& control) const {
+    return RefineEps(q, eps, nullptr, &control);
   }
 
   // Same, recording (lb, ub) after every refinement step into *trace.
   EvalResult EvaluateEpsTraced(const Point& q, double eps,
                                std::vector<BoundStep>* trace) const {
-    return RefineEps(q, eps, trace);
+    return RefineEps(q, eps, trace, nullptr);
   }
 
   // τKDV: decides F_P(q) >= τ.
-  TauResult EvaluateTau(const Point& q, double tau) const;
+  TauResult EvaluateTau(const Point& q, double tau) const {
+    return RefineTau(q, tau, nullptr);
+  }
+  TauResult EvaluateTau(const Point& q, double tau,
+                        const QueryControl& control) const {
+    return RefineTau(q, tau, &control);
+  }
 
   // Exact sequential evaluation of F_P(q) over all indexed points.
   double EvaluateExact(const Point& q) const;
@@ -77,7 +101,10 @@ class KdeEvaluator {
 
  private:
   EvalResult RefineEps(const Point& q, double eps,
-                       std::vector<BoundStep>* trace) const;
+                       std::vector<BoundStep>* trace,
+                       const QueryControl* control) const;
+  TauResult RefineTau(const Point& q, double tau,
+                      const QueryControl* control) const;
 
   // Exact contribution of one node's points.
   double LeafSum(const KdTree::Node& node, const Point& q) const;

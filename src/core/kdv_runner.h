@@ -1,7 +1,10 @@
 // Batch drivers: εKDV / τKDV / exact KDV over a set of query points.
 //
 // Benchmarks and the visualization layers all funnel through these, so
-// timing and work accounting are measured uniformly across methods.
+// timing and work accounting are measured uniformly across methods. Every
+// batch accepts an optional QueryControl carrying a per-request Deadline and
+// a shared CancelToken; stops are cooperative at per-query granularity (and,
+// for the bound-refining batches, at iteration granularity inside a query).
 #ifndef QUADKDV_CORE_KDV_RUNNER_H_
 #define QUADKDV_CORE_KDV_RUNNER_H_
 
@@ -10,6 +13,8 @@
 
 #include "core/evaluator.h"
 #include "geom/point.h"
+#include "util/cancel.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace kdv {
@@ -20,11 +25,22 @@ struct BatchStats {
   uint64_t queries = 0;           // queries actually evaluated
   uint64_t iterations = 0;        // total refinement steps
   uint64_t points_scanned = 0;    // total exact point evaluations
-  bool completed = true;          // false if a deadline cut the batch short
+  bool completed = true;          // false if the batch was cut short
+  bool deadline_expired = false;  // cut short by the per-request deadline
+  bool cancelled = false;         // cut short by the CancelToken
+  uint64_t numeric_faults = 0;    // queries clamped by numerical hardening
+  // Non-OK when an internal fault (e.g. an injected failpoint error) aborted
+  // the batch; the partial outputs written so far remain valid.
+  Status status = OkStatus();
 };
 
 // εKDV over `queries`; out[i] is the (1±eps)-approximate density of
-// queries[i]. `stats` may be nullptr.
+// queries[i]. `stats` may be nullptr. Entries not reached before a stop
+// keep 0.0.
+std::vector<double> RunEpsBatch(const KdeEvaluator& evaluator,
+                                const PointSet& queries, double eps,
+                                const QueryControl& control,
+                                BatchStats* stats);
 std::vector<double> RunEpsBatch(const KdeEvaluator& evaluator,
                                 const PointSet& queries, double eps,
                                 BatchStats* stats);
@@ -32,17 +48,31 @@ std::vector<double> RunEpsBatch(const KdeEvaluator& evaluator,
 // τKDV over `queries`; out[i] is 1 iff F_P(queries[i]) >= tau.
 std::vector<uint8_t> RunTauBatch(const KdeEvaluator& evaluator,
                                  const PointSet& queries, double tau,
+                                 const QueryControl& control,
+                                 BatchStats* stats);
+std::vector<uint8_t> RunTauBatch(const KdeEvaluator& evaluator,
+                                 const PointSet& queries, double tau,
                                  BatchStats* stats);
 
-// Exact KDV (sequential scan per query).
+// Exact KDV (sequential scan per query). Stops are per-query: one exact
+// scan is the smallest unit of interruption for this method.
+std::vector<double> RunExactBatch(const KdeEvaluator& evaluator,
+                                  const PointSet& queries,
+                                  const QueryControl& control,
+                                  BatchStats* stats);
 std::vector<double> RunExactBatch(const KdeEvaluator& evaluator,
                                   const PointSet& queries, BatchStats* stats);
 
-// Deadline-aware εKDV in a caller-chosen evaluation order: evaluates
-// queries[order[k]] for k = 0,1,... until the deadline expires, writing
-// results into (*out)[order[k]]. Entries not reached keep their prior value.
-// Returns the number of queries evaluated. Used by the progressive
-// framework (§6) and its EXACT/sampling competitors.
+// Deadline/cancellation-aware εKDV in a caller-chosen evaluation order:
+// evaluates queries[order[k]] for k = 0,1,... until a stop condition fires,
+// writing results into (*out)[order[k]]. Entries not reached keep their
+// prior value. Returns the number of queries evaluated. Used by the
+// progressive framework (§6) and its EXACT/sampling competitors.
+size_t RunEpsOrdered(const KdeEvaluator& evaluator, const PointSet& queries,
+                     const std::vector<uint32_t>& order, double eps,
+                     const QueryControl& control, std::vector<double>* out,
+                     BatchStats* stats);
+// Back-compat shim: deadline-only control.
 size_t RunEpsOrdered(const KdeEvaluator& evaluator, const PointSet& queries,
                      const std::vector<uint32_t>& order, double eps,
                      Deadline* deadline, std::vector<double>* out,

@@ -1,10 +1,26 @@
 #include "core/refinement_stream.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace kdv {
+
+namespace {
+
+// A certified interval is acceptable when both ends are finite and any
+// inversion is attributable to floating-point drift (which the envelope
+// clamp absorbs). Larger inversions mean the bound math is broken for this
+// query and must not be trusted.
+bool IntervalAcceptable(double lower, double upper) {
+  if (!std::isfinite(lower) || !std::isfinite(upper)) return false;
+  const double drift = 1e-9 * (1.0 + std::abs(lower));
+  return upper >= lower - drift;
+}
+
+}  // namespace
 
 RefinementStream::RefinementStream(const KdTree* tree,
                                    const KernelParams& params,
@@ -15,11 +31,22 @@ RefinementStream::RefinementStream(const KdTree* tree,
     // EXACT method: no refinement possible; the "bounds" are the answer.
     double exact = LeafSum(tree_->node(tree_->root()));
     points_scanned_ = tree_->num_points();
+    if (!std::isfinite(exact)) {
+      SetUniversalEnvelope();
+      poisoned_ = true;
+      return;
+    }
     lb_ = ub_ = best_lb_ = best_ub_ = exact;
     return;
   }
   const int32_t root = tree_->root();
   BoundPair root_bounds = bounds_->Evaluate(tree_->node(root).stats, q_);
+  KDV_FAILPOINT_CORRUPT("refine.step", root_bounds.lower, root_bounds.upper);
+  if (!IntervalAcceptable(root_bounds.lower, root_bounds.upper)) {
+    SetUniversalEnvelope();
+    poisoned_ = true;
+    return;
+  }
   lb_ = best_lb_ = root_bounds.lower;
   ub_ = best_ub_ = root_bounds.upper;
   queue_.push({ub_ - lb_, root, lb_, ub_});
@@ -34,8 +61,22 @@ double RefinementStream::LeafSum(const KdTree::Node& node) const {
   return params_.weight * sum;
 }
 
+void RefinementStream::Poison() {
+  poisoned_ = true;
+  queue_ = {};
+}
+
+void RefinementStream::SetUniversalEnvelope() {
+  // Every kernel profile peaks at x == 0 with K(0) in (0, 1], so
+  // 0 <= F_P(q) <= n·w·K(0) holds no matter what the bound math did.
+  lb_ = best_lb_ = 0.0;
+  ub_ = best_ub_ = static_cast<double>(tree_->num_points()) * params_.weight *
+                   KernelProfile(params_.type, 0.0);
+  queue_ = {};
+}
+
 bool RefinementStream::Step() {
-  if (queue_.empty()) return false;
+  if (poisoned_ || queue_.empty()) return false;
   QueueEntry top = queue_.top();
   queue_.pop();
   ++iterations_;
@@ -52,11 +93,20 @@ bool RefinementStream::Step() {
     for (int32_t child : {node.left, node.right}) {
       BoundPair child_bounds =
           bounds_->Evaluate(tree_->node(child).stats, q_);
+      KDV_FAILPOINT_CORRUPT("refine.step", child_bounds.lower,
+                            child_bounds.upper);
       lb_ += child_bounds.lower;
       ub_ += child_bounds.upper;
       queue_.push({child_bounds.upper - child_bounds.lower, child,
                    child_bounds.lower, child_bounds.upper});
     }
+  }
+
+  if (!IntervalAcceptable(lb_, ub_)) {
+    // Numeric fault (NaN/Inf totals or a non-drift inversion): keep the last
+    // certified envelope rather than letting the bad values reach callers.
+    Poison();
+    return true;
   }
 
   if (queue_.empty()) {

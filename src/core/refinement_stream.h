@@ -4,6 +4,13 @@
 // time, maintaining a certified, monotonically tightening interval
 // [lower(), upper()] around F_P(q). εKDV, τKDV, the Fig-18 traces and the
 // kernel-density classifier are all thin drivers over this stream.
+//
+// Numerical hardening: every bound update is validated; if the bound math
+// ever produces a NaN/Inf total or a genuinely inverted interval (beyond
+// floating-point drift), the stream freezes at its last certified finite
+// envelope and reports poisoned() instead of propagating the bad values.
+// A stream whose very first bounds are already invalid falls back to the
+// universal envelope [0, n·w·K(0)], which holds for every kernel.
 #ifndef QUADKDV_CORE_REFINEMENT_STREAM_H_
 #define QUADKDV_CORE_REFINEMENT_STREAM_H_
 
@@ -28,12 +35,13 @@ class RefinementStream {
 
   // Performs one refinement step (pop the loosest node, replace it by its
   // children's bounds or its exact leaf sum). Returns false if the stream
-  // was already exhausted.
+  // was already exhausted (or poisoned).
   bool Step();
 
   // Certified bounds: lower() <= F_P(q) <= upper(), weakly monotone in the
   // number of steps (best-so-far envelope; see evaluator.cc for why the raw
-  // running totals alone are not monotone).
+  // running totals alone are not monotone). Always finite, even after a
+  // numeric fault.
   double lower() const { return best_lb_; }
   double upper() const { return best_ub_; }
 
@@ -41,6 +49,10 @@ class RefinementStream {
   double gap() const { return best_ub_ - best_lb_; }
 
   bool exhausted() const { return queue_.empty(); }
+  // True once a bound update produced NaN/Inf or an inverted interval; the
+  // envelope is frozen at the last certified values and Step() refuses to
+  // refine further.
+  bool poisoned() const { return poisoned_; }
   uint64_t iterations() const { return iterations_; }
   uint64_t points_scanned() const { return points_scanned_; }
 
@@ -58,6 +70,11 @@ class RefinementStream {
   };
 
   double LeafSum(const KdTree::Node& node) const;
+  // Freezes the stream after a numeric fault, discarding pending work.
+  void Poison();
+  // Certified-for-free fallback [0, n·w·K(0)] used when even the root
+  // bounds are invalid.
+  void SetUniversalEnvelope();
 
   const KdTree* tree_;
   KernelParams params_;
@@ -69,6 +86,7 @@ class RefinementStream {
   double ub_ = 0.0;
   double best_lb_ = 0.0;  // monotone envelope
   double best_ub_ = 0.0;
+  bool poisoned_ = false;
   uint64_t iterations_ = 0;
   uint64_t points_scanned_ = 0;
 };

@@ -53,7 +53,7 @@ double KernelProfile(KernelType type, double x) {
   switch (type) {
     case KernelType::kGaussian:
     case KernelType::kExponential:
-      return std::exp(-x);
+      return ClampedExpNeg(x);
     case KernelType::kTriangular:
       return std::max(1.0 - x, 0.0);
     case KernelType::kCosine:

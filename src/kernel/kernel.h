@@ -58,6 +58,19 @@ constexpr bool HasFiniteSupport(KernelType type) {
 // Infinity for Gaussian/exponential.
 double SupportEdge(KernelType type);
 
+// Numeric support edge of exp(-x): beyond this the true value is below the
+// smallest normal double. Treating it as exactly 0 avoids denormal-arithmetic
+// cascades (orders-of-magnitude slowdowns) and keeps +Inf arguments from
+// extreme bandwidths out of NaN-prone downstream expressions.
+inline constexpr double kExpUnderflowX = 708.0;
+
+// exp(-x) clamped at the numeric support edge. x may be +Inf; result is
+// always finite. Use this instead of std::exp(-x) wherever x = γ·dist or
+// γ·dist² can be driven arbitrarily large by the bandwidth.
+inline double ClampedExpNeg(double x) {
+  return x >= kExpUnderflowX ? 0.0 : std::exp(-x);
+}
+
 // Profile value K as a function of the scalar x (see header comment for the
 // per-kernel meaning of x). x must be >= 0.
 double KernelProfile(KernelType type, double x);

@@ -1,8 +1,10 @@
 #include "progressive/progressive.h"
 
+#include <cmath>
 #include <deque>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace kdv {
 
@@ -66,32 +68,76 @@ std::vector<RegionOp> RowMajorSchedule(int width, int height) {
   return schedule;
 }
 
+namespace {
+
+// Records why the schedule stopped early and keeps the stats in sync.
+void MarkStopped(ProgressiveResult* result, StopReason reason) {
+  result->completed = false;
+  if (reason == StopReason::kDeadline) {
+    result->deadline_expired = true;
+    result->stats.deadline_expired = true;
+  }
+  if (reason == StopReason::kCancel) {
+    result->cancelled = true;
+    result->stats.cancelled = true;
+  }
+}
+
+}  // namespace
+
 ProgressiveResult RenderProgressive(const KdeEvaluator& evaluator,
                                     const PixelGrid& grid, double eps,
-                                    double budget_seconds,
+                                    const QueryControl& control,
                                     const std::vector<RegionOp>& schedule) {
   ProgressiveResult result;
   result.frame = DensityFrame(grid.width(), grid.height());
   std::vector<uint8_t> evaluated(grid.num_pixels(), 0);
   std::vector<double> pixel_value(grid.num_pixels(), 0.0);
 
-  Deadline deadline(budget_seconds);
   Timer timer;
   result.completed = true;
 
+  result.status = KDV_FAILPOINT_STATUS("progressive.render");
+  if (!result.status.ok()) {
+    // Injected entry fault: the (all-zero, finite) frame is still well
+    // formed for the degradation ladder.
+    result.completed = false;
+    result.stats.completed = false;
+    result.stats.status = result.status;
+    result.stats.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
   for (const RegionOp& op : schedule) {
-    if (deadline.Expired()) {
+    StopReason stop = control.CheckStop();
+    if (stop != StopReason::kNone) {
+      MarkStopped(&result, stop);
+      break;
+    }
+    Status op_status = KDV_FAILPOINT_STATUS("progressive.op");
+    if (!op_status.ok()) {
+      result.status = op_status;
+      result.stats.status = op_status;
       result.completed = false;
       break;
     }
     const size_t center_idx = grid.PixelIndex(op.cx, op.cy);
     double value;
+    bool interrupted = false;
     if (evaluated[center_idx]) {
       // A coarser level already evaluated this pixel; reuse its value.
       value = pixel_value[center_idx];
     } else {
-      EvalResult r = evaluator.EvaluateEps(grid.PixelCenter(op.cx, op.cy), eps);
+      EvalResult r =
+          evaluator.EvaluateEps(grid.PixelCenter(op.cx, op.cy), eps, control);
       value = r.estimate;
+      if (r.numeric_fault) ++result.numeric_faults;
+      if (!std::isfinite(value)) {
+        // Hardening backstop: a frame value must never be NaN/Inf.
+        value = 0.0;
+        ++result.numeric_faults;
+      }
+      interrupted = r.interrupted;
       evaluated[center_idx] = 1;
       pixel_value[center_idx] = value;
       ++result.pixels_evaluated;
@@ -108,11 +154,28 @@ ProgressiveResult RenderProgressive(const KdeEvaluator& evaluator,
       }
     }
     result.frame.values[center_idx] = pixel_value[center_idx];
+    if (interrupted) {
+      // The stop fired mid-query; its wider-interval estimate was still
+      // painted (better than leaving the coarser representative).
+      MarkStopped(&result, control.CheckStop());
+      break;
+    }
   }
 
+  result.stats.numeric_faults = result.numeric_faults;
   result.stats.seconds = timer.ElapsedSeconds();
   result.stats.completed = result.completed;
   return result;
+}
+
+ProgressiveResult RenderProgressive(const KdeEvaluator& evaluator,
+                                    const PixelGrid& grid, double eps,
+                                    double budget_seconds,
+                                    const std::vector<RegionOp>& schedule) {
+  Deadline deadline(budget_seconds);
+  QueryControl control;
+  control.deadline = &deadline;
+  return RenderProgressive(evaluator, grid, eps, control, schedule);
 }
 
 ProgressiveResult RenderProgressive(const KdeEvaluator& evaluator,

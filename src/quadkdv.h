@@ -36,9 +36,12 @@
 #include "regress/weighted_bounds.h"
 #include "regress/weighted_stats.h"
 #include "sampling/zorder.h"
+#include "serve/resilient_renderer.h"
 #include "stats/density_stats.h"
 #include "stats/pca.h"
+#include "util/cancel.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/crc32.h"
 #include "util/csv.h"
 #include "util/random.h"

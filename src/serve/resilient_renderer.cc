@@ -1,0 +1,158 @@
+#include "serve/resilient_renderer.h"
+
+#include "progressive/progressive.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+#include "util/timer.h"
+
+namespace kdv {
+
+namespace {
+
+// Records the first non-OK status seen; later faults don't overwrite it.
+void RecordFault(RenderOutcome* outcome, const Status& status) {
+  if (outcome->status.ok()) outcome->status = status;
+}
+
+void Finalize(RenderOutcome* outcome) {
+  outcome->pixels_scrubbed = ScrubNonFinite(&outcome->frame);
+  outcome->numeric_faults += outcome->pixels_scrubbed;
+}
+
+}  // namespace
+
+const char* QualityTierName(QualityTier tier) {
+  switch (tier) {
+    case QualityTier::kCertified:
+      return "certified";
+    case QualityTier::kProgressive:
+      return "progressive";
+    case QualityTier::kCoarse:
+      return "coarse";
+    case QualityTier::kFlat:
+      return "flat";
+  }
+  return "unknown";
+}
+
+ResilientRenderer::ResilientRenderer(const KdeEvaluator* evaluator)
+    : evaluator_(evaluator) {
+  KDV_CHECK(evaluator != nullptr);
+}
+
+void ResilientRenderer::RenderCoarse(const PixelGrid& grid,
+                                     const ResilientRenderOptions& opts,
+                                     RenderOutcome* outcome) const {
+  Status injected = KDV_FAILPOINT_STATUS("serve.coarse");
+  if (!injected.ok()) {
+    RecordFault(outcome, injected);
+    return;  // flat frame stands
+  }
+  // GridKde bins on a 2-d grid; higher-dimensional data has no coarse path.
+  if (evaluator_->tree().dim() != 2) return;
+  GridKde approx(evaluator_->tree().points(), evaluator_->params(),
+                 grid.domain(), opts.coarse);
+  outcome->frame = approx.RenderFrame(grid);
+  outcome->tier = QualityTier::kCoarse;
+}
+
+RenderOutcome ResilientRenderer::Render(
+    const PixelGrid& grid, const ResilientRenderOptions& opts) const {
+  RenderOutcome outcome;
+  outcome.frame = DensityFrame(grid.width(), grid.height());
+
+  if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+    outcome.cancelled = true;
+    RecordFault(&outcome, CancelledError("render cancelled before start"));
+    Finalize(&outcome);
+    return outcome;
+  }
+
+  Status injected = KDV_FAILPOINT_STATUS("serve.render");
+  if (!injected.ok()) {
+    RecordFault(&outcome, injected);
+    if (opts.degrade) RenderCoarse(grid, opts, &outcome);
+    Finalize(&outcome);
+    return outcome;
+  }
+
+  // A zero budget is treated as already expired: skip the certified path.
+  const bool pre_expired = opts.budget_seconds == 0.0;
+  if (pre_expired) {
+    outcome.deadline_expired = true;
+    if (!opts.degrade) {
+      RecordFault(&outcome,
+                  DeadlineExceededError("render budget exhausted (0s)"));
+      Finalize(&outcome);
+      return outcome;
+    }
+    RenderCoarse(grid, opts, &outcome);
+    Finalize(&outcome);
+    return outcome;
+  }
+
+  // Certified path: progressive quad-tree refinement under the deadline.
+  Deadline deadline(opts.budget_seconds > 0.0 ? opts.budget_seconds : 0.0);
+  QueryControl control;
+  if (opts.budget_seconds > 0.0) control.deadline = &deadline;
+  control.cancel = opts.cancel;
+
+  ProgressiveResult prog = RenderProgressive(
+      *evaluator_, grid, opts.eps, control,
+      QuadTreeSchedule(grid.width(), grid.height()));
+  outcome.stats = prog.stats;
+  outcome.numeric_faults += prog.numeric_faults;
+  outcome.deadline_expired |= prog.deadline_expired;
+  outcome.cancelled |= prog.cancelled;
+
+  if (prog.cancelled) {
+    // A cancelled request is never "served": keep whatever frame exists but
+    // report the cancellation.
+    outcome.frame = std::move(prog.frame);
+    outcome.tier = prog.pixels_evaluated > 0 ? QualityTier::kProgressive
+                                             : QualityTier::kFlat;
+    RecordFault(&outcome, CancelledError("render cancelled"));
+    Finalize(&outcome);
+    return outcome;
+  }
+
+  if (!prog.status.ok()) {
+    // Internal/injected fault in the certified path.
+    RecordFault(&outcome, prog.status);
+    if (opts.degrade) RenderCoarse(grid, opts, &outcome);
+    Finalize(&outcome);
+    return outcome;
+  }
+
+  if (prog.completed && prog.numeric_faults == 0) {
+    outcome.frame = std::move(prog.frame);
+    outcome.tier = QualityTier::kCertified;
+    outcome.certified_eps = opts.eps;
+    Finalize(&outcome);
+    return outcome;
+  }
+
+  if (prog.completed || prog.pixels_evaluated > 0) {
+    // Fully painted but either clamped somewhere or cut short: a usable
+    // frame without a certificate.
+    outcome.frame = std::move(prog.frame);
+    outcome.tier = QualityTier::kProgressive;
+    if (outcome.deadline_expired && !opts.degrade) {
+      RecordFault(&outcome, DeadlineExceededError("render budget exhausted"));
+    }
+    Finalize(&outcome);
+    return outcome;
+  }
+
+  // Deadline fired before a single pixel was refined.
+  if (!opts.degrade) {
+    RecordFault(&outcome, DeadlineExceededError("render budget exhausted"));
+    Finalize(&outcome);
+    return outcome;
+  }
+  RenderCoarse(grid, opts, &outcome);
+  Finalize(&outcome);
+  return outcome;
+}
+
+}  // namespace kdv

@@ -1,0 +1,112 @@
+// Resilient render front-end: QUAD under a budget, with graceful degradation.
+//
+// The guaranteed-bound path (RenderProgressive over the quad-tree schedule)
+// is the primary renderer. When it cannot finish — deadline expired, fault
+// injected, numeric trouble — the ResilientRenderer walks a degradation
+// ladder instead of failing the request:
+//
+//   1. kCertified    full εKDV frame, every pixel within the requested ε.
+//   2. kProgressive  partially refined quad-tree frame: fully painted and
+//                    finite, coarse where refinement did not reach.
+//   3. kCoarse       GridKde (binned convolution) frame: no error guarantee,
+//                    but a recognizable density map.
+//   4. kFlat         all-zero frame. Returned only when even the coarse
+//                    path is unavailable (injected fault, non-2d data).
+//
+// Invariants, whatever happens inside:
+//   * The returned frame always has the requested dimensions and only
+//     finite values (ScrubNonFinite is the last line of defense).
+//   * Cancellation always yields a non-OK kCancelled status: a cancelled
+//     request must not be mistaken for a served one.
+//   * In fail-fast mode (degrade = false) a missed deadline yields a non-OK
+//     kDeadlineExceeded status instead of a lower tier.
+#ifndef QUADKDV_SERVE_RESILIENT_RENDERER_H_
+#define QUADKDV_SERVE_RESILIENT_RENDERER_H_
+
+#include <cstdint>
+
+#include "approx/grid_kde.h"
+#include "core/evaluator.h"
+#include "core/kdv_runner.h"
+#include "util/cancel.h"
+#include "util/status.h"
+#include "viz/frame.h"
+#include "viz/pixel_grid.h"
+
+namespace kdv {
+
+// Quality tier actually delivered, best (certified bounds) to worst (flat).
+enum class QualityTier {
+  kCertified,
+  kProgressive,
+  kCoarse,
+  kFlat,
+};
+
+// Human-readable tier name ("certified", "progressive", ...).
+const char* QualityTierName(QualityTier tier);
+
+struct ResilientRenderOptions {
+  double eps = 0.05;  // εKDV target for the certified path
+
+  // Wall-clock budget. < 0: no deadline (run to completion). == 0: treated
+  // as already expired — the certified path is skipped entirely.
+  double budget_seconds = -1.0;
+
+  // true: walk the degradation ladder on deadline/fault. false: fail fast
+  // with a non-OK status (kdvtool --on-deadline=fail).
+  bool degrade = true;
+
+  // Optional cooperative cancellation; may outlive the call.
+  const CancelToken* cancel = nullptr;
+
+  // Options for the GridKde coarse fallback.
+  GridKde::Options coarse;
+};
+
+struct RenderOutcome {
+  DensityFrame frame;  // always sized to the grid, always finite
+  QualityTier tier = QualityTier::kFlat;
+
+  // ε actually certified for every pixel of the frame; < 0 when the frame
+  // carries no guarantee (any tier below kCertified).
+  double certified_eps = -1.0;
+
+  bool deadline_expired = false;
+  bool cancelled = false;
+  uint64_t numeric_faults = 0;   // pixel envelopes clamped by hardening
+  uint64_t pixels_scrubbed = 0;  // non-finite pixels zeroed at the end
+
+  // First fault encountered. OK for a clean (possibly degraded-by-deadline)
+  // render; non-OK for cancellation, fail-fast deadline misses, and
+  // internal/injected faults (which may still ship a degraded frame).
+  Status status = OkStatus();
+
+  // Stats of the certified-path attempt (zeroed if it was skipped).
+  BatchStats stats;
+
+  bool ok() const { return status.ok(); }
+};
+
+class ResilientRenderer {
+ public:
+  // `evaluator` must outlive the renderer.
+  explicit ResilientRenderer(const KdeEvaluator* evaluator);
+
+  // Renders `grid` under `options`, never throwing and never returning a
+  // non-finite pixel. See the ladder description above.
+  RenderOutcome Render(const PixelGrid& grid,
+                       const ResilientRenderOptions& options) const;
+
+ private:
+  // Fills outcome->frame from the GridKde fallback (tier kCoarse), or
+  // leaves the flat frame (tier kFlat) if the fallback is unavailable.
+  void RenderCoarse(const PixelGrid& grid, const ResilientRenderOptions& opts,
+                    RenderOutcome* outcome) const;
+
+  const KdeEvaluator* evaluator_;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_SERVE_RESILIENT_RENDERER_H_

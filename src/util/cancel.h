@@ -1,0 +1,67 @@
+// Cooperative cancellation & per-request control for the query path.
+//
+// A CancelToken is a copyable handle onto a shared cancellation flag: the
+// serving side hands copies to in-flight requests and flips the flag to stop
+// them; workers poll cancelled() at safe points. A QueryControl bundles the
+// token with an optional per-request Deadline and the polling granularity,
+// and is threaded by const reference through the batch runners, the
+// progressive renderer, and the refinement loop itself, so a single render
+// request can be stopped with iteration-level latency.
+#ifndef QUADKDV_UTIL_CANCEL_H_
+#define QUADKDV_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/timer.h"
+
+namespace kdv {
+
+// Shared cancellation flag. Copies observe (and trigger) the same request.
+// Thread-safe; cancellation is sticky (no un-cancel).
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void RequestCancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+// Why a cooperative loop stopped early.
+enum class StopReason {
+  kNone,      // keep going
+  kDeadline,  // the per-request deadline expired
+  kCancel,    // the request was cancelled
+};
+
+// Per-request stop conditions, threaded through the evaluate→render
+// pipeline. Both pointers are non-owning and may be null (no deadline /
+// not cancellable); a default QueryControl never stops anything.
+struct QueryControl {
+  const Deadline* deadline = nullptr;
+  const CancelToken* cancel = nullptr;
+  // Refinement iterations between CheckStop() polls inside one query.
+  // Cancellation is checked on every poll; the steady_clock read for the
+  // deadline is the cost being amortized.
+  uint32_t check_interval = 32;
+
+  // Cancellation wins over deadline expiry when both hold: an explicitly
+  // abandoned request should not be reported as merely slow.
+  StopReason CheckStop() const {
+    if (cancel != nullptr && cancel->cancelled()) return StopReason::kCancel;
+    if (deadline != nullptr && deadline->Expired()) {
+      return StopReason::kDeadline;
+    }
+    return StopReason::kNone;
+  }
+
+  bool CanStop() const { return deadline != nullptr || cancel != nullptr; }
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_UTIL_CANCEL_H_

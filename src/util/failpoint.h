@@ -1,0 +1,100 @@
+// Failpoint framework: named fault-injection sites for chaos testing.
+//
+// A failpoint is a named site in the query path where a test (or the
+// KDV_FAILPOINTS environment variable) can inject one of three fault kinds:
+//
+//   * error   — a clean kdv::Status error (Status-channel sites), or an
+//               inverted [lb, ub] interval (numeric sites)
+//   * nan     — a NaN bound/density value (numeric sites)
+//   * delay   — artificial latency, to force deadline expiry mid-render
+//
+// Sites are compiled in only under -DKDV_FAILPOINTS=ON (which defines
+// KDV_FAILPOINTS_ENABLED); in a normal build every KDV_FAILPOINT_* macro
+// expands to a no-op/OkStatus() constant, so production hot paths pay
+// nothing. The control API (Arm / Reset / AllSites / ...) is always
+// compiled so tests build in both configurations; `kdv::failpoint::enabled()`
+// reports whether hits can actually fire.
+//
+// Env spec (parsed by ConfigureFromEnv at first use, or explicitly):
+//   KDV_FAILPOINTS="refine.step=nan;runner.eps=delay(20);viz.render=error"
+//
+// Hot-path cost when compiled in but nothing armed: one relaxed atomic load.
+#ifndef QUADKDV_UTIL_FAILPOINT_H_
+#define QUADKDV_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kdv {
+namespace failpoint {
+
+enum class Action {
+  kOff,    // site is not armed
+  kError,  // inject a Status error / inverted interval
+  kNaN,    // inject a NaN value
+  kDelay,  // inject artificial latency
+};
+
+// The canonical registry of injection sites. Arm() accepts only these names;
+// the chaos suite sweeps this list, so adding a site here guarantees it is
+// exercised.
+const std::vector<std::string>& AllSites();
+
+// True when fault-injection sites are compiled in (KDV_FAILPOINTS=ON).
+bool enabled();
+
+// Arms `site` with `action`. `delay_ms` applies to kDelay. `max_hits` limits
+// how many times the site fires before auto-disarming (< 0: unlimited).
+// Returns InvalidArgument for an unknown site name.
+Status Arm(const std::string& site, Action action, int delay_ms = 10,
+           int max_hits = -1);
+
+// Disarms one site / all sites and clears hit counters.
+void Disarm(const std::string& site);
+void Reset();
+
+// Number of times `site` has fired since the last Reset/Disarm.
+uint64_t hits(const std::string& site);
+
+// Parses an "a=error;b=nan;c=delay(50)" spec and arms the named sites.
+// Returns InvalidArgument (arming nothing further) on a malformed entry or
+// unknown site.
+Status ConfigureFromSpec(const std::string& spec);
+
+// Applies the KDV_FAILPOINTS environment variable, if set. Parse errors are
+// reported to stderr (chaos config must never crash the host process).
+void ConfigureFromEnv();
+
+// --- Hit-side functions (called through the macros below) -----------------
+
+// Sleeps if `site` is armed with kDelay. Any armed action counts a hit.
+void MaybeDelay(const char* site);
+
+// kError -> non-OK InternalError naming the site; kDelay sleeps first and
+// returns OK; otherwise OK.
+Status ConsumeStatus(const char* site);
+
+// Numeric-site injection: kNaN sets *lower to NaN; kError inverts the
+// interval (upper := lower - 1 - |lower|); kDelay sleeps. Returns true if a
+// value was corrupted.
+bool CorruptInterval(const char* site, double* lower, double* upper);
+
+}  // namespace failpoint
+}  // namespace kdv
+
+// Hit macros: zero-cost unless KDV_FAILPOINTS_ENABLED.
+#ifdef KDV_FAILPOINTS_ENABLED
+#define KDV_FAILPOINT_HIT(site) ::kdv::failpoint::MaybeDelay(site)
+#define KDV_FAILPOINT_STATUS(site) ::kdv::failpoint::ConsumeStatus(site)
+#define KDV_FAILPOINT_CORRUPT(site, lower, upper) \
+  ::kdv::failpoint::CorruptInterval(site, &(lower), &(upper))
+#else
+#define KDV_FAILPOINT_HIT(site) ((void)0)
+#define KDV_FAILPOINT_STATUS(site) ::kdv::OkStatus()
+#define KDV_FAILPOINT_CORRUPT(site, lower, upper) ((void)0)
+#endif
+
+#endif  // QUADKDV_UTIL_FAILPOINT_H_

@@ -33,6 +33,8 @@ enum class StatusCode : int {
   kOutOfRange,          // value outside the representable/allowed range
   kUnimplemented,       // recognized but unsupported (e.g. future version)
   kInternal,            // invariant violation that was caught, not proven
+  kDeadlineExceeded,    // the request's time budget expired before completion
+  kCancelled,           // the caller cancelled the request
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -53,6 +55,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -105,6 +111,12 @@ inline Status UnimplementedError(std::string message) {
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 // Holds either a value of type T or a non-OK Status explaining why there is

@@ -29,6 +29,18 @@ double MaxRelativeError(const std::vector<double>& returned,
   return worst;
 }
 
+uint64_t ScrubNonFinite(DensityFrame* frame, double fill) {
+  KDV_CHECK(frame != nullptr);
+  uint64_t scrubbed = 0;
+  for (double& v : frame->values) {
+    if (!std::isfinite(v)) {
+      v = fill;
+      ++scrubbed;
+    }
+  }
+  return scrubbed;
+}
+
 double BinaryMismatchRate(const std::vector<uint8_t>& a,
                           const std::vector<uint8_t>& b) {
   KDV_CHECK(a.size() == b.size());

@@ -59,6 +59,11 @@ double MaxRelativeError(const std::vector<double>& returned,
 double BinaryMismatchRate(const std::vector<uint8_t>& a,
                           const std::vector<uint8_t>& b);
 
+// Replaces every non-finite value in the frame with `fill` and returns how
+// many pixels were scrubbed. Last line of defense before a frame is handed
+// to a color map: a NaN pixel must never reach the screen.
+uint64_t ScrubNonFinite(DensityFrame* frame, double fill = 0.0);
+
 }  // namespace kdv
 
 #endif  // QUADKDV_VIZ_FRAME_H_

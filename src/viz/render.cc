@@ -1,28 +1,70 @@
 #include "viz/render.h"
 
+#include "util/failpoint.h"
+
 namespace kdv {
+
+namespace {
+
+// Injected whole-frame fault: record it and hand back the untouched
+// (all-zero, finite) frame.
+bool EntryFault(BatchStats* stats) {
+  Status status = KDV_FAILPOINT_STATUS("viz.render");
+  if (status.ok()) return false;
+  if (stats != nullptr) {
+    stats->completed = false;
+    stats->status = status;
+  }
+  return true;
+}
+
+}  // namespace
+
+DensityFrame RenderEpsFrame(const KdeEvaluator& evaluator,
+                            const PixelGrid& grid, double eps,
+                            const QueryControl& control, BatchStats* stats) {
+  DensityFrame frame(grid.width(), grid.height());
+  if (EntryFault(stats)) return frame;
+  frame.values =
+      RunEpsBatch(evaluator, grid.AllPixelCenters(), eps, control, stats);
+  return frame;
+}
 
 DensityFrame RenderEpsFrame(const KdeEvaluator& evaluator,
                             const PixelGrid& grid, double eps,
                             BatchStats* stats) {
-  DensityFrame frame(grid.width(), grid.height());
-  frame.values = RunEpsBatch(evaluator, grid.AllPixelCenters(), eps, stats);
+  return RenderEpsFrame(evaluator, grid, eps, QueryControl(), stats);
+}
+
+BinaryFrame RenderTauFrame(const KdeEvaluator& evaluator,
+                           const PixelGrid& grid, double tau,
+                           const QueryControl& control, BatchStats* stats) {
+  BinaryFrame frame(grid.width(), grid.height());
+  if (EntryFault(stats)) return frame;
+  frame.values =
+      RunTauBatch(evaluator, grid.AllPixelCenters(), tau, control, stats);
   return frame;
 }
 
 BinaryFrame RenderTauFrame(const KdeEvaluator& evaluator,
                            const PixelGrid& grid, double tau,
                            BatchStats* stats) {
-  BinaryFrame frame(grid.width(), grid.height());
-  frame.values = RunTauBatch(evaluator, grid.AllPixelCenters(), tau, stats);
+  return RenderTauFrame(evaluator, grid, tau, QueryControl(), stats);
+}
+
+DensityFrame RenderExactFrame(const KdeEvaluator& evaluator,
+                              const PixelGrid& grid,
+                              const QueryControl& control, BatchStats* stats) {
+  DensityFrame frame(grid.width(), grid.height());
+  if (EntryFault(stats)) return frame;
+  frame.values =
+      RunExactBatch(evaluator, grid.AllPixelCenters(), control, stats);
   return frame;
 }
 
 DensityFrame RenderExactFrame(const KdeEvaluator& evaluator,
                               const PixelGrid& grid, BatchStats* stats) {
-  DensityFrame frame(grid.width(), grid.height());
-  frame.values = RunExactBatch(evaluator, grid.AllPixelCenters(), stats);
-  return frame;
+  return RenderExactFrame(evaluator, grid, QueryControl(), stats);
 }
 
 }  // namespace kdv

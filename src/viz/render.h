@@ -1,10 +1,15 @@
 // Whole-frame KDV rendering: evaluates every pixel of a grid with one
 // method/operation and returns the resulting frame.
+//
+// Each renderer accepts an optional QueryControl (per-request deadline +
+// shared CancelToken); on a stop the partial frame is returned with the
+// stop recorded in *stats (deadline_expired / cancelled, completed=false).
 #ifndef QUADKDV_VIZ_RENDER_H_
 #define QUADKDV_VIZ_RENDER_H_
 
 #include "core/evaluator.h"
 #include "core/kdv_runner.h"
+#include "util/cancel.h"
 #include "viz/frame.h"
 #include "viz/pixel_grid.h"
 
@@ -13,14 +18,23 @@ namespace kdv {
 // εKDV over the whole grid. `stats` may be nullptr.
 DensityFrame RenderEpsFrame(const KdeEvaluator& evaluator,
                             const PixelGrid& grid, double eps,
+                            const QueryControl& control, BatchStats* stats);
+DensityFrame RenderEpsFrame(const KdeEvaluator& evaluator,
+                            const PixelGrid& grid, double eps,
                             BatchStats* stats);
 
 // τKDV over the whole grid.
 BinaryFrame RenderTauFrame(const KdeEvaluator& evaluator,
                            const PixelGrid& grid, double tau,
+                           const QueryControl& control, BatchStats* stats);
+BinaryFrame RenderTauFrame(const KdeEvaluator& evaluator,
+                           const PixelGrid& grid, double tau,
                            BatchStats* stats);
 
 // Exact KDV over the whole grid.
+DensityFrame RenderExactFrame(const KdeEvaluator& evaluator,
+                              const PixelGrid& grid,
+                              const QueryControl& control, BatchStats* stats);
 DensityFrame RenderExactFrame(const KdeEvaluator& evaluator,
                               const PixelGrid& grid, BatchStats* stats);
 

@@ -1,5 +1,7 @@
 #include "workbench/workbench.h"
 
+#include <cmath>
+#include <sstream>
 #include <utility>
 
 #include "data/datasets.h"
@@ -8,9 +10,36 @@
 
 namespace kdv {
 
+namespace {
+
+Status ValidatePositiveFinite(const char* name, double value) {
+  if (!std::isfinite(value) || value <= 0.0) {
+    std::ostringstream oss;
+    oss << name << " must be finite and > 0, got " << value;
+    return InvalidArgumentError(oss.str());
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status ValidateEps(double eps) { return ValidatePositiveFinite("eps", eps); }
+
+Status ValidateTau(double tau) { return ValidatePositiveFinite("tau", tau); }
+
+Status ValidateGamma(double gamma) {
+  return ValidatePositiveFinite("gamma", gamma);
+}
+
 StatusOr<std::unique_ptr<Workbench>> Workbench::Create(PointSet points,
                                                        KernelType kernel,
                                                        Options options) {
+  // gamma_override < 0 is the "use Scott's rule" sentinel; anything else
+  // must be a usable bandwidth scale. Checked before indexing so a NaN
+  // override can't silently poison every later bound computation.
+  if (!(options.gamma_override < 0.0)) {
+    KDV_RETURN_IF_ERROR(ValidateGamma(options.gamma_override));
+  }
   IngestReport report;
   KDV_RETURN_IF_ERROR(
       ValidatePointSet(&points, options.validate, &report));

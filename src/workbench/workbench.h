@@ -24,6 +24,15 @@
 
 namespace kdv {
 
+// Query-parameter validation for the public entry points (Workbench,
+// kdvtool). Each returns OK or InvalidArgument with a message naming the
+// parameter; none of them abort. ε, τ, and γ must all be finite and > 0 —
+// ε = 0 would demand exact bounds from the refinement loop, τ = 0 makes
+// every pixel trivially "above threshold", and γ <= 0 is not a bandwidth.
+Status ValidateEps(double eps);
+Status ValidateTau(double tau);
+Status ValidateGamma(double gamma);
+
 class Workbench {
  public:
   struct Options {
@@ -37,10 +46,12 @@ class Workbench {
 
   // Validating factory: runs ValidatePointSet under options.validate, then
   // indexes the surviving points. Returns InvalidArgument for unusable data
-  // (empty, or rejected under the configured policy); degenerate-but-usable
-  // geometry (single point, all-identical, zero-variance dimension) succeeds
-  // with the degeneracy recorded in ingest_report() — Scott's rule falls
-  // back to a unit bandwidth, so densities stay finite.
+  // (empty, or rejected under the configured policy) and for a non-finite
+  // or zero options.gamma_override (negative means "unset" and is fine);
+  // degenerate-but-usable geometry (single point, all-identical,
+  // zero-variance dimension) succeeds with the degeneracy recorded in
+  // ingest_report() — Scott's rule falls back to a unit bandwidth, so
+  // densities stay finite.
   static StatusOr<std::unique_ptr<Workbench>> Create(PointSet points,
                                                      KernelType kernel,
                                                      Options options);

@@ -1,0 +1,133 @@
+#include "util/failpoint.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace kdv {
+namespace failpoint {
+namespace {
+
+// The control API and hit-side functions are compiled in every build (only
+// the KDV_FAILPOINT_* macros compile away), so this suite runs everywhere.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Reset(); }
+  void TearDown() override { Reset(); }
+};
+
+TEST_F(FailpointTest, RegistryListsTheQueryPathSites) {
+  const std::vector<std::string>& sites = AllSites();
+  ASSERT_FALSE(sites.empty());
+  auto has = [&](const char* name) {
+    for (const std::string& s : sites) {
+      if (s == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("refine.step"));
+  EXPECT_TRUE(has("eval.eps"));
+  EXPECT_TRUE(has("runner.eps"));
+  EXPECT_TRUE(has("progressive.render"));
+  EXPECT_TRUE(has("viz.render"));
+  EXPECT_TRUE(has("serve.render"));
+  EXPECT_TRUE(has("serve.coarse"));
+}
+
+TEST_F(FailpointTest, ArmRejectsUnknownSite) {
+  Status status = Arm("no.such.site", Action::kError);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, ArmRejectsZeroMaxHits) {
+  Status status = Arm("eval.eps", Action::kError, 10, 0);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, StatusSiteFiresAndDisarms) {
+  ASSERT_TRUE(Arm("runner.eps", Action::kError).ok());
+  EXPECT_FALSE(ConsumeStatus("runner.eps").ok());
+  EXPECT_EQ(hits("runner.eps"), 1u);
+
+  Disarm("runner.eps");
+  EXPECT_TRUE(ConsumeStatus("runner.eps").ok());
+  EXPECT_EQ(hits("runner.eps"), 0u);
+}
+
+TEST_F(FailpointTest, UnarmedSitesAreTransparent) {
+  EXPECT_TRUE(ConsumeStatus("runner.eps").ok());
+  double lower = 1.0, upper = 2.0;
+  EXPECT_FALSE(CorruptInterval("refine.step", &lower, &upper));
+  EXPECT_EQ(lower, 1.0);
+  EXPECT_EQ(upper, 2.0);
+}
+
+TEST_F(FailpointTest, MaxHitsAutoDisarms) {
+  ASSERT_TRUE(Arm("runner.eps", Action::kError, 10, /*max_hits=*/2).ok());
+  EXPECT_FALSE(ConsumeStatus("runner.eps").ok());
+  EXPECT_FALSE(ConsumeStatus("runner.eps").ok());
+  EXPECT_TRUE(ConsumeStatus("runner.eps").ok());  // consumed both slots
+  EXPECT_EQ(hits("runner.eps"), 2u);
+}
+
+TEST_F(FailpointTest, CorruptIntervalInjectsNaN) {
+  ASSERT_TRUE(Arm("refine.step", Action::kNaN).ok());
+  double lower = 1.0, upper = 2.0;
+  EXPECT_TRUE(CorruptInterval("refine.step", &lower, &upper));
+  EXPECT_TRUE(std::isnan(lower));
+}
+
+TEST_F(FailpointTest, CorruptIntervalInvertsOnError) {
+  ASSERT_TRUE(Arm("refine.step", Action::kError).ok());
+  double lower = 5.0, upper = 9.0;
+  EXPECT_TRUE(CorruptInterval("refine.step", &lower, &upper));
+  EXPECT_LT(upper, lower);
+}
+
+TEST_F(FailpointTest, SpecParsesMultipleEntries) {
+  ASSERT_TRUE(
+      ConfigureFromSpec("refine.step=nan;runner.eps=error;eval.eps=delay(5)")
+          .ok());
+  double lower = 0.0, upper = 1.0;
+  EXPECT_TRUE(CorruptInterval("refine.step", &lower, &upper));
+  EXPECT_FALSE(ConsumeStatus("runner.eps").ok());
+  EXPECT_TRUE(ConsumeStatus("eval.eps").ok());  // delay returns OK
+  EXPECT_EQ(hits("eval.eps"), 1u);
+}
+
+TEST_F(FailpointTest, SpecOffDisarmsASite) {
+  ASSERT_TRUE(ConfigureFromSpec("runner.eps=error").ok());
+  ASSERT_TRUE(ConfigureFromSpec("runner.eps=off").ok());
+  EXPECT_TRUE(ConsumeStatus("runner.eps").ok());
+}
+
+TEST_F(FailpointTest, SpecRejectsMalformedEntries) {
+  EXPECT_EQ(ConfigureFromSpec("garbage").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ConfigureFromSpec("runner.eps=explode").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ConfigureFromSpec("runner.eps=delay(abc)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ConfigureFromSpec("runner.eps=delay(999999)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ConfigureFromSpec("no.such.site=error").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, MacrosMatchBuildConfiguration) {
+  ASSERT_TRUE(Arm("viz.render", Action::kError).ok());
+  Status via_macro = KDV_FAILPOINT_STATUS("viz.render");
+  if (enabled()) {
+    EXPECT_FALSE(via_macro.ok());
+    EXPECT_EQ(hits("viz.render"), 1u);
+  } else {
+    EXPECT_TRUE(via_macro.ok());
+    EXPECT_EQ(hits("viz.render"), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace failpoint
+}  // namespace kdv

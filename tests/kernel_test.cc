@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -91,6 +92,54 @@ TEST(KernelTest, EpanechnikovAndQuarticMatchClosedForms) {
 TEST(KernelTest, UniformIsIndicator) {
   EXPECT_DOUBLE_EQ(KernelProfile(KernelType::kUniform, 0.999), 1.0);
   EXPECT_DOUBLE_EQ(KernelProfile(KernelType::kUniform, 1.001), 0.0);
+}
+
+TEST(KernelTest, ClampedExpNegMatchesExpBelowTheEdge) {
+  for (double x : {0.0, 1.0, 50.0, 700.0, 707.9}) {
+    EXPECT_DOUBLE_EQ(ClampedExpNeg(x), std::exp(-x)) << x;
+  }
+}
+
+TEST(KernelTest, ClampedExpNegIsExactlyZeroPastTheEdge) {
+  EXPECT_EQ(ClampedExpNeg(kExpUnderflowX), 0.0);
+  EXPECT_EQ(ClampedExpNeg(709.0), 0.0);
+  EXPECT_EQ(ClampedExpNeg(1e300), 0.0);
+  EXPECT_EQ(ClampedExpNeg(std::numeric_limits<double>::infinity()), 0.0);
+}
+
+// Known answers at extreme bandwidths (satellite of the resilience work):
+// a pathological γ must produce exactly 0 or 1, never NaN/Inf/denormals.
+TEST(KernelTest, ExtremeBandwidthsGiveFiniteKnownAnswers) {
+  for (KernelType k : {KernelType::kGaussian, KernelType::kExponential}) {
+    // x = γ·dist² (or γ·dist) enormous: the kernel has fully decayed.
+    EXPECT_EQ(KernelProfile(k, 1e308), 0.0) << KernelTypeName(k);
+    EXPECT_EQ(KernelProfile(k, std::numeric_limits<double>::infinity()), 0.0)
+        << KernelTypeName(k);
+    // γ → 0: every point looks like distance zero.
+    EXPECT_DOUBLE_EQ(KernelProfile(k, 0.0), 1.0) << KernelTypeName(k);
+    // Results never descend into denormal arithmetic.
+    double v = KernelProfile(k, 707.0);
+    EXPECT_TRUE(v == 0.0 || v >= std::numeric_limits<double>::min())
+        << KernelTypeName(k);
+  }
+}
+
+TEST(KernelParamsTest, ExtremeGammaNeverProducesNonFinite) {
+  for (double gamma : {1e-300, 1e300, 1e308}) {
+    for (KernelType k : {KernelType::kGaussian, KernelType::kExponential}) {
+      KernelParams p;
+      p.type = k;
+      p.gamma = gamma;
+      for (double sq_dist : {0.0, 1e-12, 1.0, 1e12, 1e300}) {
+        double v = p.EvalSquaredDistance(sq_dist);
+        EXPECT_TRUE(std::isfinite(v))
+            << KernelTypeName(k) << " gamma=" << gamma
+            << " sq_dist=" << sq_dist;
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+  }
 }
 
 TEST(KernelParamsTest, XConventionMatchesKernelFamily) {

@@ -1,3 +1,4 @@
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -134,6 +135,53 @@ TEST_F(ProgressiveRenderTest, PartialFrameHasNoUntouchedPixels) {
   double v = r.frame.values[grid_.PixelIndex(grid_.width() / 2,
                                              grid_.height() / 2)];
   for (double val : r.frame.values) EXPECT_DOUBLE_EQ(val, v);
+}
+
+TEST_F(ProgressiveRenderTest, MaxErrorIsMonotoneAcrossCheckpoints) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+  KdeEvaluator exact = bench_.MakeEvaluator(Method::kExact);
+  DensityFrame truth = RenderExactFrame(exact, grid_, nullptr);
+
+  // Checkpoints at quad-tree level boundaries (each level multiplies the op
+  // count by ~4): the worst-pixel error against the exact frame must be
+  // non-increasing as refinement proceeds.
+  std::vector<RegionOp> schedule =
+      QuadTreeSchedule(grid_.width(), grid_.height());
+  std::vector<double> errors;
+  for (size_t ops = 1; ops < schedule.size(); ops *= 4) {
+    std::vector<RegionOp> prefix(schedule.begin(), schedule.begin() + ops);
+    ProgressiveResult r = RenderProgressive(quad, grid_, 0.01, 0.0, prefix);
+    errors.push_back(MaxRelativeError(r.frame.values, truth.values, 1e-12));
+  }
+  ProgressiveResult full = RenderProgressive(quad, grid_, 0.01, 0.0);
+  errors.push_back(
+      MaxRelativeError(full.frame.values, truth.values, 1e-12));
+  for (size_t i = 1; i < errors.size(); ++i) {
+    EXPECT_LE(errors[i], errors[i - 1] + 1e-12)
+        << "max error regressed between checkpoints " << i - 1 << " and "
+        << i;
+  }
+  EXPECT_LE(errors.back(), 0.011);  // full schedule: εKDV-certified
+}
+
+TEST_F(ProgressiveRenderTest, ExpiredBudgetStillPaintsEveryPixelFinite) {
+  KdeEvaluator quad = bench_.MakeEvaluator(Method::kQuad);
+  Deadline expired(1e-12);
+  while (!expired.Expired()) {
+  }
+  QueryControl control;
+  control.deadline = &expired;
+  ProgressiveResult r = RenderProgressive(
+      quad, grid_, 0.01, control,
+      QuadTreeSchedule(grid_.width(), grid_.height()));
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.deadline_expired);
+  EXPECT_EQ(r.pixels_evaluated, 0u);
+  ASSERT_EQ(r.frame.values.size(), grid_.num_pixels());
+  for (double v : r.frame.values) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_EQ(v, 0.0);  // nothing was evaluated; the frame is flat but valid
+  }
 }
 
 TEST_F(ProgressiveRenderTest, WorksWithExactAndSamplingEvaluators) {

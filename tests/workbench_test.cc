@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -160,6 +161,70 @@ TEST(WorkbenchDegenerateTest, ZeroVarianceDimensionRendersFiniteFrame) {
   ASSERT_TRUE(bench.ok()) << bench.status().ToString();
   ASSERT_EQ((*bench)->ingest_report().zero_variance_dims.size(), 1u);
   EXPECT_EQ((*bench)->ingest_report().zero_variance_dims[0], 1);
+  ExpectFiniteFrame(**bench);
+}
+
+// ---------------------------------------------------------------------------
+// Query-parameter validation (the Workbench/kdvtool boundary)
+// ---------------------------------------------------------------------------
+
+TEST(ValidateParamsTest, AcceptsOrdinaryValues) {
+  EXPECT_TRUE(ValidateEps(0.01).ok());
+  EXPECT_TRUE(ValidateTau(1e-6).ok());
+  EXPECT_TRUE(ValidateGamma(2.5).ok());
+}
+
+TEST(ValidateParamsTest, RejectsNonPositiveAndNonFinite) {
+  const double kBad[] = {0.0, -1.0, std::nan(""),
+                         std::numeric_limits<double>::infinity(),
+                         -std::numeric_limits<double>::infinity()};
+  for (double v : kBad) {
+    EXPECT_EQ(ValidateEps(v).code(), StatusCode::kInvalidArgument) << v;
+    EXPECT_EQ(ValidateTau(v).code(), StatusCode::kInvalidArgument) << v;
+    EXPECT_EQ(ValidateGamma(v).code(), StatusCode::kInvalidArgument) << v;
+  }
+}
+
+TEST(ValidateParamsTest, ErrorMessageNamesTheParameter) {
+  Status status = ValidateEps(-0.5);
+  EXPECT_NE(status.message().find("eps"), std::string::npos);
+}
+
+TEST(WorkbenchCreateTest, RejectsNaNGammaOverride) {
+  Workbench::Options options;
+  options.gamma_override = std::nan("");
+  StatusOr<std::unique_ptr<Workbench>> bench = Workbench::Create(
+      GenerateMixture(MixtureSpec{}), KernelType::kGaussian, options);
+  EXPECT_FALSE(bench.ok());
+  EXPECT_EQ(bench.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkbenchCreateTest, RejectsZeroGammaOverride) {
+  Workbench::Options options;
+  options.gamma_override = 0.0;
+  StatusOr<std::unique_ptr<Workbench>> bench = Workbench::Create(
+      GenerateMixture(MixtureSpec{}), KernelType::kGaussian, options);
+  EXPECT_FALSE(bench.ok());
+  EXPECT_EQ(bench.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkbenchCreateTest, NegativeGammaOverrideMeansScottsRule) {
+  Workbench::Options options;
+  options.gamma_override = -1.0;
+  StatusOr<std::unique_ptr<Workbench>> bench = Workbench::Create(
+      GenerateMixture(MixtureSpec{}), KernelType::kGaussian, options);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  EXPECT_GT((*bench)->params().gamma, 0.0);
+}
+
+TEST(WorkbenchCreateTest, ExtremeGammaOverrideRendersFiniteFrame) {
+  // A legal-but-absurd bandwidth (γ = 1e300) must survive the whole render
+  // path on the clamped-exponent kernels without a single NaN/Inf pixel.
+  Workbench::Options options;
+  options.gamma_override = 1e300;
+  StatusOr<std::unique_ptr<Workbench>> bench = Workbench::Create(
+      GenerateMixture(MixtureSpec{}), KernelType::kGaussian, options);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
   ExpectFiniteFrame(**bench);
 }
 

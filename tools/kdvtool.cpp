@@ -11,6 +11,8 @@
 //
 // Every failure path exits non-zero with a printed reason; bad input (a
 // malformed CSV, a truncated index, a NaN flag value) must never abort.
+// Exit codes: 0 success (including a degraded budgeted render), 1 failure,
+// 2 usage error, 3 budget expired under `render --on-deadline=fail`.
 //
 // Examples:
 //   kdvtool generate --dataset crime --scale 0.05 --out crime.csv
@@ -20,7 +22,9 @@
 //   kdvtool hotspot --in crime.csv --tau-sigma 0.1 --out mask.ppm
 //   kdvtool progressive --in crime.csv --budget 0.5 --out partial.ppm
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "quadkdv.h"
@@ -42,7 +46,9 @@ int Usage() {
       "                --drop-bad (drop NaN/Inf rows instead of failing)\n"
       "  info:         --index FILE.kdv (verify + summarize a saved index)\n"
       "  index:        --out FILE.kdv [--format-version 1|2]\n"
-      "  render:       --eps E\n"
+      "  render:       --eps E [--budget-ms MS --on-deadline degrade|fail]\n"
+      "                (degrade: ship best-effort frame, exit 0; fail: exit\n"
+      "                3 when the budget expires before certification)\n"
       "  hotspot:      --tau T | --tau-sigma K (tau = mu + K*sigma)\n"
       "                --block (certify whole pixel blocks)\n"
       "  progressive:  --eps E --budget SECONDS\n"
@@ -54,6 +60,22 @@ int Usage() {
 // Prints a Status as "kdvtool: CODE: message".
 void PrintStatus(const Status& status) {
   std::fprintf(stderr, "kdvtool: %s\n", status.ToString().c_str());
+}
+
+// Numeric accessor for validated query parameters (ε, τ, γ, budgets).
+// Flags::GetDouble silently substitutes the default for malformed or
+// non-finite text; here a present-but-unusable value parses to NaN instead,
+// so the downstream Validate*() check rejects it by name.
+double GetValidatedDouble(const Flags& flags, const std::string& name,
+                          double default_value) {
+  if (!flags.Has(name)) return default_value;
+  const std::string raw = flags.GetString(name, "");
+  char* end = nullptr;
+  double v = std::strtod(raw.c_str(), &end);
+  if (raw.empty() || end == raw.c_str() || *end != '\0') {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return v;  // may be NaN/Inf from the text itself; validation decides
 }
 
 bool ParseKernel(const std::string& name, KernelType* out) {
@@ -219,7 +241,7 @@ bool OpenSession(const Flags& flags, Session* session) {
     return false;
   }
   Workbench::Options options;
-  options.gamma_override = flags.GetDouble("gamma", -1.0);
+  options.gamma_override = GetValidatedDouble(flags, "gamma", -1.0);
   options.validate = ValidateOptionsFromFlags(flags);
   StatusOr<std::unique_ptr<Workbench>> bench =
       Workbench::Create(std::move(points), kernel, options);
@@ -274,14 +296,67 @@ int CmdInfo(const Flags& flags) {
   return 0;
 }
 
+// Budgeted render path: QUAD under --budget-ms with the degradation ladder
+// (or fail-fast with exit code 3 under --on-deadline=fail).
+int CmdRenderBudgeted(const Flags& flags, Session* s, double eps) {
+  std::string on_deadline = flags.GetString("on-deadline", "degrade");
+  if (on_deadline != "degrade" && on_deadline != "fail") {
+    std::fprintf(stderr,
+                 "kdvtool: --on-deadline must be 'degrade' or 'fail'\n");
+    return 2;
+  }
+  double budget_ms = GetValidatedDouble(flags, "budget-ms", -1.0);
+  if (!(budget_ms >= 0.0)) {  // also catches NaN
+    std::fprintf(stderr, "kdvtool: --budget-ms must be >= 0\n");
+    return 2;
+  }
+
+  KdeEvaluator evaluator = s->bench->MakeEvaluator(s->method);
+  PixelGrid grid(s->width, s->height, s->bench->data_bounds());
+  ResilientRenderOptions options;
+  options.eps = eps;
+  options.budget_seconds = budget_ms / 1000.0;
+  options.degrade = on_deadline == "degrade";
+  ResilientRenderer renderer(&evaluator);
+  RenderOutcome outcome = renderer.Render(grid, options);
+
+  std::string out = flags.GetString("out", "kdv.ppm");
+  if (!RenderHeatMap(outcome.frame).WritePpm(out)) {
+    std::fprintf(stderr, "kdvtool: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf(
+      "εKDV (%s, eps=%g, budget=%gms): %dx%d tier=%s%s in %.3fs -> %s\n",
+      MethodName(s->method), eps, budget_ms, s->width, s->height,
+      QualityTierName(outcome.tier),
+      outcome.deadline_expired ? " (deadline expired)" : "",
+      outcome.stats.seconds, out.c_str());
+  if (!outcome.ok()) {
+    PrintStatus(outcome.status);
+    return outcome.status.code() == StatusCode::kDeadlineExceeded ? 3 : 1;
+  }
+  return 0;
+}
+
 int CmdRender(const Flags& flags) {
   Session s;
   if (!OpenSession(flags, &s)) return 1;
-  double eps = flags.GetDouble("eps", 0.01);
+  double eps = GetValidatedDouble(flags, "eps", 0.01);
+  Status eps_status = ValidateEps(eps);
+  if (!eps_status.ok()) {
+    PrintStatus(eps_status);
+    return 1;
+  }
+  if (flags.Has("budget-ms")) return CmdRenderBudgeted(flags, &s, eps);
+
   KdeEvaluator evaluator = s.bench->MakeEvaluator(s.method);
   PixelGrid grid(s.width, s.height, s.bench->data_bounds());
   BatchStats stats;
   DensityFrame frame = RenderEpsFrame(evaluator, grid, eps, &stats);
+  if (!stats.status.ok()) {
+    PrintStatus(stats.status);
+    return 1;
+  }
   std::string out = flags.GetString("out", "kdv.ppm");
   if (!RenderHeatMap(frame).WritePpm(out)) {
     std::fprintf(stderr, "kdvtool: cannot write %s\n", out.c_str());
@@ -302,7 +377,12 @@ int CmdHotspot(const Flags& flags) {
 
   double tau;
   if (flags.Has("tau")) {
-    tau = flags.GetDouble("tau", 0.0);
+    tau = GetValidatedDouble(flags, "tau", 0.0);
+    Status tau_status = ValidateTau(tau);
+    if (!tau_status.ok()) {
+      PrintStatus(tau_status);
+      return 1;
+    }
   } else {
     MeanStd stats = EstimateDensityStats(evaluator, grid, /*stride=*/8);
     tau = stats.mean + flags.GetDouble("tau-sigma", 0.0) * stats.stddev;
@@ -323,6 +403,10 @@ int CmdHotspot(const Flags& flags) {
   } else {
     BatchStats stats;
     mask = RenderTauFrame(evaluator, grid, tau, &stats);
+    if (!stats.status.ok()) {
+      PrintStatus(stats.status);
+      return 1;
+    }
     seconds = stats.seconds;
   }
   std::string out = flags.GetString("out", "hotspots.ppm");
@@ -343,11 +427,20 @@ int CmdHotspot(const Flags& flags) {
 int CmdProgressive(const Flags& flags) {
   Session s;
   if (!OpenSession(flags, &s)) return 1;
-  double eps = flags.GetDouble("eps", 0.01);
+  double eps = GetValidatedDouble(flags, "eps", 0.01);
+  Status eps_status = ValidateEps(eps);
+  if (!eps_status.ok()) {
+    PrintStatus(eps_status);
+    return 1;
+  }
   double budget = flags.GetDouble("budget", 0.5);
   KdeEvaluator evaluator = s.bench->MakeEvaluator(s.method);
   PixelGrid grid(s.width, s.height, s.bench->data_bounds());
   ProgressiveResult r = RenderProgressive(evaluator, grid, eps, budget);
+  if (!r.status.ok()) {
+    PrintStatus(r.status);
+    return 1;
+  }
   std::string out = flags.GetString("out", "progressive.ppm");
   if (!RenderHeatMap(r.frame).WritePpm(out)) {
     std::fprintf(stderr, "kdvtool: cannot write %s\n", out.c_str());
@@ -532,6 +625,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "kdvtool: %s\n", error.c_str());
     return 2;
   }
+
+  // Fault-injection sites from KDV_FAILPOINTS (no-op unless the binary was
+  // built with -DKDV_FAILPOINTS=ON; a malformed spec warns on stderr).
+  kdv::failpoint::ConfigureFromEnv();
 
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "info") return CmdInfo(flags);
