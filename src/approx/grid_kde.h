@@ -21,6 +21,10 @@
 
 namespace kdv {
 
+// Thread safety: the binned grid is built in the constructor and only read
+// afterwards (all query methods are const with no caching), so one GridKde
+// may be shared across threads. In practice the serving path builds a fresh
+// per-request instance instead — construction is cheap relative to a frame.
 class GridKde {
  public:
   struct Options {

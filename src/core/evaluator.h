@@ -60,6 +60,14 @@ struct BoundStep {
 // Per-query evaluator. Holds non-owning pointers: the tree, params and
 // bounds must outlive it. `bounds == nullptr` selects the EXACT method
 // (sequential scan) for every query.
+//
+// Thread safety: an evaluator has no mutable state — every Evaluate*/Refine*
+// call works on locals — and the KdTree and NodeBounds it points at are
+// immutable after construction, so one instance may serve concurrent
+// queries from any number of threads (the contract the concurrent
+// RenderService is built on). Construction of those dependencies must
+// happen-before the sharing, e.g. by creating the evaluator before the
+// serving threads start.
 class KdeEvaluator {
  public:
   KdeEvaluator(const KdTree* tree, const KernelParams& params,

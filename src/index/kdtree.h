@@ -22,6 +22,10 @@ namespace kdv {
 // reordered into a contiguous array so each node owns the slice
 // [begin, end). Median splits on the widest MBR dimension give O(log n)
 // depth.
+//
+// Thread safety: the tree is deeply immutable once the constructor returns
+// (the accessors are all const and there is no caching), so it may be read
+// concurrently without synchronization.
 class KdTree {
  public:
   struct Node {

@@ -36,9 +36,11 @@
 #include "regress/weighted_bounds.h"
 #include "regress/weighted_stats.h"
 #include "sampling/zorder.h"
+#include "serve/render_service.h"
 #include "serve/resilient_renderer.h"
 #include "stats/density_stats.h"
 #include "stats/pca.h"
+#include "util/backoff.h"
 #include "util/cancel.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -46,6 +48,7 @@
 #include "util/csv.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "viz/block_tau.h"
 #include "viz/color_map.h"

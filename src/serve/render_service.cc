@@ -1,0 +1,332 @@
+#include "serve/render_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace kdv {
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+CircuitBreaker::CircuitBreaker(Options options, ClockFn clock)
+    : options_(options), clock_(std::move(clock)) {
+  KDV_CHECK(options.failure_threshold >= 1);
+  KDV_CHECK(options.cooldown_seconds >= 0.0);
+}
+
+double CircuitBreaker::Now() const {
+  return clock_ ? clock_() : fallback_clock_.ElapsedSeconds();
+}
+
+bool CircuitBreaker::AllowCertified() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Now() - opened_at_ >= options_.cooldown_seconds) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      // One probe at a time; everyone else keeps short-circuiting until the
+      // probe reports back.
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_faults_ = 0;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kClosed;
+    probe_in_flight_ = false;
+  }
+}
+
+void CircuitBreaker::RecordFault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_faults_;
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: reopen and restart the cooldown.
+    state_ = State::kOpen;
+    opened_at_ = Now();
+    probe_in_flight_ = false;
+    ++trips_;
+  } else if (state_ == State::kClosed &&
+             consecutive_faults_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = Now();
+    ++trips_;
+  }
+  // Already open: faults from requests admitted before the trip don't
+  // extend the cooldown.
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+// ---------------------------------------------------------------------------
+// RenderService
+// ---------------------------------------------------------------------------
+
+// One admitted request. The timer starts at admission, so queue time counts
+// against the deadline and shows up in queue_seconds.
+struct RenderService::Job {
+  const PixelGrid* grid = nullptr;
+  ServeRequestOptions request;
+  std::promise<ServeOutcome> promise;
+  std::unique_ptr<Deadline> deadline;  // null: no budget
+  bool pre_expired = false;            // budget was 0 at admission
+  Timer timer;
+};
+
+RenderService::RenderService(const KdeEvaluator* evaluator, Options options)
+    : options_(options),
+      max_in_flight_(options.max_in_flight > 0
+                         ? options.max_in_flight
+                         : options.max_queue +
+                               static_cast<size_t>(
+                                   std::max(1, options.num_threads))),
+      renderer_(evaluator),
+      breaker_(options.breaker, options.breaker_clock),
+      pool_({options.num_threads, options.max_queue}),
+      backoff_(options.backoff, options.backoff_seed) {
+  KDV_CHECK(options.max_attempts >= 1);
+}
+
+RenderService::~RenderService() { Stop(); }
+
+void RenderService::Stop() { pool_.Stop(); }
+
+void RenderService::SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  if (options_.sleep_ms) {
+    options_.sleep_ms(ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+StatusOr<std::future<ServeOutcome>> RenderService::Submit(
+    const PixelGrid& grid, const ServeRequestOptions& request) {
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+
+  // In-flight cap first: it bounds admitted-but-unfinished work (queued +
+  // executing), independent of the pool's own queue bound.
+  if (in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1 >
+      max_in_flight_) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    counters_.shed.fetch_add(1, std::memory_order_relaxed);
+    return ResourceExhaustedError(
+        "render service at max in-flight requests (" +
+        std::to_string(max_in_flight_) + ")");
+  }
+
+  auto job = std::make_shared<Job>();
+  job->grid = &grid;
+  job->request = request;
+  if (request.budget_seconds == 0.0) {
+    job->pre_expired = true;
+  } else if (request.budget_seconds > 0.0) {
+    job->deadline = std::make_unique<Deadline>(request.budget_seconds);
+  }
+  std::future<ServeOutcome> future = job->promise.get_future();
+
+  Status admitted = pool_.TrySubmit([this, job] { Execute(job); });
+  if (!admitted.ok()) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (admitted.code() == StatusCode::kResourceExhausted) {
+      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+    }
+    return admitted;
+  }
+  counters_.admitted.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+void RenderService::Execute(const std::shared_ptr<Job>& job) {
+  ServeOutcome outcome;
+  outcome.queue_seconds = job->timer.ElapsedSeconds();
+
+  const PixelGrid& grid = *job->grid;
+  const ServeRequestOptions& request = job->request;
+
+  ResilientRenderOptions ropts;
+  ropts.eps = request.eps;
+  ropts.degrade = request.degrade;
+  ropts.cancel = request.cancel;
+  ropts.coarse = request.coarse;
+
+  // Cancelled while queued: never touch the render path.
+  if (request.cancel != nullptr && request.cancel->cancelled()) {
+    outcome.render.frame = DensityFrame(grid.width(), grid.height());
+    outcome.render.cancelled = true;
+    outcome.render.status = CancelledError("request cancelled while queued");
+    outcome.status = outcome.render.status;
+    FinishOutcome(job, std::move(outcome));
+    return;
+  }
+
+  // Budget spent in the queue: the certified path is no longer worth
+  // starting. Serve the coarse tier or fail fast, per request policy.
+  const bool has_deadline = job->pre_expired || job->deadline != nullptr;
+  double remaining =
+      job->pre_expired ? 0.0
+                       : (job->deadline ? job->deadline->RemainingSeconds()
+                                        : -1.0);
+  if (has_deadline && remaining <= 0.0) {
+    if (request.degrade) {
+      outcome.render = renderer_.RenderCoarseOnly(grid, ropts);
+    } else {
+      outcome.render.frame = DensityFrame(grid.width(), grid.height());
+      outcome.render.status =
+          DeadlineExceededError("render budget exhausted while queued");
+    }
+    outcome.render.deadline_expired = true;
+    outcome.status = outcome.render.status;
+    FinishOutcome(job, std::move(outcome));
+    return;
+  }
+
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (!breaker_.AllowCertified()) {
+      // Open breaker: serve the coarse tier directly, or reject with
+      // kUnavailable in fail-fast mode. Either way this request is counted
+      // as short-circuited.
+      outcome.breaker_open = true;
+      counters_.unavailable.fetch_add(1, std::memory_order_relaxed);
+      if (request.degrade) {
+        outcome.render = renderer_.RenderCoarseOnly(grid, ropts);
+      } else {
+        outcome.render.frame = DensityFrame(grid.width(), grid.height());
+        outcome.render.status = UnavailableError(
+            "certified render path unavailable (circuit breaker open)");
+      }
+      outcome.status = outcome.render.status;
+      FinishOutcome(job, std::move(outcome));
+      return;
+    }
+
+    outcome.attempts = attempt;
+    // Clamp at 0: a deadline that expired since the queue check must read
+    // as "already expired" (== 0), not "no deadline" (< 0).
+    ropts.budget_seconds =
+        job->deadline ? std::max(0.0, job->deadline->RemainingSeconds())
+                      : -1.0;
+    RenderOutcome render = renderer_.Render(grid, ropts);
+
+    // Breaker accounting: a kInternal status is a certified-path fault
+    // (real or injected); anything else — including degraded-by-deadline
+    // and cancelled renders — is evidence the path itself is healthy.
+    const bool fault = render.status.code() == StatusCode::kInternal;
+    if (fault) {
+      counters_.faults.fetch_add(1, std::memory_order_relaxed);
+      breaker_.RecordFault();
+    } else {
+      breaker_.RecordSuccess();
+    }
+
+    bool retry = fault && attempt < options_.max_attempts &&
+                 !(request.cancel != nullptr && request.cancel->cancelled());
+    if (retry && job->deadline != nullptr &&
+        job->deadline->RemainingSeconds() <= 0.0) {
+      retry = false;
+    }
+    if (!retry) {
+      outcome.render = std::move(render);
+      outcome.status = outcome.render.status;
+      FinishOutcome(job, std::move(outcome));
+      return;
+    }
+
+    counters_.retries.fetch_add(1, std::memory_order_relaxed);
+    double delay_ms;
+    {
+      std::lock_guard<std::mutex> lock(backoff_mu_);
+      delay_ms = backoff_.NextDelayMs();
+    }
+    if (job->deadline != nullptr) {
+      delay_ms =
+          std::min(delay_ms, job->deadline->RemainingSeconds() * 1000.0);
+    }
+    SleepMs(delay_ms);
+  }
+}
+
+void RenderService::FinishOutcome(const std::shared_ptr<Job>& job,
+                                  ServeOutcome outcome) {
+  outcome.total_seconds = job->timer.ElapsedSeconds();
+
+  counters_.completed.fetch_add(1, std::memory_order_relaxed);
+  if (outcome.render.deadline_expired) {
+    counters_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (outcome.status.ok()) {
+    counters_.served_ok.fetch_add(1, std::memory_order_relaxed);
+    if (outcome.render.tier != QualityTier::kCertified) {
+      counters_.degraded.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (outcome.status.code() == StatusCode::kCancelled) {
+    counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+  }
+  switch (outcome.render.tier) {
+    case QualityTier::kCertified:
+      counters_.tier_certified.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QualityTier::kProgressive:
+      counters_.tier_progressive.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QualityTier::kCoarse:
+      counters_.tier_coarse.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QualityTier::kFlat:
+      counters_.tier_flat.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+
+  job->promise.set_value(std::move(outcome));
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+ServiceStats RenderService::stats() const {
+  ServiceStats s;
+  s.submitted = counters_.submitted.load(std::memory_order_relaxed);
+  s.admitted = counters_.admitted.load(std::memory_order_relaxed);
+  s.shed = counters_.shed.load(std::memory_order_relaxed);
+  s.completed = counters_.completed.load(std::memory_order_relaxed);
+  s.served_ok = counters_.served_ok.load(std::memory_order_relaxed);
+  s.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
+  s.deadline_expired =
+      counters_.deadline_expired.load(std::memory_order_relaxed);
+  s.degraded = counters_.degraded.load(std::memory_order_relaxed);
+  s.retries = counters_.retries.load(std::memory_order_relaxed);
+  s.faults = counters_.faults.load(std::memory_order_relaxed);
+  s.breaker_trips = breaker_.trips();
+  s.unavailable = counters_.unavailable.load(std::memory_order_relaxed);
+  s.tier_certified = counters_.tier_certified.load(std::memory_order_relaxed);
+  s.tier_progressive =
+      counters_.tier_progressive.load(std::memory_order_relaxed);
+  s.tier_coarse = counters_.tier_coarse.load(std::memory_order_relaxed);
+  s.tier_flat = counters_.tier_flat.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace kdv

@@ -1,0 +1,215 @@
+// Concurrent render service: a multi-threaded, overload-safe front end
+// over ResilientRenderer.
+//
+// The paper's framework is embarrassingly parallel across requests — the
+// kd-tree and bound profiles are read-only after construction — so serving
+// many users is a concurrency-control problem, not an algorithmic one.
+// RenderService supplies the production pieces:
+//
+//   * Thread pool (util/thread_pool.h): fixed workers, bounded FIFO queue.
+//   * Admission control: Submit() rejects with kResourceExhausted when the
+//     queue is full or too many requests are in flight, instead of letting
+//     latency grow without bound. Shedding is explicit and countable.
+//   * Queue-aware deadlines: a request's budget starts at admission, so
+//     time spent waiting in the queue counts against it. A request whose
+//     budget died in the queue is served coarse (degrade mode) or failed
+//     with kDeadlineExceeded (fail-fast mode) without touching the
+//     certified path.
+//   * Retry with jittered exponential backoff (util/backoff.h) for
+//     transient certified-path faults (kInternal, e.g. injected
+//     failpoints), bounded by max_attempts and by the request's remaining
+//     budget.
+//   * Circuit breaker on the certified path: after breaker_threshold
+//     consecutive faults the breaker opens and requests are served the
+//     coarse tier directly (or rejected with kUnavailable in fail-fast
+//     mode); after breaker_cooldown_seconds one half-open probe is allowed
+//     through, and its success closes the breaker again.
+//   * Graceful drain: Stop() rejects new submits, finishes every admitted
+//     request, and never deadlocks. The destructor stops the service.
+//
+// Thread safety: Submit/Stop/stats may be called from any thread. The
+// shared KdeEvaluator is used strictly const-concurrently (see the audit
+// note on ResilientRenderer).
+#ifndef QUADKDV_SERVE_RENDER_SERVICE_H_
+#define QUADKDV_SERVE_RENDER_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "serve/resilient_renderer.h"
+#include "util/backoff.h"
+#include "util/cancel.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace kdv {
+
+// Certified-path health tracker (closed → open → half-open → closed).
+// Factored out of the service so the state machine is unit-testable with an
+// injected clock. Thread-safe.
+class CircuitBreaker {
+ public:
+  struct Options {
+    int failure_threshold = 5;        // consecutive faults that trip it
+    double cooldown_seconds = 0.25;   // open time before the half-open probe
+  };
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  // `clock` returns monotonic seconds; null uses a steady_clock timer.
+  using ClockFn = std::function<double()>;
+  explicit CircuitBreaker(Options options, ClockFn clock = nullptr);
+
+  // True if this request may attempt the certified path. While open, flips
+  // to half-open once the cooldown has elapsed and admits exactly one
+  // probe; everyone else is told to short-circuit.
+  bool AllowCertified();
+
+  // Reports the outcome of a certified-path attempt that AllowCertified
+  // admitted. Success closes a half-open breaker and clears the fault run;
+  // a fault extends the run, trips the breaker at the threshold, and
+  // reopens a half-open breaker immediately.
+  void RecordSuccess();
+  void RecordFault();
+
+  State state() const;
+  uint64_t trips() const;  // times the breaker transitioned closed/half-open -> open
+
+ private:
+  double Now() const;
+
+  const Options options_;
+  const ClockFn clock_;
+  const Timer fallback_clock_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_faults_ = 0;
+  bool probe_in_flight_ = false;
+  double opened_at_ = 0.0;
+  uint64_t trips_ = 0;
+};
+
+// Per-request options. The render knobs mirror ResilientRenderOptions;
+// budget_seconds is measured from Submit() (queue time included).
+struct ServeRequestOptions {
+  double eps = 0.05;
+  // < 0: no deadline. 0: already expired at admission. > 0: wall-clock
+  // budget starting the moment Submit() admits the request.
+  double budget_seconds = -1.0;
+  bool degrade = true;  // false: fail fast instead of serving lower tiers
+  const CancelToken* cancel = nullptr;  // must outlive the request
+  GridKde::Options coarse;
+};
+
+// What the service delivered for one admitted request.
+struct ServeOutcome {
+  RenderOutcome render;  // frame (always finite), tier, render-path status
+
+  // Authoritative request status: render.status, or kUnavailable for a
+  // fail-fast rejection while the breaker is open.
+  Status status = OkStatus();
+
+  double queue_seconds = 0.0;  // admission -> first execution
+  double total_seconds = 0.0;  // admission -> completion
+  int attempts = 0;            // certified-path attempts (0 if short-circuited)
+  bool breaker_open = false;   // served/failed without the certified path
+
+  bool ok() const { return status.ok(); }
+};
+
+// Monotonic counters, readable at any time via RenderService::stats().
+struct ServiceStats {
+  uint64_t submitted = 0;       // Submit() calls
+  uint64_t admitted = 0;        // accepted into the queue
+  uint64_t shed = 0;            // rejected with kResourceExhausted
+  uint64_t completed = 0;       // outcomes delivered (any status)
+  uint64_t served_ok = 0;       // completed with an OK status
+  uint64_t cancelled = 0;       // completed with kCancelled
+  uint64_t deadline_expired = 0;  // outcomes that ran out of budget
+  uint64_t degraded = 0;        // served below the certified tier
+  uint64_t retries = 0;         // certified-path retry attempts
+  uint64_t faults = 0;          // certified-path faults observed
+  uint64_t breaker_trips = 0;   // closed/half-open -> open transitions
+  uint64_t unavailable = 0;     // requests short-circuited by an open breaker
+  uint64_t tier_certified = 0;
+  uint64_t tier_progressive = 0;
+  uint64_t tier_coarse = 0;
+  uint64_t tier_flat = 0;
+};
+
+class RenderService {
+ public:
+  struct Options {
+    int num_threads = 4;
+    size_t max_queue = 32;     // waiting requests beyond the running ones
+    size_t max_in_flight = 0;  // admitted-but-unfinished cap; 0 = max_queue + num_threads
+    int max_attempts = 3;      // certified-path attempts per request
+    BackoffPolicy backoff;
+    uint64_t backoff_seed = 0x5EEDBACC0FFull;
+    CircuitBreaker::Options breaker;
+    // Test seams: how to sleep between retries (null uses
+    // std::this_thread::sleep_for) and the breaker's monotonic clock (null
+    // uses a steady_clock timer) — deterministic breaker tests advance a
+    // fake clock instead of sleeping through cooldowns.
+    std::function<void(double /*ms*/)> sleep_ms;
+    CircuitBreaker::ClockFn breaker_clock;
+  };
+
+  // `evaluator` must outlive the service and is shared const-concurrently
+  // by all workers.
+  RenderService(const KdeEvaluator* evaluator, Options options);
+  ~RenderService();  // Stop()
+
+  RenderService(const RenderService&) = delete;
+  RenderService& operator=(const RenderService&) = delete;
+
+  // Admission-controlled asynchronous render. On success the future
+  // resolves to the request's ServeOutcome (possibly degraded/cancelled —
+  // inspect outcome.status). Rejections are synchronous:
+  //   kResourceExhausted — queue full or max_in_flight reached (shed)
+  //   kUnavailable       — Stop() has been called
+  // `grid` must stay alive until the future resolves.
+  StatusOr<std::future<ServeOutcome>> Submit(
+      const PixelGrid& grid, const ServeRequestOptions& request);
+
+  // Graceful drain: rejects new submits, finishes all admitted requests.
+  void Stop();
+
+  ServiceStats stats() const;
+  CircuitBreaker::State breaker_state() const { return breaker_.state(); }
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  struct Job;
+  void Execute(const std::shared_ptr<Job>& job);
+  void FinishOutcome(const std::shared_ptr<Job>& job, ServeOutcome outcome);
+  void SleepMs(double ms);
+
+  const Options options_;
+  const size_t max_in_flight_;
+  ResilientRenderer renderer_;
+  CircuitBreaker breaker_;
+  ThreadPool pool_;
+
+  std::mutex backoff_mu_;  // guards backoff_ (shared RNG stream)
+  Backoff backoff_;
+
+  std::atomic<size_t> in_flight_{0};
+
+  struct Counters {
+    std::atomic<uint64_t> submitted{0}, admitted{0}, shed{0}, completed{0},
+        served_ok{0}, cancelled{0}, deadline_expired{0}, degraded{0},
+        retries{0}, faults{0}, unavailable{0}, tier_certified{0},
+        tier_progressive{0}, tier_coarse{0}, tier_flat{0};
+  };
+  mutable Counters counters_;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_SERVE_RENDER_SERVICE_H_

@@ -56,6 +56,21 @@ void ResilientRenderer::RenderCoarse(const PixelGrid& grid,
   outcome->tier = QualityTier::kCoarse;
 }
 
+RenderOutcome ResilientRenderer::RenderCoarseOnly(
+    const PixelGrid& grid, const ResilientRenderOptions& opts) const {
+  RenderOutcome outcome;
+  outcome.frame = DensityFrame(grid.width(), grid.height());
+  if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+    outcome.cancelled = true;
+    RecordFault(&outcome, CancelledError("render cancelled before start"));
+    Finalize(&outcome);
+    return outcome;
+  }
+  RenderCoarse(grid, opts, &outcome);
+  Finalize(&outcome);
+  return outcome;
+}
+
 RenderOutcome ResilientRenderer::Render(
     const PixelGrid& grid, const ResilientRenderOptions& opts) const {
   RenderOutcome outcome;

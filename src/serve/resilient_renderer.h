@@ -88,6 +88,12 @@ struct RenderOutcome {
   bool ok() const { return status.ok(); }
 };
 
+// Thread safety: a ResilientRenderer holds only a const KdeEvaluator*, and
+// the evaluator, its KdTree, and its bound profiles are all immutable after
+// construction, so Render/RenderCoarseOnly may be called concurrently from
+// any number of threads on one shared instance (the property the concurrent
+// RenderService in serve/render_service.h relies on). The per-call GridKde
+// fallback builds its own local state.
 class ResilientRenderer {
  public:
   // `evaluator` must outlive the renderer.
@@ -97,6 +103,14 @@ class ResilientRenderer {
   // non-finite pixel. See the ladder description above.
   RenderOutcome Render(const PixelGrid& grid,
                        const ResilientRenderOptions& options) const;
+
+  // Skips the certified path entirely and serves the coarse tier (or flat
+  // if unavailable). Used when the caller already knows the certified path
+  // is not worth attempting: circuit breaker open, deadline spent while the
+  // request sat in a queue. Honors options.cancel; same frame invariants
+  // as Render.
+  RenderOutcome RenderCoarseOnly(const PixelGrid& grid,
+                                 const ResilientRenderOptions& options) const;
 
  private:
   // Fills outcome->frame from the GridKde fallback (tier kCoarse), or

@@ -1,0 +1,64 @@
+// Jittered exponential backoff for retrying transient faults.
+//
+// Classic decorrelated-ish scheme: attempt k's base delay is
+// initial * multiplier^k capped at max, and the actual delay is drawn
+// uniformly from [base * (1 - jitter), base] so a fleet of retrying
+// clients does not thunder back in lockstep. The RNG is the library's
+// deterministic xoshiro generator and the seed is injectable, so tests
+// can assert exact delay sequences; sleeping is the caller's job (the
+// render service injects a sleep function for the same reason).
+#ifndef QUADKDV_UTIL_BACKOFF_H_
+#define QUADKDV_UTIL_BACKOFF_H_
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace kdv {
+
+struct BackoffPolicy {
+  double initial_ms = 2.0;   // base delay of the first retry
+  double multiplier = 2.0;   // geometric growth per attempt
+  double max_ms = 250.0;     // cap on the base delay
+  double jitter = 0.5;       // fraction of the base randomized away, [0, 1]
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy, uint64_t seed = 0x5EEDBACC0FFull)
+      : policy_(policy), rng_(seed) {
+    KDV_CHECK(policy.initial_ms >= 0.0);
+    KDV_CHECK(policy.multiplier >= 1.0);
+    KDV_CHECK(policy.max_ms >= policy.initial_ms);
+    KDV_CHECK(policy.jitter >= 0.0 && policy.jitter <= 1.0);
+  }
+
+  // Delay to sleep before the next retry, advancing the attempt counter.
+  double NextDelayMs() {
+    double base = policy_.initial_ms;
+    for (int i = 0; i < attempts_; ++i) {
+      base *= policy_.multiplier;
+      if (base >= policy_.max_ms) break;
+    }
+    base = std::min(base, policy_.max_ms);
+    ++attempts_;
+    if (policy_.jitter == 0.0) return base;
+    return base * (1.0 - policy_.jitter * rng_.NextDouble());
+  }
+
+  // Retries requested so far (== number of NextDelayMs calls).
+  int attempts() const { return attempts_; }
+
+  // Restarts the schedule (the RNG stream keeps advancing).
+  void Reset() { attempts_ = 0; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  int attempts_ = 0;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_UTIL_BACKOFF_H_

@@ -20,12 +20,18 @@ namespace kdv {
 
 // Shared cancellation flag. Copies observe (and trigger) the same request.
 // Thread-safe; cancellation is sticky (no un-cancel).
+//
+// Memory ordering: RequestCancel is a release store and cancelled() an
+// acquire load, so everything the cancelling thread wrote before flipping
+// the flag (e.g. the reason it gave up) is visible to a worker that
+// observes the cancellation. Relaxed would suffice for the flag alone but
+// makes that publish/observe pattern a data race in waiting callers.
 class CancelToken {
  public:
   CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
 
-  void RequestCancel() const { flag_->store(true, std::memory_order_relaxed); }
-  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+  void RequestCancel() const { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
 
  private:
   std::shared_ptr<std::atomic<bool>> flag_;

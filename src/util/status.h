@@ -35,6 +35,8 @@ enum class StatusCode : int {
   kInternal,            // invariant violation that was caught, not proven
   kDeadlineExceeded,    // the request's time budget expired before completion
   kCancelled,           // the caller cancelled the request
+  kResourceExhausted,   // admission control rejected the request (shed load)
+  kUnavailable,         // the serving path is temporarily down (breaker open)
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -59,6 +61,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -117,6 +123,12 @@ inline Status DeadlineExceededError(std::string message) {
 }
 inline Status CancelledError(std::string message) {
   return Status(StatusCode::kCancelled, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 // Holds either a value of type T or a non-OK Status explaining why there is

@@ -1,0 +1,83 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+namespace kdv {
+
+ThreadPool::ThreadPool(Options options)
+    : max_queue_(options.max_queue) {
+  int n = options.num_threads < 1 ? 1 : options.num_threads;
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Stop(); }
+
+Status ThreadPool::TrySubmit(std::function<void()> task) {
+  KDV_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return UnavailableError("thread pool is stopped");
+    }
+    if (queue_.size() >= max_queue_) {
+      return ResourceExhaustedError("thread pool queue is full (" +
+                                    std::to_string(max_queue_) + " tasks)");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return OkStatus();
+}
+
+void ThreadPool::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+    // Drain: admitted tasks still run; wait until nothing is queued or
+    // executing before joining, so workers exit their loop naturally.
+    drain_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  }
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (joined_) return;
+  joined_ = true;
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++executed_;
+      --running_;
+      if (stopping_ && queue_.empty() && running_ == 0) {
+        drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace kdv

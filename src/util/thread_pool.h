@@ -1,0 +1,88 @@
+// Fixed-size worker pool with a bounded FIFO queue and graceful drain.
+//
+// This is the execution substrate of the concurrent render service
+// (serve/render_service.h): a fixed number of workers pull tasks off a
+// bounded queue, and admission is explicit — TrySubmit never blocks and
+// never queues unboundedly. When the queue is full the caller gets
+// kResourceExhausted and decides what to shed; after Stop() it gets
+// kUnavailable. Production overload policy (reject early, finish what was
+// admitted) lives here rather than in each caller.
+//
+// Lifecycle:
+//   * TrySubmit enqueues or rejects; it never runs the task inline.
+//   * Stop() rejects all further submits, runs every already-admitted task
+//     to completion, then joins the workers. Idempotent, safe to call
+//     concurrently with submitters, and never deadlocks (workers are joined
+//     only after the queue has drained; Stop must not be called from a
+//     pooled task).
+//   * The destructor calls Stop().
+//
+// Thread safety: all public members may be called from any thread.
+#ifndef QUADKDV_UTIL_THREAD_POOL_H_
+#define QUADKDV_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kdv {
+
+class ThreadPool {
+ public:
+  struct Options {
+    int num_threads = 4;    // clamped to >= 1
+    size_t max_queue = 64;  // tasks waiting beyond the running ones
+  };
+
+  explicit ThreadPool(Options options);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task` for execution, or rejects it:
+  //   kResourceExhausted — the queue already holds max_queue tasks
+  //   kUnavailable       — Stop() has been called
+  // An admitted task is guaranteed to run exactly once, even across Stop().
+  Status TrySubmit(std::function<void()> task);
+
+  // Graceful drain: rejects new submits, finishes every admitted task
+  // (queued and in-flight), joins the workers. Idempotent.
+  void Stop();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Tasks currently waiting in the queue (excludes running ones).
+  size_t queue_depth() const;
+
+  // Tasks completed since construction.
+  uint64_t tasks_executed() const;
+
+ private:
+  void WorkerLoop();
+
+  const size_t max_queue_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks / stop
+  std::condition_variable drain_cv_;  // Stop() waits for in-flight tasks
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  int running_ = 0;  // tasks currently executing on workers
+  uint64_t executed_ = 0;
+
+  std::vector<std::thread> workers_;
+
+  std::mutex join_mu_;  // serializes the join phase of concurrent Stop()s
+  bool joined_ = false;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_UTIL_THREAD_POOL_H_

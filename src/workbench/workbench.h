@@ -87,6 +87,12 @@ class Workbench {
   // Workbench keeps ownership of the underlying tree and bound function;
   // the evaluator is valid as long as the Workbench lives. Must not be
   // called with kZorder (see MakeZorderEvaluator) or an unsupported method.
+  //
+  // NOT thread-safe: this lazily builds and caches the bound function for
+  // `method` (and MakeZorderEvaluator caches sampled trees), mutating the
+  // Workbench. Create every evaluator you need BEFORE spawning serving
+  // threads; the returned evaluators themselves are safe to share
+  // concurrently (see KdeEvaluator).
   KdeEvaluator MakeEvaluator(Method method);
 
   // Z-order baseline: draws the ε-determined coreset, indexes it, and

@@ -1,0 +1,675 @@
+// Concurrent chaos suite for the render service stack.
+//
+// Everything here is written to run clean under ThreadSanitizer
+// (-DKDV_SANITIZE=thread); CI's tsan job runs this suite via
+// `ctest -L concurrency`. Part 1 covers the substrate (ThreadPool drain and
+// shedding, CircuitBreaker state machine with an injected clock, concurrent
+// const use of a shared KdeEvaluator). Part 2 covers RenderService behavior
+// under load: overload sheds instead of queueing unboundedly, drain
+// terminates, queue-aware deadlines, cancelled requests never report as
+// served. Part 3 is the failpoint × cancellation × deadline sweep and the
+// retry/breaker paths, which need -DKDV_FAILPOINTS=ON and skip elsewhere.
+#include "serve/render_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/kdv_runner.h"
+#include "data/datasets.h"
+#include "util/failpoint.h"
+#include "util/thread_pool.h"
+#include "workbench/workbench.h"
+
+namespace kdv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesEveryAdmittedTask) {
+  ThreadPool pool({/*num_threads=*/4, /*max_queue=*/1024});
+  std::atomic<int> executed{0};
+  const int kTasks = 500;
+  int admitted = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    if (pool.TrySubmit([&executed] { executed.fetch_add(1); }).ok()) {
+      ++admitted;
+    }
+  }
+  pool.Stop();
+  EXPECT_EQ(executed.load(), admitted);
+  EXPECT_EQ(pool.tasks_executed(), static_cast<uint64_t>(admitted));
+}
+
+TEST(ThreadPoolTest, FullQueueRejectsWithResourceExhausted) {
+  ThreadPool pool({/*num_threads=*/1, /*max_queue=*/2});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  // Park the single worker, then fill the queue.
+  ASSERT_TRUE(pool.TrySubmit([gate] { gate.wait(); }).ok());
+  // The worker may not have dequeued yet; admit until the queue is full.
+  int admitted = 1;
+  Status status = OkStatus();
+  for (int i = 0; i < 4 && status.ok(); ++i) {
+    status = pool.TrySubmit([gate] { gate.wait(); });
+    if (status.ok()) ++admitted;
+  }
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_LE(admitted, 3);  // 1 running + 2 queued
+  release.set_value();
+  pool.Stop();
+}
+
+TEST(ThreadPoolTest, StopDrainsQueuedTasksAndRejectsNewOnes) {
+  ThreadPool pool({/*num_threads=*/2, /*max_queue=*/64});
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(pool
+                    .TrySubmit([&executed] {
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(1));
+                      executed.fetch_add(1);
+                    })
+                    .ok());
+  }
+  pool.Stop();  // must finish all 32, then return
+  EXPECT_EQ(executed.load(), 32);
+  Status after = pool.TrySubmit([] {});
+  EXPECT_EQ(after.code(), StatusCode::kUnavailable);
+  pool.Stop();  // idempotent
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersLoseNoTasks) {
+  ThreadPool pool({/*num_threads=*/4, /*max_queue=*/4096});
+  std::atomic<int> executed{0};
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        if (pool.TrySubmit([&executed] { executed.fetch_add(1); }).ok()) {
+          admitted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.Stop();
+  EXPECT_EQ(executed.load(), admitted.load());
+  EXPECT_EQ(admitted.load(), 800);  // queue was deep enough for everything
+}
+
+// ---------------------------------------------------------------------------
+// Backoff (determinism is covered in util_test; here: thread interplay)
+// ---------------------------------------------------------------------------
+
+TEST(BackoffTest, SequenceGrowsToCapAndJitterStaysInBand) {
+  Backoff backoff({/*initial_ms=*/1.0, /*multiplier=*/2.0, /*max_ms=*/8.0,
+                   /*jitter=*/0.5},
+                  /*seed=*/42);
+  double prev_base = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    double base = std::min(8.0, 1.0 * std::pow(2.0, attempt));
+    double d = backoff.NextDelayMs();
+    EXPECT_GE(d, base * 0.5);
+    EXPECT_LE(d, base);
+    EXPECT_GE(base, prev_base);
+    prev_base = base;
+  }
+  EXPECT_EQ(backoff.attempts(), 8);
+  backoff.Reset();
+  EXPECT_EQ(backoff.attempts(), 0);
+  EXPECT_LE(backoff.NextDelayMs(), 1.0);  // schedule restarted
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker (injected clock: fully deterministic)
+// ---------------------------------------------------------------------------
+
+class BreakerTest : public ::testing::Test {
+ protected:
+  double now_ = 0.0;
+  CircuitBreaker::Options opts_{/*failure_threshold=*/3,
+                                /*cooldown_seconds=*/1.0};
+  CircuitBreaker breaker_{opts_, [this] { return now_; }};
+};
+
+TEST_F(BreakerTest, TripsAfterConsecutiveFaultsOnly) {
+  breaker_.RecordFault();
+  breaker_.RecordFault();
+  breaker_.RecordSuccess();  // breaks the run
+  breaker_.RecordFault();
+  breaker_.RecordFault();
+  EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker_.AllowCertified());
+  breaker_.RecordFault();  // third consecutive
+  EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker_.trips(), 1u);
+  EXPECT_FALSE(breaker_.AllowCertified());
+}
+
+TEST_F(BreakerTest, HalfOpenProbeRecoversAfterCooldown) {
+  for (int i = 0; i < 3; ++i) breaker_.RecordFault();
+  ASSERT_EQ(breaker_.state(), CircuitBreaker::State::kOpen);
+  now_ = 0.5;
+  EXPECT_FALSE(breaker_.AllowCertified());  // still cooling down
+  now_ = 1.5;
+  EXPECT_TRUE(breaker_.AllowCertified());  // the half-open probe
+  EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker_.AllowCertified());  // only one probe at a time
+  breaker_.RecordSuccess();
+  EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker_.AllowCertified());
+}
+
+TEST_F(BreakerTest, FailedProbeReopensAndRestartsCooldown) {
+  for (int i = 0; i < 3; ++i) breaker_.RecordFault();
+  now_ = 1.5;
+  ASSERT_TRUE(breaker_.AllowCertified());
+  breaker_.RecordFault();  // probe failed
+  EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker_.trips(), 2u);
+  now_ = 2.0;  // cooldown restarted at 1.5
+  EXPECT_FALSE(breaker_.AllowCertified());
+  now_ = 2.6;
+  EXPECT_TRUE(breaker_.AllowCertified());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency-hazard regressions from the audit
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyAuditTest, CancelTokenCancellationIsVisibleAcrossThreads) {
+  CancelToken token;
+  std::atomic<int> observers_done{0};
+  std::vector<std::thread> observers;
+  for (int t = 0; t < 4; ++t) {
+    observers.emplace_back([&] {
+      while (!token.cancelled()) {
+        std::this_thread::yield();
+      }
+      observers_done.fetch_add(1);
+    });
+  }
+  std::thread canceller([copy = token] { copy.RequestCancel(); });
+  canceller.join();
+  for (std::thread& t : observers) t.join();
+  EXPECT_EQ(observers_done.load(), 4);
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ConcurrencyAuditTest, FailpointRegistryIsRaceFreeUnderArmAndHit) {
+  // The hit-side functions are always compiled (they just see nothing armed
+  // in a non-failpoint build), so this races Arm/Disarm/hits against
+  // ConsumeStatus from many threads in every configuration; TSAN verifies.
+  const std::string site = "serve.render";
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> hitters;
+  for (int t = 0; t < 4; ++t) {
+    hitters.emplace_back([&] {
+      while (!stop.load()) {
+        (void)failpoint::ConsumeStatus("serve.render");
+        failpoint::MaybeDelay("serve.coarse");
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        failpoint::Arm(site, failpoint::Action::kError, /*delay_ms=*/0,
+                       /*max_hits=*/3)
+            .ok());
+    (void)failpoint::hits(site);
+    failpoint::Disarm(site);
+  }
+  stop.store(true);
+  for (std::thread& t : hitters) t.join();
+  failpoint::Reset();
+}
+
+TEST(ConcurrencyAuditTest, SharedEvaluatorSupportsConcurrentConstQueries) {
+  // KdeEvaluator / KdTree / NodeBounds are immutable after construction;
+  // hammer one instance from many threads (TSAN proves the contract).
+  Workbench bench(GenerateMixture(CrimeSpec(0.002)), KernelType::kGaussian);
+  KdeEvaluator evaluator = bench.MakeEvaluator(Method::kQuad);
+  PixelGrid grid(12, 9, bench.data_bounds());
+  std::atomic<uint64_t> nonfinite{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 6; ++t) {
+    workers.emplace_back([&] {
+      for (int y = 0; y < grid.height(); ++y) {
+        for (int x = 0; x < grid.width(); ++x) {
+          EvalResult r = evaluator.EvaluateEps(grid.PixelCenter(x, y), 0.05);
+          if (!std::isfinite(r.estimate)) nonfinite.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(nonfinite.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RenderService
+// ---------------------------------------------------------------------------
+
+class RenderServiceTest : public ::testing::Test {
+ protected:
+  RenderServiceTest()
+      : bench_(GenerateMixture(CrimeSpec(0.002)), KernelType::kGaussian),
+        evaluator_(bench_.MakeEvaluator(Method::kQuad)),
+        grid_(16, 12, bench_.data_bounds()) {}
+
+  void ExpectFinite(const DensityFrame& frame) {
+    ASSERT_EQ(frame.values.size(),
+              static_cast<size_t>(grid_.width()) * grid_.height());
+    for (double v : frame.values) EXPECT_TRUE(std::isfinite(v));
+  }
+
+  Workbench bench_;
+  KdeEvaluator evaluator_;
+  PixelGrid grid_;
+};
+
+TEST_F(RenderServiceTest, ConcurrentClientsAllGetCertifiedFrames) {
+  RenderService::Options options;
+  options.num_threads = 4;
+  options.max_queue = 256;
+  RenderService service(&evaluator_, options);
+  ServeRequestOptions request;
+  request.eps = 0.05;
+
+  std::vector<std::future<ServeOutcome>> tickets;
+  for (int i = 0; i < 48; ++i) {
+    StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, request);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*std::move(t));
+  }
+  for (std::future<ServeOutcome>& t : tickets) {
+    ServeOutcome outcome = t.get();
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.render.tier, QualityTier::kCertified);
+    EXPECT_EQ(outcome.attempts, 1);
+    ExpectFinite(outcome.render.frame);
+  }
+  service.Stop();
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 48u);
+  EXPECT_EQ(stats.admitted, 48u);
+  EXPECT_EQ(stats.completed, 48u);
+  EXPECT_EQ(stats.served_ok, 48u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.tier_certified, 48u);
+}
+
+TEST_F(RenderServiceTest, OverloadShedsInsteadOfQueueingUnboundedly) {
+  RenderService::Options options;
+  options.num_threads = 1;
+  options.max_queue = 2;  // => max_in_flight = 3
+  RenderService service(&evaluator_, options);
+  ServeRequestOptions request;
+  request.eps = 0.01;
+
+  // Burst far past capacity from several threads at once. At most
+  // max_in_flight requests may be pending at any instant, so with a burst
+  // much larger than capacity some MUST be shed, and every rejection must
+  // be kResourceExhausted.
+  std::atomic<int> shed{0}, admitted{0}, wrong_code{0};
+  std::mutex mu;
+  std::vector<std::future<ServeOutcome>> tickets;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        StatusOr<std::future<ServeOutcome>> t =
+            service.Submit(grid_, request);
+        if (t.ok()) {
+          admitted.fetch_add(1);
+          std::lock_guard<std::mutex> lock(mu);
+          tickets.push_back(*std::move(t));
+        } else if (t.status().code() == StatusCode::kResourceExhausted) {
+          shed.fetch_add(1);
+        } else {
+          wrong_code.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (std::future<ServeOutcome>& t : tickets) {
+    ServeOutcome outcome = t.get();
+    ExpectFinite(outcome.render.frame);
+  }
+  service.Stop();
+
+  EXPECT_EQ(wrong_code.load(), 0);
+  EXPECT_GT(shed.load(), 0);  // 64 near-simultaneous submits vs capacity 3
+  EXPECT_EQ(admitted.load() + shed.load(), 64);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed, static_cast<uint64_t>(shed.load()));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(admitted.load()));
+}
+
+TEST_F(RenderServiceTest, StopDrainsEveryAdmittedRequest) {
+  RenderService::Options options;
+  options.num_threads = 2;
+  options.max_queue = 64;
+  RenderService service(&evaluator_, options);
+  ServeRequestOptions request;
+
+  std::vector<std::future<ServeOutcome>> tickets;
+  for (int i = 0; i < 24; ++i) {
+    StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, request);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*std::move(t));
+  }
+  service.Stop();  // must not deadlock, must finish all 24
+  for (std::future<ServeOutcome>& t : tickets) {
+    ServeOutcome outcome = t.get();  // every promise resolves
+    ExpectFinite(outcome.render.frame);
+  }
+  StatusOr<std::future<ServeOutcome>> late = service.Submit(grid_, request);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.stats().completed, 24u);
+}
+
+TEST_F(RenderServiceTest, DeadlineKeepsTickingWhileQueued) {
+  PixelGrid big_grid(96, 72, bench_.data_bounds());
+  RenderService::Options options;
+  options.num_threads = 1;
+  options.max_queue = 8;
+  RenderService service(&evaluator_, options);
+
+  // Occupy the single worker with a heavy un-budgeted request, then enqueue
+  // budgeted ones whose 1µs deadlines expire while they wait.
+  ServeRequestOptions slow;
+  slow.eps = 0.001;
+  StatusOr<std::future<ServeOutcome>> head = service.Submit(big_grid, slow);
+  ASSERT_TRUE(head.ok());
+
+  ServeRequestOptions tiny_budget;
+  tiny_budget.budget_seconds = 1e-6;
+  StatusOr<std::future<ServeOutcome>> degraded =
+      service.Submit(grid_, tiny_budget);
+  ASSERT_TRUE(degraded.ok());
+
+  ServeRequestOptions fail_fast = tiny_budget;
+  fail_fast.degrade = false;
+  StatusOr<std::future<ServeOutcome>> failed =
+      service.Submit(grid_, fail_fast);
+  ASSERT_TRUE(failed.ok());
+
+  ServeOutcome d = degraded->get();
+  EXPECT_TRUE(d.render.deadline_expired);
+  EXPECT_TRUE(d.ok());  // degraded mode still serves a lower-tier frame
+  EXPECT_NE(d.render.tier, QualityTier::kCertified);
+  ExpectFinite(d.render.frame);
+
+  ServeOutcome f = failed->get();
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(f.render.deadline_expired);
+
+  (void)head->get();
+  service.Stop();
+  EXPECT_GE(service.stats().deadline_expired, 2u);
+}
+
+TEST_F(RenderServiceTest, CancelledRequestsNeverReportAsServed) {
+  RenderService::Options options;
+  options.num_threads = 2;
+  options.max_queue = 128;
+  RenderService service(&evaluator_, options);
+
+  CancelToken token;
+  ServeRequestOptions request;
+  request.eps = 0.005;
+  request.cancel = &token;
+
+  std::vector<std::future<ServeOutcome>> tickets;
+  for (int i = 0; i < 32; ++i) {
+    StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, request);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*std::move(t));
+  }
+  token.RequestCancel();  // races the in-flight renders: both outcomes legal
+
+  size_t cancelled = 0;
+  for (std::future<ServeOutcome>& t : tickets) {
+    ServeOutcome outcome = t.get();
+    if (outcome.render.cancelled) {
+      // The invariant under test: a cancelled request must carry a non-OK
+      // kCancelled status, never "served".
+      EXPECT_FALSE(outcome.ok());
+      EXPECT_EQ(outcome.status.code(), StatusCode::kCancelled);
+      ++cancelled;
+    } else {
+      EXPECT_TRUE(outcome.ok());
+    }
+    ExpectFinite(outcome.render.frame);
+  }
+  service.Stop();
+  EXPECT_GT(cancelled, 0u);  // 32 queued renders cannot all beat the cancel
+  EXPECT_EQ(service.stats().cancelled, cancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint-driven paths (retry, breaker, chaos sweep): -DKDV_FAILPOINTS=ON
+// ---------------------------------------------------------------------------
+
+class ServiceChaosTest : public RenderServiceTest {
+ protected:
+  void SetUp() override {
+    if (!failpoint::enabled()) {
+      GTEST_SKIP() << "failpoints not compiled in (build with "
+                      "-DKDV_FAILPOINTS=ON)";
+    }
+    failpoint::Reset();
+  }
+  void TearDown() override { failpoint::Reset(); }
+};
+
+TEST_F(ServiceChaosTest, TransientFaultIsRetriedWithBackoffAndRecovers) {
+  ASSERT_TRUE(failpoint::Arm("serve.render", failpoint::Action::kError,
+                             /*delay_ms=*/0, /*max_hits=*/1)
+                  .ok());
+  RenderService::Options options;
+  options.num_threads = 1;
+  options.max_attempts = 3;
+  std::vector<double> slept;
+  options.sleep_ms = [&slept](double ms) { slept.push_back(ms); };
+  RenderService service(&evaluator_, options);
+
+  StatusOr<std::future<ServeOutcome>> t =
+      service.Submit(grid_, ServeRequestOptions());
+  ASSERT_TRUE(t.ok());
+  ServeOutcome outcome = t->get();
+  service.Stop();
+
+  EXPECT_TRUE(outcome.ok());  // second attempt succeeded
+  EXPECT_EQ(outcome.attempts, 2);
+  EXPECT_EQ(outcome.render.tier, QualityTier::kCertified);
+  ASSERT_EQ(slept.size(), 1u);
+  EXPECT_GT(slept[0], 0.0);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.faults, 1u);
+  EXPECT_EQ(stats.served_ok, 1u);
+}
+
+TEST_F(ServiceChaosTest, PersistentFaultExhaustsRetriesAndShipsDegraded) {
+  ASSERT_TRUE(
+      failpoint::Arm("serve.render", failpoint::Action::kError).ok());
+  RenderService::Options options;
+  options.num_threads = 1;
+  options.max_attempts = 3;
+  options.breaker.failure_threshold = 100;  // keep the breaker out of this
+  options.sleep_ms = [](double) {};
+  RenderService service(&evaluator_, options);
+
+  StatusOr<std::future<ServeOutcome>> t =
+      service.Submit(grid_, ServeRequestOptions());
+  ASSERT_TRUE(t.ok());
+  ServeOutcome outcome = t->get();
+  service.Stop();
+
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(outcome.render.tier, QualityTier::kCoarse);  // degraded frame
+  ExpectFinite(outcome.render.frame);
+  EXPECT_EQ(service.stats().retries, 2u);
+}
+
+TEST_F(ServiceChaosTest, BreakerTripsServesCoarseDirectlyAndRecovers) {
+  ASSERT_TRUE(
+      failpoint::Arm("serve.render", failpoint::Action::kError).ok());
+  // Fake breaker clock: the cooldown elapses when the test says so, not
+  // when wall time passes (TSAN slows everything down unpredictably).
+  auto fake_now = std::make_shared<std::atomic<double>>(0.0);
+  RenderService::Options options;
+  options.num_threads = 1;
+  options.max_attempts = 1;  // one fault per request: deterministic count
+  options.breaker.failure_threshold = 3;
+  options.breaker.cooldown_seconds = 60.0;
+  options.breaker_clock = [fake_now] { return fake_now->load(); };
+  RenderService service(&evaluator_, options);
+  ServeRequestOptions request;
+
+  // Three faulting requests trip the breaker.
+  for (int i = 0; i < 3; ++i) {
+    StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, request);
+    ASSERT_TRUE(t.ok());
+    ServeOutcome outcome = t->get();
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_FALSE(outcome.breaker_open);
+  }
+  EXPECT_EQ(service.breaker_state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(service.stats().breaker_trips, 1u);
+
+  // While open, requests short-circuit to the coarse tier without touching
+  // the (still faulting) certified path...
+  {
+    StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, request);
+    ASSERT_TRUE(t.ok());
+    ServeOutcome outcome = t->get();
+    EXPECT_TRUE(outcome.breaker_open);
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.render.tier, QualityTier::kCoarse);
+    EXPECT_EQ(outcome.attempts, 0);
+    ExpectFinite(outcome.render.frame);
+  }
+  // ...and fail-fast requests surface kUnavailable.
+  {
+    ServeRequestOptions fail_fast;
+    fail_fast.degrade = false;
+    StatusOr<std::future<ServeOutcome>> t =
+        service.Submit(grid_, fail_fast);
+    ASSERT_TRUE(t.ok());
+    ServeOutcome outcome = t->get();
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status.code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(outcome.breaker_open);
+  }
+  EXPECT_GE(service.stats().unavailable, 2u);
+
+  // Heal the path and let the cooldown elapse: the half-open probe
+  // recovers.
+  failpoint::Reset();
+  fake_now->store(120.0);
+  {
+    StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, request);
+    ASSERT_TRUE(t.ok());
+    ServeOutcome outcome = t->get();
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.render.tier, QualityTier::kCertified);
+    EXPECT_FALSE(outcome.breaker_open);
+  }
+  EXPECT_EQ(service.breaker_state(), CircuitBreaker::State::kClosed);
+  service.Stop();
+}
+
+// The acceptance sweep: many client threads × every failpoint site and
+// action × budgets × mid-flight cancellation, all at once, on one service.
+// The invariants are the serving contract: every future resolves, every
+// frame is finite, cancelled requests are never "served", rejections are
+// kResourceExhausted only — and the whole thing is TSAN-clean.
+TEST_F(ServiceChaosTest, ConcurrentFailpointCancellationDeadlineSweep) {
+  const failpoint::Action kActions[] = {
+      failpoint::Action::kError,
+      failpoint::Action::kNaN,
+      failpoint::Action::kDelay,
+  };
+  RenderService::Options options;
+  options.num_threads = 4;
+  options.max_queue = 8;
+  options.max_attempts = 2;
+  options.breaker.failure_threshold = 4;
+  options.breaker.cooldown_seconds = 0.01;
+  options.sleep_ms = [](double) {};  // retries must not slow the sweep
+  RenderService service(&evaluator_, options);
+
+  std::atomic<uint64_t> wrong_rejection{0};
+  std::atomic<uint64_t> served_cancelled{0};
+  std::atomic<uint64_t> nonfinite{0};
+
+  for (const std::string& site : failpoint::AllSites()) {
+    for (failpoint::Action action : kActions) {
+      SCOPED_TRACE("site=" + site);
+      failpoint::Reset();
+      ASSERT_TRUE(failpoint::Arm(site, action, /*delay_ms=*/1).ok());
+
+      CancelToken token;
+      std::vector<std::thread> clients;
+      for (int c = 0; c < 6; ++c) {
+        clients.emplace_back([&, c] {
+          ServeRequestOptions request;
+          request.eps = 0.05;
+          // Mix of budgets and policies across clients.
+          request.budget_seconds = (c % 3 == 0) ? 0.02 : -1.0;
+          request.degrade = (c % 4 != 3);
+          if (c % 2 == 0) request.cancel = &token;
+          for (int i = 0; i < 3; ++i) {
+            StatusOr<std::future<ServeOutcome>> t =
+                service.Submit(grid_, request);
+            if (!t.ok()) {
+              if (t.status().code() != StatusCode::kResourceExhausted) {
+                wrong_rejection.fetch_add(1);
+              }
+              continue;
+            }
+            if (c % 2 == 0 && i == 1) token.RequestCancel();
+            ServeOutcome outcome = t->get();
+            if (outcome.render.cancelled && outcome.ok()) {
+              served_cancelled.fetch_add(1);
+            }
+            for (double v : outcome.render.frame.values) {
+              if (!std::isfinite(v)) nonfinite.fetch_add(1);
+            }
+          }
+        });
+      }
+      for (std::thread& t : clients) t.join();
+    }
+  }
+  service.Stop();
+
+  EXPECT_EQ(wrong_rejection.load(), 0u);
+  EXPECT_EQ(served_cancelled.load(), 0u);
+  EXPECT_EQ(nonfinite.load(), 0u);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, stats.admitted);
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.shed);
+}
+
+}  // namespace
+}  // namespace kdv

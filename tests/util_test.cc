@@ -1,11 +1,14 @@
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/backoff.h"
 #include "util/crc32.h"
 #include "util/csv.h"
 #include "util/random.h"
@@ -283,6 +286,101 @@ TEST(StatusTest, AssignOrReturnUnwraps) {
     return OkStatus();
   };
   EXPECT_TRUE(wrapper().ok());
+}
+
+TEST(StatusTest, EveryCodeHasADistinctName) {
+  const std::pair<StatusCode, const char*> kCodes[] = {
+      {StatusCode::kOk, "OK"},
+      {StatusCode::kInvalidArgument, "INVALID_ARGUMENT"},
+      {StatusCode::kNotFound, "NOT_FOUND"},
+      {StatusCode::kDataLoss, "DATA_LOSS"},
+      {StatusCode::kFailedPrecondition, "FAILED_PRECONDITION"},
+      {StatusCode::kOutOfRange, "OUT_OF_RANGE"},
+      {StatusCode::kUnimplemented, "UNIMPLEMENTED"},
+      {StatusCode::kInternal, "INTERNAL"},
+      {StatusCode::kDeadlineExceeded, "DEADLINE_EXCEEDED"},
+      {StatusCode::kCancelled, "CANCELLED"},
+      {StatusCode::kResourceExhausted, "RESOURCE_EXHAUSTED"},
+      {StatusCode::kUnavailable, "UNAVAILABLE"},
+  };
+  std::vector<std::string> seen;
+  for (const auto& [code, name] : kCodes) {
+    EXPECT_STREQ(StatusCodeName(code), name);
+    seen.push_back(name);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(StatusTest, ServingErrorConstructors) {
+  Status shed = ResourceExhaustedError("queue full");
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.ToString(), "RESOURCE_EXHAUSTED: queue full");
+
+  Status down = UnavailableError("breaker open");
+  EXPECT_EQ(down.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(down.ToString(), "UNAVAILABLE: breaker open");
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+// ---------------------------------------------------------------------------
+
+TEST(BackoffTest, DeterministicForSameSeed) {
+  BackoffPolicy policy;
+  Backoff a(policy, 7);
+  Backoff b(policy, 7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextDelayMs(), b.NextDelayMs());
+  }
+}
+
+TEST(BackoffTest, BaseGrowsGeometricallyWithoutJitter) {
+  Backoff backoff({/*initial_ms=*/1.0, /*multiplier=*/3.0, /*max_ms=*/1000.0,
+                   /*jitter=*/0.0});
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 1.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 3.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 9.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 27.0);
+  EXPECT_EQ(backoff.attempts(), 4);
+}
+
+TEST(BackoffTest, DelayIsCappedAtMax) {
+  Backoff backoff({/*initial_ms=*/10.0, /*multiplier=*/10.0, /*max_ms=*/50.0,
+                   /*jitter=*/0.0});
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 10.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_LE(backoff.NextDelayMs(), 50.0);
+  }
+}
+
+TEST(BackoffTest, JitterStaysWithinBand) {
+  const double jitter = 0.5;
+  Backoff backoff({/*initial_ms=*/4.0, /*multiplier=*/2.0, /*max_ms=*/64.0,
+                   /*jitter=*/jitter},
+                  99);
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    double base = std::min(64.0, 4.0 * std::pow(2.0, attempt));
+    double d = backoff.NextDelayMs();
+    EXPECT_GE(d, base * (1.0 - jitter));
+    EXPECT_LE(d, base);
+  }
+}
+
+TEST(BackoffTest, ResetRestartsScheduleButNotRngStream) {
+  Backoff backoff({/*initial_ms=*/1.0, /*multiplier=*/2.0, /*max_ms=*/100.0,
+                   /*jitter=*/0.5},
+                  5);
+  double first = backoff.NextDelayMs();
+  (void)backoff.NextDelayMs();
+  backoff.Reset();
+  EXPECT_EQ(backoff.attempts(), 0);
+  double after_reset = backoff.NextDelayMs();
+  // Same base (schedule restarted)...
+  EXPECT_LE(after_reset, 1.0);
+  EXPECT_GE(after_reset, 0.5);
+  // ...but the RNG stream kept advancing, so lockstep repeats are unlikely.
+  EXPECT_NE(first, after_reset);
 }
 
 // ---------------------------------------------------------------------------

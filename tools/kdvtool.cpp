@@ -8,6 +8,9 @@
 //   render      εKDV heat map -> PPM
 //   hotspot     τKDV two-color map -> PPM
 //   progressive anytime εKDV under a time budget -> PPM
+//   serve-sim   closed-loop load generator against the concurrent
+//               RenderService (throughput, latency percentiles, shed/
+//               degraded/retried counts; --json for machine-readable)
 //
 // Every failure path exits non-zero with a printed reason; bad input (a
 // malformed CSV, a truncated index, a NaN flag value) must never abort.
@@ -21,11 +24,19 @@
 //   kdvtool render --in crime.csv --eps 0.01 --width 640 --out heat.ppm
 //   kdvtool hotspot --in crime.csv --tau-sigma 0.1 --out mask.ppm
 //   kdvtool progressive --in crime.csv --budget 0.5 --out partial.ppm
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <limits>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "quadkdv.h"
 #include "util/flags.h"
@@ -38,8 +49,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: kdvtool "
-      "<generate|info|index|render|hotspot|progressive|classify|regress> "
-      "[flags]\n"
+      "<generate|info|index|render|hotspot|progressive|classify|regress"
+      "|serve-sim> [flags]\n"
       "  common flags: --in FILE.csv | --dataset el_nino|crime|home|hep\n"
       "                --scale S --kernel NAME --method quad|karl|akde|exact\n"
       "                --width W --height H --out FILE\n"
@@ -53,7 +64,11 @@ int Usage() {
       "                --block (certify whole pixel blocks)\n"
       "  progressive:  --eps E --budget SECONDS\n"
       "  classify:     --in FILE.csv --label-col I (x,y + integer labels)\n"
-      "  regress:      --in FILE.csv --target-col I (x,y + target >= 0)\n");
+      "  regress:      --in FILE.csv --target-col I (x,y + target >= 0)\n"
+      "  serve-sim:    --threads N --requests R --budget-ms MS\n"
+      "                [--clients C (default 4x threads) --queue Q\n"
+      "                 --eps E --on-deadline degrade|fail\n"
+      "                 --failpoints \"site=action;...\" --json]\n");
   return 2;
 }
 
@@ -613,6 +628,227 @@ int CmdRegress(const Flags& flags) {
   return 0;
 }
 
+// Percentile over a sorted sample (nearest-rank); 0 for an empty sample.
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+// Closed-loop load generator against RenderService: --clients worker threads
+// each submit a request, wait for its outcome, and repeat until --requests
+// requests have been attempted. Prints throughput, latency percentiles, and
+// shed/degraded/retried counts, then verifies the serving invariants (only
+// kResourceExhausted rejections, only finite pixels) and exits non-zero if
+// any were violated.
+int CmdServeSim(const Flags& flags) {
+  Session s;
+  if (!OpenSession(flags, &s)) return 1;
+
+  const int threads = flags.GetInt("threads", 4);
+  const int clients = flags.GetInt("clients", threads * 4);
+  const long requests = flags.GetInt("requests", 100);
+  if (threads < 1 || clients < 1 || requests < 1) {
+    std::fprintf(stderr,
+                 "kdvtool serve-sim: --threads/--clients/--requests must be "
+                 ">= 1\n");
+    return 2;
+  }
+  double budget_ms = GetValidatedDouble(flags, "budget-ms", -1.0);
+  if (std::isnan(budget_ms)) {
+    std::fprintf(stderr, "kdvtool serve-sim: bad --budget-ms\n");
+    return 2;
+  }
+  double eps = GetValidatedDouble(flags, "eps", 0.05);
+  Status eps_status = ValidateEps(eps);
+  if (!eps_status.ok()) {
+    PrintStatus(eps_status);
+    return 1;
+  }
+  std::string on_deadline = flags.GetString("on-deadline", "degrade");
+  if (on_deadline != "degrade" && on_deadline != "fail") {
+    std::fprintf(stderr,
+                 "kdvtool serve-sim: --on-deadline must be 'degrade' or "
+                 "'fail'\n");
+    return 2;
+  }
+
+  std::string fp_spec = flags.GetString("failpoints", "");
+  if (!fp_spec.empty()) {
+    Status fp = failpoint::ConfigureFromSpec(fp_spec);
+    if (!fp.ok()) {
+      PrintStatus(fp);
+      return 2;
+    }
+    if (!failpoint::enabled()) {
+      std::fprintf(stderr,
+                   "kdvtool serve-sim: warning: --failpoints armed but this "
+                   "binary was built without -DKDV_FAILPOINTS=ON\n");
+    }
+  }
+
+  KdeEvaluator evaluator = s.bench->MakeEvaluator(s.method);
+  PixelGrid grid(s.width, s.height, s.bench->data_bounds());
+
+  RenderService::Options options;
+  options.num_threads = threads;
+  options.max_queue = static_cast<size_t>(flags.GetInt("queue", threads * 2));
+  options.max_attempts = flags.GetInt("max-attempts", 3);
+  RenderService service(&evaluator, options);
+
+  ServeRequestOptions request;
+  request.eps = eps;
+  request.budget_seconds = budget_ms >= 0.0 ? budget_ms / 1000.0 : -1.0;
+  request.degrade = on_deadline == "degrade";
+
+  std::atomic<long> next{0};
+  std::atomic<uint64_t> bad_rejections{0};  // shed with a code other than
+                                            // kResourceExhausted
+  std::atomic<uint64_t> nonfinite_pixels{0};
+  std::atomic<uint64_t> dropped{0};  // shed even after client-side retries
+  std::mutex merge_mu;
+  std::vector<double> latencies_ms;  // served requests, shed-retry included
+
+  // A shed request is retried by its client with jittered backoff (what a
+  // well-behaved production client does), so measured latency includes the
+  // time spent being pushed back. A request shed kMaxClientTries times in a
+  // row is dropped.
+  constexpr int kMaxClientTries = 1000;
+
+  Timer wall;
+  std::vector<std::thread> swarm;
+  swarm.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    swarm.emplace_back([&, c] {
+      std::vector<double> local;
+      Backoff shed_backoff({/*initial_ms=*/0.2, /*multiplier=*/2.0,
+                            /*max_ms=*/5.0, /*jitter=*/0.5},
+                           /*seed=*/0xC11E47ull + static_cast<uint64_t>(c));
+      for (;;) {
+        if (next.fetch_add(1) >= requests) break;
+        Timer lat;
+        bool served = false;
+        shed_backoff.Reset();
+        for (int tries = 0; tries < kMaxClientTries; ++tries) {
+          StatusOr<std::future<ServeOutcome>> ticket =
+              service.Submit(grid, request);
+          if (ticket.ok()) {
+            ServeOutcome outcome = ticket->get();
+            local.push_back(lat.ElapsedMillis());
+            for (double v : outcome.render.frame.values) {
+              if (!std::isfinite(v)) nonfinite_pixels.fetch_add(1);
+            }
+            served = true;
+            break;
+          }
+          if (ticket.status().code() != StatusCode::kResourceExhausted) {
+            bad_rejections.fetch_add(1);
+            break;
+          }
+          double ms = shed_backoff.NextDelayMs();
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(ms));
+        }
+        if (!served) dropped.fetch_add(1);
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : swarm) t.join();
+  service.Stop();
+  const double wall_seconds = wall.ElapsedSeconds();
+  if (!fp_spec.empty()) failpoint::Reset();
+
+  ServiceStats stats = service.stats();
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double rps =
+      wall_seconds > 0.0
+          ? static_cast<double>(stats.completed) / wall_seconds
+          : 0.0;
+  const double p50 = Percentile(latencies_ms, 0.50);
+  const double p95 = Percentile(latencies_ms, 0.95);
+  const double p99 = Percentile(latencies_ms, 0.99);
+
+  if (flags.GetBool("json", false)) {
+    std::printf(
+        "{\"threads\":%d,\"clients\":%d,\"requests\":%ld,"
+        "\"budget_ms\":%g,\"wall_seconds\":%.6f,\"throughput_rps\":%.3f,"
+        "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f},"
+        "\"counts\":{\"submitted\":%llu,\"admitted\":%llu,\"shed\":%llu,"
+        "\"served_ok\":%llu,\"cancelled\":%llu,\"deadline_expired\":%llu,"
+        "\"degraded\":%llu,\"retries\":%llu,\"faults\":%llu,"
+        "\"breaker_trips\":%llu,\"unavailable\":%llu,\"dropped\":%llu},"
+        "\"tiers\":{\"certified\":%llu,\"progressive\":%llu,"
+        "\"coarse\":%llu,\"flat\":%llu},"
+        "\"invariants\":{\"bad_rejections\":%llu,\"nonfinite_pixels\":%llu}"
+        "}\n",
+        threads, clients, requests, budget_ms, wall_seconds, rps, p50, p95,
+        p99, static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.admitted),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.served_ok),
+        static_cast<unsigned long long>(stats.cancelled),
+        static_cast<unsigned long long>(stats.deadline_expired),
+        static_cast<unsigned long long>(stats.degraded),
+        static_cast<unsigned long long>(stats.retries),
+        static_cast<unsigned long long>(stats.faults),
+        static_cast<unsigned long long>(stats.breaker_trips),
+        static_cast<unsigned long long>(stats.unavailable),
+        static_cast<unsigned long long>(dropped.load()),
+        static_cast<unsigned long long>(stats.tier_certified),
+        static_cast<unsigned long long>(stats.tier_progressive),
+        static_cast<unsigned long long>(stats.tier_coarse),
+        static_cast<unsigned long long>(stats.tier_flat),
+        static_cast<unsigned long long>(bad_rejections.load()),
+        static_cast<unsigned long long>(nonfinite_pixels.load()));
+  } else {
+    std::printf("serve-sim: %d workers, %d clients, %ld requests, %dx%d "
+                "frames, budget %gms\n",
+                threads, clients, requests, s.width, s.height, budget_ms);
+    std::printf("  throughput: %.1f req/s (%llu completed in %.3fs)\n", rps,
+                static_cast<unsigned long long>(stats.completed),
+                wall_seconds);
+    std::printf("  latency:    p50 %.2fms  p95 %.2fms  p99 %.2fms\n", p50,
+                p95, p99);
+    std::printf("  admitted %llu, shed %llu, served_ok %llu, degraded %llu, "
+                "deadline_expired %llu\n",
+                static_cast<unsigned long long>(stats.admitted),
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.served_ok),
+                static_cast<unsigned long long>(stats.degraded),
+                static_cast<unsigned long long>(stats.deadline_expired));
+    std::printf("  retries %llu, faults %llu, breaker_trips %llu, "
+                "unavailable %llu, dropped %llu\n",
+                static_cast<unsigned long long>(stats.retries),
+                static_cast<unsigned long long>(stats.faults),
+                static_cast<unsigned long long>(stats.breaker_trips),
+                static_cast<unsigned long long>(stats.unavailable),
+                static_cast<unsigned long long>(dropped.load()));
+    std::printf("  tiers: certified %llu, progressive %llu, coarse %llu, "
+                "flat %llu\n",
+                static_cast<unsigned long long>(stats.tier_certified),
+                static_cast<unsigned long long>(stats.tier_progressive),
+                static_cast<unsigned long long>(stats.tier_coarse),
+                static_cast<unsigned long long>(stats.tier_flat));
+  }
+
+  if (bad_rejections.load() > 0) {
+    std::fprintf(stderr,
+                 "kdvtool serve-sim: %llu rejections carried a code other "
+                 "than RESOURCE_EXHAUSTED\n",
+                 static_cast<unsigned long long>(bad_rejections.load()));
+    return 1;
+  }
+  if (nonfinite_pixels.load() > 0) {
+    std::fprintf(stderr, "kdvtool serve-sim: %llu non-finite pixels served\n",
+                 static_cast<unsigned long long>(nonfinite_pixels.load()));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -638,5 +874,6 @@ int main(int argc, char** argv) {
   if (cmd == "progressive") return CmdProgressive(flags);
   if (cmd == "classify") return CmdClassify(flags);
   if (cmd == "regress") return CmdRegress(flags);
+  if (cmd == "serve-sim") return CmdServeSim(flags);
   return Usage();
 }
