@@ -1,0 +1,302 @@
+// Intra-frame parallel rendering throughput: serial renderers vs the tiled
+// parallel renderers (viz/parallel_render.h) swept over frame thread counts,
+// plus the AoS-vs-SoA leaf-kernel microbenchmark that underpins the EXACT
+// method. Prints pixels/sec tables and writes BENCH_frame.json (in the
+// working directory) for machine consumption — CI's perf smoke parses it.
+//
+// The benchmark doubles as an exactness check: every parallel frame is
+// compared bitwise against the serial baseline, and every SoA leaf sum
+// against its AoS oracle; any mismatch fails the run with a non-zero exit.
+//
+// Scaling knobs: KDV_BENCH_SCALE (dataset cardinality, bench_common.h),
+// KDV_BENCH_FRAME_PIXELS (square frame edge, default 512),
+// KDV_BENCH_FRAME_REPS (timed repetitions, best-of, default 3).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using kdv::BatchStats;
+using kdv::BinaryFrame;
+using kdv::DensityFrame;
+using kdv::KdeEvaluator;
+using kdv::PixelGrid;
+using kdv::QueryControl;
+using kdv::RenderOptions;
+using kdv::ThreadPool;
+
+int FramePixels() {
+  const char* env = std::getenv("KDV_BENCH_FRAME_PIXELS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 16) return v;
+  }
+  return 512;
+}
+
+int FrameReps() {
+  const char* env = std::getenv("KDV_BENCH_FRAME_REPS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 3;
+}
+
+bool SameBits(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool SameBits(const std::vector<uint8_t>& a, const std::vector<uint8_t>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+struct FrameTiming {
+  double eps_seconds = 0.0;  // best-of-reps wall time
+  double tau_seconds = 0.0;
+  bool identical = true;  // parallel output matched the serial baseline
+};
+
+// Renders the eps and tau frames `reps` times at `threads` frame threads
+// (0 = serial baseline path) and keeps the best wall time of each. Every
+// parallel frame is checked bitwise against the serial baselines.
+FrameTiming TimeFrames(const KdeEvaluator& evaluator, const PixelGrid& grid,
+                       double eps, double tau, int threads, int reps,
+                       const DensityFrame* eps_baseline,
+                       const BinaryFrame* tau_baseline) {
+  FrameTiming timing;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads != 0 && kdv::ResolveRenderThreads(threads) > 1) {
+    ThreadPool::Options popts;
+    popts.num_threads =
+        static_cast<size_t>(kdv::ResolveRenderThreads(threads) - 1);
+    popts.max_queue = 2 * popts.num_threads + 2;
+    pool = std::make_unique<ThreadPool>(popts);
+  }
+  RenderOptions options;
+  options.num_threads = threads;
+  QueryControl control;  // no deadline, not cancellable
+
+  for (int rep = 0; rep < reps; ++rep) {
+    BatchStats eps_stats;
+    DensityFrame eps_frame =
+        threads == 0
+            ? kdv::RenderEpsFrame(evaluator, grid, eps, &eps_stats)
+            : kdv::RenderEpsFrameParallel(evaluator, grid, eps, options,
+                                          pool.get(), control, &eps_stats);
+    BatchStats tau_stats;
+    BinaryFrame tau_frame =
+        threads == 0
+            ? kdv::RenderTauFrame(evaluator, grid, tau, &tau_stats)
+            : kdv::RenderTauFrameParallel(evaluator, grid, tau, options,
+                                          pool.get(), control, &tau_stats);
+    if (rep == 0 || eps_stats.seconds < timing.eps_seconds) {
+      timing.eps_seconds = eps_stats.seconds;
+    }
+    if (rep == 0 || tau_stats.seconds < timing.tau_seconds) {
+      timing.tau_seconds = tau_stats.seconds;
+    }
+    if (eps_baseline != nullptr &&
+        !SameBits(eps_frame.values, eps_baseline->values)) {
+      timing.identical = false;
+    }
+    if (tau_baseline != nullptr &&
+        !SameBits(tau_frame.values, tau_baseline->values)) {
+      timing.identical = false;
+    }
+  }
+  return timing;
+}
+
+struct LeafTiming {
+  double aos_seconds = 0.0;
+  double soa_seconds = 0.0;
+  uint64_t point_sums = 0;  // queries x points per timed pass
+  bool identical = true;
+};
+
+// Times whole-root LeafSumAoS vs LeafSumSoA (the EXACT method's inner loop)
+// over the grid's pixel centers, best-of-reps, checking bit-equality of
+// every pair of sums.
+LeafTiming TimeLeafKernels(const kdv::KdTree& tree,
+                           const kdv::KernelParams& params,
+                           const PixelGrid& grid, int reps) {
+  // Enough queries to dominate timer overhead, few enough that the AoS
+  // pass stays fast at full scale.
+  std::vector<kdv::Point> queries = grid.AllPixelCenters();
+  const size_t max_queries = 4096;
+  if (queries.size() > max_queries) queries.resize(max_queries);
+  const uint32_t n = static_cast<uint32_t>(tree.num_points());
+
+  LeafTiming timing;
+  timing.point_sums = static_cast<uint64_t>(queries.size()) * n;
+  std::vector<double> aos_sums(queries.size());
+  std::vector<double> soa_sums(queries.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    kdv::Timer aos_timer;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      aos_sums[i] = kdv::LeafSumAoS(tree, params, 0, n, queries[i]);
+    }
+    double aos_seconds = aos_timer.ElapsedSeconds();
+    kdv::Timer soa_timer;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      soa_sums[i] = kdv::LeafSumSoA(tree, params, 0, n, queries[i]);
+    }
+    double soa_seconds = soa_timer.ElapsedSeconds();
+    if (rep == 0 || aos_seconds < timing.aos_seconds) {
+      timing.aos_seconds = aos_seconds;
+    }
+    if (rep == 0 || soa_seconds < timing.soa_seconds) {
+      timing.soa_seconds = soa_seconds;
+    }
+    if (!SameBits(aos_sums, soa_sums)) timing.identical = false;
+  }
+  return timing;
+}
+
+double PixelsPerSec(const PixelGrid& grid, double seconds) {
+  return seconds > 0.0
+             ? static_cast<double>(grid.width()) * grid.height() / seconds
+             : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace kdv;
+  kdv_bench::PrintHeader(
+      "Frame", "intra-frame parallel rendering, serial vs tiled "
+               "(crime analogue, eps=0.05, tau=mean density)");
+
+  const int px = FramePixels();
+  const int reps = FrameReps();
+  Workbench bench(GenerateMixture(CrimeSpec(kdv_bench::BenchScale())),
+                  KernelType::kGaussian);
+  KdeEvaluator evaluator = bench.MakeEvaluator(Method::kQuad);
+  PixelGrid grid(px, px, bench.data_bounds());
+  const double eps = 0.05;
+  const double tau = EstimateDensityStats(evaluator, grid, /*stride=*/8).mean;
+
+  std::printf("frame %dx%d, n=%zu, reps=%d (best-of), hardware threads %u\n",
+              px, px, bench.num_points(), reps,
+              std::thread::hardware_concurrency());
+
+  // Serial baselines: timing reference AND the bit-exactness oracle.
+  BatchStats base_stats;
+  DensityFrame eps_baseline = RenderEpsFrame(evaluator, grid, eps, &base_stats);
+  BinaryFrame tau_baseline = RenderTauFrame(evaluator, grid, tau, &base_stats);
+  FrameTiming serial = TimeFrames(evaluator, grid, eps, tau, /*threads=*/0,
+                                  reps, &eps_baseline, &tau_baseline);
+
+  std::printf("\n%10s %14s %14s %10s %10s %6s\n", "config", "eps px/sec",
+              "tau px/sec", "eps spdup", "tau spdup", "exact");
+  std::printf("%10s %14.0f %14.0f %10.2f %10.2f %6s\n", "serial",
+              PixelsPerSec(grid, serial.eps_seconds),
+              PixelsPerSec(grid, serial.tau_seconds), 1.0, 1.0,
+              serial.identical ? "yes" : "NO");
+
+  const int thread_counts[] = {1, 2, 4, 8};
+  struct Sweep {
+    int threads;
+    FrameTiming timing;
+  };
+  std::vector<Sweep> sweeps;
+  bool all_identical = serial.identical;
+  for (int threads : thread_counts) {
+    FrameTiming t = TimeFrames(evaluator, grid, eps, tau, threads, reps,
+                               &eps_baseline, &tau_baseline);
+    all_identical = all_identical && t.identical;
+    sweeps.push_back({threads, t});
+    char label[32];
+    std::snprintf(label, sizeof(label), "par-%d", threads);
+    std::printf("%10s %14.0f %14.0f %10.2f %10.2f %6s\n", label,
+                PixelsPerSec(grid, t.eps_seconds),
+                PixelsPerSec(grid, t.tau_seconds),
+                t.eps_seconds > 0.0 ? serial.eps_seconds / t.eps_seconds : 0.0,
+                t.tau_seconds > 0.0 ? serial.tau_seconds / t.tau_seconds : 0.0,
+                t.identical ? "yes" : "NO");
+  }
+
+  LeafTiming leaf = TimeLeafKernels(bench.tree(), bench.params(), grid, reps);
+  all_identical = all_identical && leaf.identical;
+  const double aos_pps =
+      leaf.aos_seconds > 0.0 ? leaf.point_sums / leaf.aos_seconds : 0.0;
+  const double soa_pps =
+      leaf.soa_seconds > 0.0 ? leaf.point_sums / leaf.soa_seconds : 0.0;
+  std::printf("\nleaf kernel (EXACT whole-root sum, %llu point-sums/pass):\n",
+              static_cast<unsigned long long>(leaf.point_sums));
+  std::printf("%10s %14.3g points/sec\n", "AoS", aos_pps);
+  std::printf("%10s %14.3g points/sec (%.2fx, bitwise %s)\n", "SoA", soa_pps,
+              leaf.aos_seconds > 0.0 && leaf.soa_seconds > 0.0
+                  ? leaf.aos_seconds / leaf.soa_seconds
+                  : 0.0,
+              leaf.identical ? "equal" : "UNEQUAL");
+
+  std::FILE* json = std::fopen("BENCH_frame.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_frame.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\"bench\":\"frame_parallel\",");
+  std::fprintf(json, "\"dataset\":\"crime\",\"scale\":%.6g,",
+               kdv_bench::BenchScale());
+  std::fprintf(json, "\"width\":%d,\"height\":%d,", grid.width(),
+               grid.height());
+  std::fprintf(json, "\"num_points\":%zu,\"reps\":%d,", bench.num_points(),
+               reps);
+  std::fprintf(json, "\"hardware_threads\":%u,",
+               std::thread::hardware_concurrency());
+  std::fprintf(json, "\"eps\":%.6g,\"tau\":%.17g,", eps, tau);
+  std::fprintf(json, "\"bitwise_identical\":%s,",
+               all_identical ? "true" : "false");
+  std::fprintf(json,
+               "\"serial\":{\"eps_pixels_per_sec\":%.3f,"
+               "\"tau_pixels_per_sec\":%.3f},",
+               PixelsPerSec(grid, serial.eps_seconds),
+               PixelsPerSec(grid, serial.tau_seconds));
+  std::fprintf(json, "\"sweeps\":[");
+  for (size_t i = 0; i < sweeps.size(); ++i) {
+    const Sweep& s = sweeps[i];
+    std::fprintf(json,
+                 "%s{\"threads\":%d,\"eps_pixels_per_sec\":%.3f,"
+                 "\"tau_pixels_per_sec\":%.3f,"
+                 "\"eps_speedup\":%.4f,\"tau_speedup\":%.4f}",
+                 i == 0 ? "" : ",", s.threads,
+                 PixelsPerSec(grid, s.timing.eps_seconds),
+                 PixelsPerSec(grid, s.timing.tau_seconds),
+                 s.timing.eps_seconds > 0.0
+                     ? serial.eps_seconds / s.timing.eps_seconds
+                     : 0.0,
+                 s.timing.tau_seconds > 0.0
+                     ? serial.tau_seconds / s.timing.tau_seconds
+                     : 0.0);
+  }
+  std::fprintf(json, "],");
+  std::fprintf(json,
+               "\"leaf_kernel\":{\"aos_points_per_sec\":%.3f,"
+               "\"soa_points_per_sec\":%.3f,\"soa_speedup\":%.4f}}\n",
+               aos_pps, soa_pps,
+               leaf.aos_seconds > 0.0 && leaf.soa_seconds > 0.0
+                   ? leaf.aos_seconds / leaf.soa_seconds
+                   : 0.0);
+  std::fclose(json);
+  std::printf("\nwrote BENCH_frame.json\n");
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel or SoA output diverged from the serial/AoS "
+                 "baseline\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "core/evaluator.h"
 
 #include <cmath>
+#include <optional>
 
+#include "core/leaf_kernel.h"
 #include "core/refinement_stream.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -51,24 +53,20 @@ KdeEvaluator::KdeEvaluator(const KdTree* tree, const KernelParams& params,
   KDV_CHECK(params_.weight > 0.0);
 }
 
-double KdeEvaluator::LeafSum(const KdTree::Node& node, const Point& q) const {
-  const PointSet& pts = tree_->points();
-  double sum = 0.0;
-  for (uint32_t i = node.begin; i < node.end; ++i) {
-    sum += params_.EvalSquaredDistance(SquaredDistance(q, pts[i]));
-  }
-  return params_.weight * sum;
-}
-
 double KdeEvaluator::EvaluateExact(const Point& q) const {
-  return LeafSum(tree_->node(tree_->root()), q);
+  const KdTree::Node& root = tree_->node(tree_->root());
+  return kdv::LeafSum(*tree_, params_, root.begin, root.end, q);
 }
 
 EvalResult KdeEvaluator::RefineEps(const Point& q, double eps,
                                    std::vector<BoundStep>* trace,
-                                   const QueryControl* control) const {
+                                   const QueryControl* control,
+                                   RefinementStream* scratch) const {
   KDV_CHECK(eps >= 0.0);
-  RefinementStream stream(tree_, params_, bounds_, q);
+  std::optional<RefinementStream> local;
+  RefinementStream& stream =
+      scratch != nullptr ? *scratch : local.emplace(tree_, params_, bounds_);
+  stream.Reset(q);
   if (trace != nullptr) trace->push_back({0, stream.lower(), stream.upper()});
 
   EvalResult result;
@@ -108,8 +106,12 @@ EvalResult KdeEvaluator::RefineEps(const Point& q, double eps,
 }
 
 TauResult KdeEvaluator::RefineTau(const Point& q, double tau,
-                                  const QueryControl* control) const {
-  RefinementStream stream(tree_, params_, bounds_, q);
+                                  const QueryControl* control,
+                                  RefinementStream* scratch) const {
+  std::optional<RefinementStream> local;
+  RefinementStream& stream =
+      scratch != nullptr ? *scratch : local.emplace(tree_, params_, bounds_);
+  stream.Reset(q);
   StopPoller poller(control);
   TauResult result;
   while (stream.lower() < tau && stream.upper() > tau) {

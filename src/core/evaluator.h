@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bounds/node_bounds.h"
+#include "core/refinement_stream.h"
 #include "geom/point.h"
 #include "index/kdtree.h"
 #include "kernel/kernel.h"
@@ -75,29 +76,51 @@ class KdeEvaluator {
 
   // εKDV: returns R(q) with |R(q) - F_P(q)| <= ε * F_P(q).
   EvalResult EvaluateEps(const Point& q, double eps) const {
-    return RefineEps(q, eps, nullptr, nullptr);
+    return RefineEps(q, eps, nullptr, nullptr, nullptr);
   }
 
   // Deadline/cancellation-aware variant; on a stop, result.interrupted is
   // set and the (wider, still certified) current interval is returned.
   EvalResult EvaluateEps(const Point& q, double eps,
                          const QueryControl& control) const {
-    return RefineEps(q, eps, nullptr, &control);
+    return RefineEps(q, eps, nullptr, &control, nullptr);
+  }
+
+  // Zero-allocation variant: refines inside `scratch` (a stream from
+  // MakeScratch()), whose queue buffer is reused across queries. Results are
+  // bit-identical to the scratch-less overloads — Reset fully re-primes the
+  // stream. One scratch serves one thread; it is the per-tile state of the
+  // parallel frame renderer (viz/parallel_render.h).
+  EvalResult EvaluateEps(const Point& q, double eps,
+                         const QueryControl& control,
+                         RefinementStream* scratch) const {
+    return RefineEps(q, eps, nullptr, &control, scratch);
   }
 
   // Same, recording (lb, ub) after every refinement step into *trace.
   EvalResult EvaluateEpsTraced(const Point& q, double eps,
                                std::vector<BoundStep>* trace) const {
-    return RefineEps(q, eps, trace, nullptr);
+    return RefineEps(q, eps, trace, nullptr, nullptr);
   }
 
   // τKDV: decides F_P(q) >= τ.
   TauResult EvaluateTau(const Point& q, double tau) const {
-    return RefineTau(q, tau, nullptr);
+    return RefineTau(q, tau, nullptr, nullptr);
   }
   TauResult EvaluateTau(const Point& q, double tau,
                         const QueryControl& control) const {
-    return RefineTau(q, tau, &control);
+    return RefineTau(q, tau, &control, nullptr);
+  }
+  TauResult EvaluateTau(const Point& q, double tau,
+                        const QueryControl& control,
+                        RefinementStream* scratch) const {
+    return RefineTau(q, tau, &control, scratch);
+  }
+
+  // Reusable per-thread refinement scratch for the EvaluateEps/EvaluateTau
+  // scratch overloads. Unprimed until its first use.
+  RefinementStream MakeScratch() const {
+    return RefinementStream(tree_, params_, bounds_);
   }
 
   // Exact sequential evaluation of F_P(q) over all indexed points.
@@ -110,12 +133,11 @@ class KdeEvaluator {
  private:
   EvalResult RefineEps(const Point& q, double eps,
                        std::vector<BoundStep>* trace,
-                       const QueryControl* control) const;
+                       const QueryControl* control,
+                       RefinementStream* scratch) const;
   TauResult RefineTau(const Point& q, double tau,
-                      const QueryControl* control) const;
-
-  // Exact contribution of one node's points.
-  double LeafSum(const KdTree::Node& node, const Point& q) const;
+                      const QueryControl* control,
+                      RefinementStream* scratch) const;
 
   const KdTree* tree_;
   KernelParams params_;

@@ -5,15 +5,23 @@
 
 namespace kdv {
 
-namespace {
-
-void Accumulate(BatchStats* stats, const EvalResult& r) {
+void AccumulateQueryStats(BatchStats* stats, const EvalResult& r) {
   if (stats == nullptr) return;
   ++stats->queries;
   stats->iterations += r.iterations;
   stats->points_scanned += r.points_scanned;
   if (r.numeric_fault) ++stats->numeric_faults;
 }
+
+void AccumulateQueryStats(BatchStats* stats, const TauResult& r) {
+  if (stats == nullptr) return;
+  ++stats->queries;
+  stats->iterations += r.iterations;
+  stats->points_scanned += r.points_scanned;
+  if (r.numeric_fault) ++stats->numeric_faults;
+}
+
+namespace {
 
 // Records why a batch stopped early. `reason` may be kNone when the stop was
 // detected inside a query (the control is re-polled by the caller).
@@ -52,7 +60,7 @@ std::vector<double> RunEpsBatch(const KdeEvaluator& evaluator,
     if (InjectedFault(KDV_FAILPOINT_STATUS("runner.eps"), stats)) break;
     EvalResult r = evaluator.EvaluateEps(queries[i], eps, control);
     out[i] = r.estimate;
-    Accumulate(stats, r);
+    AccumulateQueryStats(stats, r);
     if (r.interrupted) {
       MarkStopped(stats, control.CheckStop());
       break;
@@ -83,12 +91,7 @@ std::vector<uint8_t> RunTauBatch(const KdeEvaluator& evaluator,
     if (InjectedFault(KDV_FAILPOINT_STATUS("runner.tau"), stats)) break;
     TauResult r = evaluator.EvaluateTau(queries[i], tau, control);
     out[i] = r.above_threshold ? 1 : 0;
-    if (stats != nullptr) {
-      ++stats->queries;
-      stats->iterations += r.iterations;
-      stats->points_scanned += r.points_scanned;
-      if (r.numeric_fault) ++stats->numeric_faults;
-    }
+    AccumulateQueryStats(stats, r);
     if (r.interrupted) {
       MarkStopped(stats, control.CheckStop());
       break;
@@ -154,7 +157,7 @@ size_t RunEpsOrdered(const KdeEvaluator& evaluator, const PointSet& queries,
     EvalResult r = evaluator.EvaluateEps(queries[idx], eps, control);
     (*out)[idx] = r.estimate;
     ++evaluated;
-    Accumulate(stats, r);
+    AccumulateQueryStats(stats, r);
     if (r.interrupted) {
       MarkStopped(stats, control.CheckStop());
       break;

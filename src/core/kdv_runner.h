@@ -34,6 +34,13 @@ struct BatchStats {
   Status status = OkStatus();
 };
 
+// Adds one query's work accounting (query count, iterations, points
+// scanned, numeric faults) to *stats. No-op when stats == nullptr. The
+// single place batch drivers — serial and parallel — record per-query work,
+// so the two result types can never drift apart in what they count.
+void AccumulateQueryStats(BatchStats* stats, const EvalResult& r);
+void AccumulateQueryStats(BatchStats* stats, const TauResult& r);
+
 // εKDV over `queries`; out[i] is the (1±eps)-approximate density of
 // queries[i]. `stats` may be nullptr. Entries not reached before a stop
 // keep 0.0.

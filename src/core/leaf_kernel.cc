@@ -1,0 +1,103 @@
+#include "core/leaf_kernel.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace kdv {
+
+namespace {
+
+// Chunk of squared distances computed per pass-1 sweep. Fits comfortably in
+// L1 next to the coordinate stream; leaves (default 32 points) take one
+// chunk, the EXACT root scan loops.
+constexpr uint32_t kChunk = 128;
+
+// Pass 1, 2-d specialization: d2[j] for points [begin, begin + count).
+// Element j performs exactly the SquaredDistance operation sequence
+// (s = 0; s += dx*dx; s += dy*dy) so the value is bit-identical to the AoS
+// scalar path; elements are independent, so the loop auto-vectorizes.
+void SquaredDistances2d(const double* xs, const double* ys, double qx,
+                        double qy, uint32_t count, double* d2) {
+  uint32_t j = 0;
+#if defined(__AVX2__)
+  // Explicit 4-lane AVX2 pass: vsub/vmul/vadd only (no FMA), the same
+  // per-lane operation order as the scalar loop below, so the two agree
+  // bitwise. This TU is compiled with -ffp-contract=off, so the scalar loop
+  // cannot be fused into FMAs behind our back either.
+  const __m256d vqx = _mm256_set1_pd(qx);
+  const __m256d vqy = _mm256_set1_pd(qy);
+  for (; j + 4 <= count; j += 4) {
+    __m256d dx = _mm256_sub_pd(vqx, _mm256_loadu_pd(xs + j));
+    __m256d dy = _mm256_sub_pd(vqy, _mm256_loadu_pd(ys + j));
+    __m256d s = _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    _mm256_storeu_pd(d2 + j, s);
+  }
+#endif
+  for (; j < count; ++j) {
+    double s = 0.0;
+    double dx = qx - xs[j];
+    s += dx * dx;
+    double dy = qy - ys[j];
+    s += dy * dy;
+    d2[j] = s;
+  }
+}
+
+// Pass 1, general d: same accumulation order as SquaredDistance (dimension
+// 0 first). Still element-independent and vectorizable per dimension.
+void SquaredDistancesNd(const KdTree& tree, const Point& q, uint32_t begin,
+                        uint32_t count, double* d2) {
+  const int dim = q.dim();
+  const double* c0 = tree.coords(0) + begin;
+  const double q0 = q[0];
+  for (uint32_t j = 0; j < count; ++j) {
+    double diff = q0 - c0[j];
+    d2[j] = 0.0 + diff * diff;
+  }
+  for (int d = 1; d < dim; ++d) {
+    const double* cd = tree.coords(d) + begin;
+    const double qd = q[d];
+    for (uint32_t j = 0; j < count; ++j) {
+      double diff = qd - cd[j];
+      d2[j] += diff * diff;
+    }
+  }
+}
+
+}  // namespace
+
+double LeafSumAoS(const KdTree& tree, const KernelParams& params,
+                  uint32_t begin, uint32_t end, const Point& q) {
+  const PointSet& pts = tree.points();
+  double sum = 0.0;
+  for (uint32_t i = begin; i < end; ++i) {
+    sum += params.EvalSquaredDistance(SquaredDistance(q, pts[i]));
+  }
+  return params.weight * sum;
+}
+
+double LeafSumSoA(const KdTree& tree, const KernelParams& params,
+                  uint32_t begin, uint32_t end, const Point& q) {
+  double d2[kChunk];
+  double sum = 0.0;
+  const bool two_d = q.dim() == 2;
+  const double* xs = two_d ? tree.coords(0) : nullptr;
+  const double* ys = two_d ? tree.coords(1) : nullptr;
+  for (uint32_t i = begin; i < end; i += kChunk) {
+    const uint32_t count = end - i < kChunk ? end - i : kChunk;
+    if (two_d) {
+      SquaredDistances2d(xs + i, ys + i, q[0], q[1], count, d2);
+    } else {
+      SquaredDistancesNd(tree, q, i, count, d2);
+    }
+    // Pass 2: fold the kernel profile in point order — the same addition
+    // sequence as the AoS loop, so the total is bit-identical.
+    for (uint32_t j = 0; j < count; ++j) {
+      sum += params.EvalSquaredDistance(d2[j]);
+    }
+  }
+  return params.weight * sum;
+}
+
+}  // namespace kdv

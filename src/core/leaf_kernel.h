@@ -1,0 +1,55 @@
+// Batched leaf summation: the innermost hot loop of every KDV query.
+//
+// A leaf (or, for the EXACT method, the whole point set) contributes
+//   w * sum_i K(x(q, p_i))
+// to the running bounds. The classic loop walks the AoS Point array, which
+// strides kMaxDim+1 doubles per point — for 2-d data ~8x the cache traffic
+// the coordinates need — and folds the squared distance, the profile switch
+// and the accumulation into one serial dependency chain the compiler cannot
+// vectorize.
+//
+// LeafSumSoA streams the KdTree's structure-of-arrays coordinate mirror
+// (KdTree::coords) in fixed-size chunks: pass 1 computes the squared
+// distances of a chunk (independent elements — auto-vectorizable), pass 2
+// folds the kernel profile over them in point order. Because the per-element
+// operation sequence is exactly the AoS sequence and the final accumulation
+// order is unchanged, the result is bit-identical to LeafSumAoS — which is
+// what lets the parallel frame renderer promise bitwise-equal output while
+// swapping the leaf kernel underneath. This translation unit is compiled
+// with -O3 -ffp-contract=off (src/core/CMakeLists.txt) so vectorization is
+// on but FP contraction cannot silently diverge the two paths.
+//
+// An explicit AVX2 distance pass (same operation order, vsub/vmul/vadd only,
+// no FMA) is compiled in when the build enables AVX2 (-DKDV_AVX2=ON or
+// -march flags); the scalar fallback is bit-identical by construction.
+#ifndef QUADKDV_CORE_LEAF_KERNEL_H_
+#define QUADKDV_CORE_LEAF_KERNEL_H_
+
+#include <cstdint>
+
+#include "geom/point.h"
+#include "index/kdtree.h"
+#include "kernel/kernel.h"
+
+namespace kdv {
+
+// Reference implementation: the historical scalar AoS loop
+//   sum_i params.weight-less profile(SquaredDistance(q, points()[i]))
+// over [begin, end), times params.weight. Kept as the bit-exactness oracle
+// for tests and the AoS baseline for bench_frame.
+double LeafSumAoS(const KdTree& tree, const KernelParams& params,
+                  uint32_t begin, uint32_t end, const Point& q);
+
+// SoA chunked path; bit-identical to LeafSumAoS (see header comment).
+double LeafSumSoA(const KdTree& tree, const KernelParams& params,
+                  uint32_t begin, uint32_t end, const Point& q);
+
+// The production entry point used by the evaluator and refinement stream.
+inline double LeafSum(const KdTree& tree, const KernelParams& params,
+                      uint32_t begin, uint32_t end, const Point& q) {
+  return LeafSumSoA(tree, params, begin, end, q);
+}
+
+}  // namespace kdv
+
+#endif  // QUADKDV_CORE_LEAF_KERNEL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/leaf_kernel.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -24,9 +25,26 @@ bool IntervalAcceptable(double lower, double upper) {
 
 RefinementStream::RefinementStream(const KdTree* tree,
                                    const KernelParams& params,
-                                   const NodeBounds* bounds, const Point& q)
-    : tree_(tree), params_(params), bounds_(bounds), q_(q) {
+                                   const NodeBounds* bounds)
+    : tree_(tree), params_(params), bounds_(bounds) {
   KDV_CHECK(tree_ != nullptr);
+}
+
+RefinementStream::RefinementStream(const KdTree* tree,
+                                   const KernelParams& params,
+                                   const NodeBounds* bounds, const Point& q)
+    : RefinementStream(tree, params, bounds) {
+  Reset(q);
+}
+
+void RefinementStream::Reset(const Point& q) {
+  q_ = q;
+  heap_.clear();  // keeps capacity: no per-query reallocation
+  lb_ = ub_ = best_lb_ = best_ub_ = 0.0;
+  poisoned_ = false;
+  iterations_ = 0;
+  points_scanned_ = 0;
+
   if (bounds_ == nullptr) {
     // EXACT method: no refinement possible; the "bounds" are the answer.
     double exact = LeafSum(tree_->node(tree_->root()));
@@ -49,21 +67,28 @@ RefinementStream::RefinementStream(const KdTree* tree,
   }
   lb_ = best_lb_ = root_bounds.lower;
   ub_ = best_ub_ = root_bounds.upper;
-  queue_.push({ub_ - lb_, root, lb_, ub_});
+  Push({ub_ - lb_, root, lb_, ub_});
+}
+
+void RefinementStream::Push(const QueueEntry& entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), GapLess());
+}
+
+RefinementStream::QueueEntry RefinementStream::Pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), GapLess());
+  QueueEntry top = heap_.back();
+  heap_.pop_back();
+  return top;
 }
 
 double RefinementStream::LeafSum(const KdTree::Node& node) const {
-  const PointSet& pts = tree_->points();
-  double sum = 0.0;
-  for (uint32_t i = node.begin; i < node.end; ++i) {
-    sum += params_.EvalSquaredDistance(SquaredDistance(q_, pts[i]));
-  }
-  return params_.weight * sum;
+  return kdv::LeafSum(*tree_, params_, node.begin, node.end, q_);
 }
 
 void RefinementStream::Poison() {
   poisoned_ = true;
-  queue_ = {};
+  heap_.clear();
 }
 
 void RefinementStream::SetUniversalEnvelope() {
@@ -72,13 +97,12 @@ void RefinementStream::SetUniversalEnvelope() {
   lb_ = best_lb_ = 0.0;
   ub_ = best_ub_ = static_cast<double>(tree_->num_points()) * params_.weight *
                    KernelProfile(params_.type, 0.0);
-  queue_ = {};
+  heap_.clear();
 }
 
 bool RefinementStream::Step() {
-  if (poisoned_ || queue_.empty()) return false;
-  QueueEntry top = queue_.top();
-  queue_.pop();
+  if (poisoned_ || heap_.empty()) return false;
+  QueueEntry top = Pop();
   ++iterations_;
 
   lb_ -= top.lower;
@@ -97,8 +121,8 @@ bool RefinementStream::Step() {
                             child_bounds.upper);
       lb_ += child_bounds.lower;
       ub_ += child_bounds.upper;
-      queue_.push({child_bounds.upper - child_bounds.lower, child,
-                   child_bounds.lower, child_bounds.upper});
+      Push({child_bounds.upper - child_bounds.lower, child,
+            child_bounds.lower, child_bounds.upper});
     }
   }
 
@@ -109,7 +133,7 @@ bool RefinementStream::Step() {
     return true;
   }
 
-  if (queue_.empty()) {
+  if (heap_.empty()) {
     // Fully refined: running totals are the exact value (modulo FP drift);
     // they override the envelope.
     best_lb_ = lb_;

@@ -5,6 +5,13 @@
 // [lower(), upper()] around F_P(q). εKDV, τKDV, the Fig-18 traces and the
 // kernel-density classifier are all thin drivers over this stream.
 //
+// Reuse: a stream may be constructed unprimed and primed per query with
+// Reset(q) — the priority-queue storage is retained across resets, so a tile
+// of thousands of pixels performs zero heap allocations after the first few
+// queries warm the buffer. A reset stream is indistinguishable from a
+// freshly constructed one (the parallel renderer's bit-identical-output
+// contract relies on this).
+//
 // Numerical hardening: every bound update is validated; if the bound math
 // ever produces a NaN/Inf total or a genuinely inverted interval (beyond
 // floating-point drift), the stream freezes at its last certified finite
@@ -15,7 +22,6 @@
 #define QUADKDV_CORE_REFINEMENT_STREAM_H_
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "bounds/node_bounds.h"
@@ -30,8 +36,17 @@ class RefinementStream {
   // Non-owning: tree/bounds must outlive the stream. bounds == nullptr means
   // the EXACT method: the stream starts already exhausted with
   // lower == upper == F_P(q).
+  //
+  // The unprimed form is the reusable-scratch entry point: the stream is
+  // exhausted until Reset(q) primes it for a query.
+  RefinementStream(const KdTree* tree, const KernelParams& params,
+                   const NodeBounds* bounds);
   RefinementStream(const KdTree* tree, const KernelParams& params,
                    const NodeBounds* bounds, const Point& q);
+
+  // Re-primes the stream for query q, discarding all prior state but keeping
+  // the queue's heap storage. Equivalent to constructing a fresh stream.
+  void Reset(const Point& q);
 
   // Performs one refinement step (pop the loosest node, replace it by its
   // children's bounds or its exact leaf sum). Returns false if the stream
@@ -48,7 +63,7 @@ class RefinementStream {
   // Interval width; 0 once exhausted (up to FP drift, which is clamped).
   double gap() const { return best_ub_ - best_lb_; }
 
-  bool exhausted() const { return queue_.empty(); }
+  bool exhausted() const { return heap_.empty(); }
   // True once a bound update produced NaN/Inf or an inverted interval; the
   // envelope is frozen at the last certified values and Step() refuses to
   // refine further.
@@ -69,6 +84,9 @@ class RefinementStream {
     }
   };
 
+  void Push(const QueueEntry& entry);
+  QueueEntry Pop();
+
   double LeafSum(const KdTree::Node& node) const;
   // Freezes the stream after a numeric fault, discarding pending work.
   void Poison();
@@ -81,7 +99,10 @@ class RefinementStream {
   const NodeBounds* bounds_;
   Point q_;
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, GapLess> queue_;
+  // Max-heap over gap (std::push_heap/pop_heap — the same ordering a
+  // std::priority_queue would maintain, but clearable without freeing its
+  // buffer).
+  std::vector<QueueEntry> heap_;
   double lb_ = 0.0;       // raw running totals
   double ub_ = 0.0;
   double best_lb_ = 0.0;  // monotone envelope

@@ -41,6 +41,16 @@ KdTree::KdTree(PointSet points, Options options) {
     node.stats =
         NodeStats::Compute(points_.data() + node.begin, node.count());
   }
+  BuildSoA();
+}
+
+void KdTree::BuildSoA() {
+  const size_t n = points_.size();
+  soa_coords_.resize(static_cast<size_t>(dim_) * n);
+  for (int d = 0; d < dim_; ++d) {
+    double* out = soa_coords_.data() + static_cast<size_t>(d) * n;
+    for (size_t i = 0; i < n; ++i) out[i] = points_[i][d];
+  }
 }
 
 int32_t KdTree::BuildRecursive(const PointSet& input, size_t begin,
@@ -154,6 +164,7 @@ StatusOr<std::unique_ptr<KdTree>> KdTree::FromSerialized(
     node.stats = NodeStats::Compute(tree->points_.data() + node.begin,
                                     node.count());
   }
+  tree->BuildSoA();
   return tree;
 }
 

@@ -18,6 +18,7 @@
 #include "bounds/profile.h"
 #include "classify/kde_classifier.h"
 #include "core/evaluator.h"
+#include "core/leaf_kernel.h"
 #include "core/refinement_stream.h"
 #include "core/kdv_runner.h"
 #include "data/datasets.h"
@@ -53,6 +54,7 @@
 #include "viz/block_tau.h"
 #include "viz/color_map.h"
 #include "viz/frame.h"
+#include "viz/parallel_render.h"
 #include "viz/pixel_grid.h"
 #include "viz/render.h"
 #include "workbench/workbench.h"

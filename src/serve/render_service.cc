@@ -110,6 +110,18 @@ RenderService::RenderService(const KdeEvaluator* evaluator, Options options)
       pool_({options.num_threads, options.max_queue}),
       backoff_(options.backoff, options.backoff_seed) {
   KDV_CHECK(options.max_attempts >= 1);
+  const int frame_threads = ResolveRenderThreads(options.intra_frame_threads);
+  if (frame_threads > 1) {
+    // One shared helper pool for all in-flight frames. Each frame submits at
+    // most frame_threads - 1 helper tasks; size the queue for every request
+    // worker doing so at once (rejected helpers are shed to the worker, so
+    // this is a throughput knob, not a correctness one).
+    ThreadPool::Options popts;
+    popts.num_threads = frame_threads - 1;
+    popts.max_queue = static_cast<size_t>(std::max(1, options.num_threads)) *
+                      static_cast<size_t>(frame_threads);
+    tile_pool_ = std::make_unique<ThreadPool>(popts);
+  }
 }
 
 RenderService::~RenderService() { Stop(); }
@@ -174,6 +186,9 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
   ropts.degrade = request.degrade;
   ropts.cancel = request.cancel;
   ropts.coarse = request.coarse;
+  ropts.parallel.num_threads = options_.intra_frame_threads;
+  ropts.parallel.tile_rows = options_.tile_rows;
+  ropts.tile_pool = tile_pool_.get();
 
   // Cancelled while queued: never touch the render path.
   if (request.cancel != nullptr && request.cancel->cancelled()) {

@@ -149,6 +149,15 @@ class RenderService {
     size_t max_queue = 32;     // waiting requests beyond the running ones
     size_t max_in_flight = 0;  // admitted-but-unfinished cap; 0 = max_queue + num_threads
     int max_attempts = 3;      // certified-path attempts per request
+    // Intra-frame parallelism: threads per certified render, including the
+    // request worker itself (0 = hardware_concurrency, 1 = serial). Above 1
+    // the service owns one shared helper pool of intra_frame_threads - 1
+    // workers, used by every in-flight frame's tile fan-out. The helper pool
+    // is distinct from the request pool, so a frame never waits on its own
+    // pool (no submit cycle), and an exhausted helper pool merely sheds
+    // tiles back onto the request worker.
+    int intra_frame_threads = 1;
+    int tile_rows = 16;  // rows per tile work item (see viz/parallel_render.h)
     BackoffPolicy backoff;
     uint64_t backoff_seed = 0x5EEDBACC0FFull;
     CircuitBreaker::Options breaker;
@@ -195,6 +204,11 @@ class RenderService {
   ResilientRenderer renderer_;
   CircuitBreaker breaker_;
   ThreadPool pool_;
+  // Shared tile-helper pool for intra-frame parallelism; null when
+  // intra_frame_threads resolves to 1. Declared after pool_ so it is
+  // destroyed first — but only after ~RenderService has drained pool_, so no
+  // frame can still be fanning out tiles.
+  std::unique_ptr<ThreadPool> tile_pool_;
 
   std::mutex backoff_mu_;  // guards backoff_ (shared RNG stream)
   Backoff backoff_;

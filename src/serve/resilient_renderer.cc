@@ -112,10 +112,68 @@ RenderOutcome ResilientRenderer::Render(
   if (opts.budget_seconds > 0.0) control.deadline = &deadline;
   control.cancel = opts.cancel;
 
+  // Parallel certified attempt: a tile-parallel εKDV frame on the same
+  // deadline. A clean completion is a certificate; anything cut short falls
+  // through to the serial progressive ladder below (sharing the deadline, so
+  // total budget is still honored).
+  BatchStats parallel_stats;
+  const bool tried_parallel =
+      opts.tile_pool != nullptr &&
+      ResolveRenderThreads(opts.parallel.num_threads) > 1;
+  if (tried_parallel) {
+    DensityFrame pframe =
+        RenderEpsFrameParallel(*evaluator_, grid, opts.eps, opts.parallel,
+                               opts.tile_pool, control, &parallel_stats);
+    outcome.numeric_faults += parallel_stats.numeric_faults;
+    outcome.deadline_expired |= parallel_stats.deadline_expired;
+    outcome.cancelled |= parallel_stats.cancelled;
+
+    if (parallel_stats.cancelled) {
+      outcome.stats = parallel_stats;
+      outcome.frame = std::move(pframe);
+      outcome.tier = parallel_stats.queries > 0 ? QualityTier::kProgressive
+                                                : QualityTier::kFlat;
+      RecordFault(&outcome, CancelledError("render cancelled"));
+      Finalize(&outcome);
+      return outcome;
+    }
+    if (!parallel_stats.status.ok()) {
+      // Internal/injected fault in the parallel certified path: same
+      // degradation (and breaker/retry visibility) as a serial-path fault.
+      outcome.stats = parallel_stats;
+      RecordFault(&outcome, parallel_stats.status);
+      if (opts.degrade) RenderCoarse(grid, opts, &outcome);
+      Finalize(&outcome);
+      return outcome;
+    }
+    if (parallel_stats.completed) {
+      outcome.stats = parallel_stats;
+      outcome.frame = std::move(pframe);
+      if (parallel_stats.numeric_faults == 0) {
+        outcome.tier = QualityTier::kCertified;
+        outcome.certified_eps = opts.eps;
+      } else {
+        // Fully painted but clamped somewhere: usable, no certificate.
+        outcome.tier = QualityTier::kProgressive;
+      }
+      Finalize(&outcome);
+      return outcome;
+    }
+    // Deadline fired mid-frame: the tiled frame has unclaimed holes; let the
+    // progressive ladder paint a complete (coarser) one on what remains.
+  }
+
   ProgressiveResult prog = RenderProgressive(
       *evaluator_, grid, opts.eps, control,
       QuadTreeSchedule(grid.width(), grid.height()));
   outcome.stats = prog.stats;
+  if (tried_parallel) {
+    // Work spent in the abandoned parallel attempt still counts.
+    outcome.stats.queries += parallel_stats.queries;
+    outcome.stats.iterations += parallel_stats.iterations;
+    outcome.stats.points_scanned += parallel_stats.points_scanned;
+    outcome.stats.numeric_faults += parallel_stats.numeric_faults;
+  }
   outcome.numeric_faults += prog.numeric_faults;
   outcome.deadline_expired |= prog.deadline_expired;
   outcome.cancelled |= prog.cancelled;

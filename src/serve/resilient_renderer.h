@@ -30,7 +30,9 @@
 #include "core/kdv_runner.h"
 #include "util/cancel.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "viz/frame.h"
+#include "viz/parallel_render.h"
 #include "viz/pixel_grid.h"
 
 namespace kdv {
@@ -62,6 +64,17 @@ struct ResilientRenderOptions {
 
   // Options for the GridKde coarse fallback.
   GridKde::Options coarse;
+
+  // Intra-frame parallelism of the certified path. When `tile_pool` is set
+  // and `parallel.num_threads` resolves above 1, Render() first attempts a
+  // tile-parallel whole-frame εKDV render (viz/parallel_render.h) on the
+  // remaining budget; a frame that completes cleanly ships as kCertified.
+  // If the budget (or a cancellation/fault) cuts the tiled frame short, the
+  // renderer falls through to the serial progressive ladder, which degrades
+  // to a fully painted frame instead of one with unclaimed-tile holes.
+  // The pool is borrowed, never owned, and must outlive the call.
+  RenderOptions parallel;
+  ThreadPool* tile_pool = nullptr;
 };
 
 struct RenderOutcome {

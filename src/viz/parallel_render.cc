@@ -1,0 +1,259 @@
+#include "viz/parallel_render.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/failpoint.h"
+#include "util/timer.h"
+
+namespace kdv {
+
+namespace {
+
+// Injected whole-frame fault (same site as the serial renderers): record it
+// and hand back the untouched (all-zero, finite) frame.
+bool EntryFault(BatchStats* stats) {
+  Status status = KDV_FAILPOINT_STATUS("viz.render");
+  if (status.ok()) return false;
+  if (stats != nullptr) {
+    stats->completed = false;
+    stats->status = status;
+  }
+  return true;
+}
+
+void MarkTileStopped(BatchStats* stats, StopReason reason) {
+  stats->completed = false;
+  if (reason == StopReason::kDeadline) stats->deadline_expired = true;
+  if (reason == StopReason::kCancel) stats->cancelled = true;
+}
+
+// Shared state of one in-flight frame. Helper tasks hold it via shared_ptr:
+// a helper that only gets scheduled after the frame finished claims no tile,
+// dereferences none of the frame-lifetime pointers below, and merely drops
+// its reference.
+struct FrameJob {
+  // Frame-lifetime (owned by the rendering call, valid while any tile is
+  // unclaimed or in flight — i.e. until tiles_done == num_tiles).
+  const KdeEvaluator* evaluator = nullptr;
+  const PixelGrid* grid = nullptr;
+  const QueryControl* control = nullptr;
+  const char* failpoint_site = nullptr;
+
+  uint32_t tile_rows = 1;
+  uint32_t num_tiles = 0;
+
+  std::atomic<uint32_t> next_tile{0};
+  // First stop/fault raises this; other workers abandon their tiles at the
+  // next per-pixel poll instead of finishing a frame nobody will keep.
+  std::atomic<bool> stop{false};
+  std::vector<BatchStats> tile_stats;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  uint32_t tiles_done = 0;  // guarded by mu
+};
+
+// Evaluates one band of rows. EvalPixel is
+//   Value (const Point& q, RefinementStream& scratch, BatchStats* ts,
+//          bool* interrupted)
+// — the exact per-pixel body of the corresponding serial batch driver.
+template <typename Value, typename EvalPixel>
+void ProcessTile(FrameJob& job, uint32_t tile, Value* values,
+                 RefinementStream& scratch, const EvalPixel& eval) {
+  BatchStats& ts = job.tile_stats[tile];
+  const PixelGrid& grid = *job.grid;
+  const int height = grid.height();
+  const int row_begin = static_cast<int>(tile * job.tile_rows);
+  const int row_end =
+      std::min<int>(row_begin + static_cast<int>(job.tile_rows), height);
+  for (int py = row_begin; py < row_end; ++py) {
+    for (int px = 0; px < grid.width(); ++px) {
+      if (job.stop.load(std::memory_order_relaxed)) {
+        ts.completed = false;
+        return;
+      }
+      StopReason stop = job.control->CheckStop();
+      if (stop != StopReason::kNone) {
+        MarkTileStopped(&ts, stop);
+        job.stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+      Status status = KDV_FAILPOINT_STATUS(job.failpoint_site);
+      if (!status.ok()) {
+        ts.completed = false;
+        ts.status = status;
+        job.stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+      bool interrupted = false;
+      values[grid.PixelIndex(px, py)] =
+          eval(grid.PixelCenter(px, py), scratch, &ts, &interrupted);
+      if (interrupted) {
+        MarkTileStopped(&ts, job.control->CheckStop());
+        job.stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+}
+
+// Claims and processes tiles until the counter is exhausted. Runs in the
+// caller thread and in every helper task; each drainer reuses one
+// RefinementStream across all its tiles (zero-allocation refinement).
+template <typename Value, typename EvalPixel>
+void DrainTiles(const std::shared_ptr<FrameJob>& job, Value* values,
+                const EvalPixel& eval) {
+  uint32_t tile = job->next_tile.fetch_add(1, std::memory_order_relaxed);
+  if (tile >= job->num_tiles) return;  // late helper: frame may be gone
+  RefinementStream scratch = job->evaluator->MakeScratch();
+  do {
+    ProcessTile(*job, tile, values, scratch, eval);
+    bool all_done;
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      all_done = ++job->tiles_done == job->num_tiles;
+    }
+    if (all_done) job->done_cv.notify_all();
+    tile = job->next_tile.fetch_add(1, std::memory_order_relaxed);
+  } while (tile < job->num_tiles);
+}
+
+// Tile-index-order merge keeps every counter deterministic across thread
+// counts and schedules.
+void MergeTileStats(const std::vector<BatchStats>& tiles, BatchStats* stats) {
+  if (stats == nullptr) return;
+  for (const BatchStats& tile : tiles) {
+    stats->queries += tile.queries;
+    stats->iterations += tile.iterations;
+    stats->points_scanned += tile.points_scanned;
+    stats->numeric_faults += tile.numeric_faults;
+    if (!tile.completed) stats->completed = false;
+    if (tile.deadline_expired) stats->deadline_expired = true;
+    if (tile.cancelled) stats->cancelled = true;
+    if (stats->status.ok() && !tile.status.ok()) stats->status = tile.status;
+  }
+}
+
+template <typename Value, typename EvalPixel>
+void RenderFrameTiled(const KdeEvaluator& evaluator, const PixelGrid& grid,
+                      const RenderOptions& options, ThreadPool* pool,
+                      const QueryControl& control, BatchStats* stats,
+                      const char* failpoint_site, std::vector<Value>* values,
+                      const EvalPixel& eval) {
+  Timer timer;
+  auto job = std::make_shared<FrameJob>();
+  job->evaluator = &evaluator;
+  job->grid = &grid;
+  job->control = &control;
+  job->failpoint_site = failpoint_site;
+  job->tile_rows = static_cast<uint32_t>(
+      std::clamp(options.tile_rows, 1, grid.height()));
+  job->num_tiles = (static_cast<uint32_t>(grid.height()) + job->tile_rows - 1) /
+                   job->tile_rows;
+  job->tile_stats.resize(job->num_tiles);
+
+  const int threads = ResolveRenderThreads(options.num_threads);
+  int helpers = 0;
+  if (pool != nullptr && threads > 1 && job->num_tiles > 1) {
+    const int want = std::min<int>(threads - 1,
+                                   static_cast<int>(job->num_tiles) - 1);
+    Value* data = values->data();
+    for (int i = 0; i < want; ++i) {
+      // Rejections (pool saturated or stopping) shed the band back onto the
+      // caller loop below — the frame still completes, just less parallel.
+      if (pool->TrySubmit([job, data, eval] { DrainTiles(job, data, eval); })
+              .ok()) {
+        ++helpers;
+      }
+    }
+  }
+  DrainTiles(job, values->data(), eval);
+  if (helpers > 0) {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(lock,
+                      [&job] { return job->tiles_done == job->num_tiles; });
+  }
+  MergeTileStats(job->tile_stats, stats);
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int ResolveRenderThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+DensityFrame RenderEpsFrameParallel(const KdeEvaluator& evaluator,
+                                    const PixelGrid& grid, double eps,
+                                    const RenderOptions& options,
+                                    ThreadPool* pool,
+                                    const QueryControl& control,
+                                    BatchStats* stats) {
+  DensityFrame frame(grid.width(), grid.height());
+  if (EntryFault(stats)) return frame;
+  RenderFrameTiled(
+      evaluator, grid, options, pool, control, stats, "runner.eps",
+      &frame.values,
+      [&evaluator, eps, &control](const Point& q, RefinementStream& scratch,
+                                  BatchStats* ts, bool* interrupted) {
+        EvalResult r = evaluator.EvaluateEps(q, eps, control, &scratch);
+        AccumulateQueryStats(ts, r);
+        *interrupted = r.interrupted;
+        return r.estimate;
+      });
+  return frame;
+}
+
+BinaryFrame RenderTauFrameParallel(const KdeEvaluator& evaluator,
+                                   const PixelGrid& grid, double tau,
+                                   const RenderOptions& options,
+                                   ThreadPool* pool,
+                                   const QueryControl& control,
+                                   BatchStats* stats) {
+  BinaryFrame frame(grid.width(), grid.height());
+  if (EntryFault(stats)) return frame;
+  RenderFrameTiled(
+      evaluator, grid, options, pool, control, stats, "runner.tau",
+      &frame.values,
+      [&evaluator, tau, &control](const Point& q, RefinementStream& scratch,
+                                  BatchStats* ts, bool* interrupted) {
+        TauResult r = evaluator.EvaluateTau(q, tau, control, &scratch);
+        AccumulateQueryStats(ts, r);
+        *interrupted = r.interrupted;
+        return static_cast<uint8_t>(r.above_threshold ? 1 : 0);
+      });
+  return frame;
+}
+
+DensityFrame RenderExactFrameParallel(const KdeEvaluator& evaluator,
+                                      const PixelGrid& grid,
+                                      const RenderOptions& options,
+                                      ThreadPool* pool,
+                                      const QueryControl& control,
+                                      BatchStats* stats) {
+  DensityFrame frame(grid.width(), grid.height());
+  if (EntryFault(stats)) return frame;
+  const uint64_t num_points = evaluator.tree().num_points();
+  RenderFrameTiled(
+      evaluator, grid, options, pool, control, stats, "runner.exact",
+      &frame.values,
+      [&evaluator, num_points](const Point& q, RefinementStream& /*scratch*/,
+                               BatchStats* ts, bool* interrupted) {
+        // Exact scans are uninterruptible mid-query, matching RunExactBatch.
+        *interrupted = false;
+        ++ts->queries;
+        ts->points_scanned += num_points;
+        return evaluator.EvaluateExact(q);
+      });
+  return frame;
+}
+
+}  // namespace kdv

@@ -1,0 +1,86 @@
+// Intra-frame data-parallel KDV rendering.
+//
+// The pixel grid is split into horizontal bands of `tile_rows` rows; workers
+// claim bands off a shared atomic counter and evaluate their pixels with a
+// per-worker reusable RefinementStream (zero allocations after warm-up).
+// The caller thread always participates in tile processing, so a frame makes
+// progress even when the helper pool is saturated or absent — and a frame
+// rendered through an exhausted pool degrades to the serial path rather than
+// failing.
+//
+// Determinism: pixels are independent queries and every worker runs the
+// exact same per-pixel evaluation as the serial renderers (viz/render.h), so
+// a completed parallel frame is bit-identical to the serial frame for any
+// thread count and tile size. Tile stats are merged in tile-index order, so
+// the aggregate BatchStats counters are deterministic too (seconds excepted).
+//
+// Contracts preserved from the serial path:
+//   * QueryControl is polled before every pixel and at iteration granularity
+//     inside each refining evaluation; on a stop the partial frame comes
+//     back with completed=false and the deadline_expired/cancelled flags
+//     set. Tiles not yet claimed are abandoned.
+//   * The per-query failpoint sites ("runner.eps" / "runner.tau" /
+//     "runner.exact") and the whole-frame entry site ("viz.render") fire
+//     exactly as in the serial renderers.
+#ifndef QUADKDV_VIZ_PARALLEL_RENDER_H_
+#define QUADKDV_VIZ_PARALLEL_RENDER_H_
+
+#include "core/evaluator.h"
+#include "core/kdv_runner.h"
+#include "util/cancel.h"
+#include "util/thread_pool.h"
+#include "viz/frame.h"
+#include "viz/pixel_grid.h"
+
+namespace kdv {
+
+// Intra-frame parallelism knobs, threaded end-to-end (CLI --threads, the
+// render service, the resilient renderer, bench_frame).
+struct RenderOptions {
+  // Worker threads per frame, including the calling thread. 0 means
+  // hardware_concurrency; 1 renders serially in the caller. Values above 1
+  // only take effect when a ThreadPool is supplied.
+  int num_threads = 1;
+  // Grid rows per work item. Small tiles balance load (refinement cost
+  // varies wildly across a frame: pixels near dense clusters converge fast,
+  // sparse regions refine deep); large tiles amortize claim overhead.
+  // Clamped to [1, grid height].
+  int tile_rows = 16;
+};
+
+// Resolves a --threads style request: 0 -> hardware_concurrency (>= 1),
+// otherwise the value itself (clamped to >= 1).
+int ResolveRenderThreads(int num_threads);
+
+// εKDV over the whole grid, fanned out over `pool`. `pool` may be nullptr
+// and `stats` may be nullptr; helpers beyond the caller are submitted with
+// TrySubmit, so an exhausted pool sheds work back onto the caller instead of
+// blocking. The pool must not be the one executing the calling task when
+// that pool has a bounded queue sized below num_threads (the caller
+// participates, so no completion deadlock is possible either way).
+DensityFrame RenderEpsFrameParallel(const KdeEvaluator& evaluator,
+                                    const PixelGrid& grid, double eps,
+                                    const RenderOptions& options,
+                                    ThreadPool* pool,
+                                    const QueryControl& control,
+                                    BatchStats* stats);
+
+// τKDV over the whole grid.
+BinaryFrame RenderTauFrameParallel(const KdeEvaluator& evaluator,
+                                   const PixelGrid& grid, double tau,
+                                   const RenderOptions& options,
+                                   ThreadPool* pool,
+                                   const QueryControl& control,
+                                   BatchStats* stats);
+
+// Exact KDV over the whole grid.
+DensityFrame RenderExactFrameParallel(const KdeEvaluator& evaluator,
+                                      const PixelGrid& grid,
+                                      const RenderOptions& options,
+                                      ThreadPool* pool,
+                                      const QueryControl& control,
+                                      BatchStats* stats);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_VIZ_PARALLEL_RENDER_H_

@@ -1,0 +1,384 @@
+// Determinism and robustness suite for the intra-frame parallel renderer
+// and the SoA/scratch machinery beneath it.
+//
+// The load-bearing property is bit-identical output: a parallel frame must
+// equal the serial frame byte for byte, for every operation (εKDV / τKDV /
+// exact), thread count, and tile size — that is what lets the parallel path
+// ship certified frames. Beneath it, two refactors carry the same contract
+// at smaller scope: the SoA leaf kernel must match the AoS scalar loop
+// bitwise, and a Reset() scratch stream must be indistinguishable from a
+// freshly constructed one.
+//
+// Everything here runs clean under ThreadSanitizer; CI's tsan job pulls the
+// suite in via `ctest -L concurrency`.
+#include "viz/parallel_render.h"
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/leaf_kernel.h"
+#include "core/refinement_stream.h"
+#include "data/datasets.h"
+#include "index/kdtree.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "viz/render.h"
+#include "workbench/workbench.h"
+
+namespace kdv {
+namespace {
+
+PointSet TestDataset(size_t n = 1500, uint64_t seed = 21) {
+  MixtureSpec spec;
+  spec.n = n;
+  spec.num_clusters = 4;
+  spec.seed = seed;
+  return GenerateMixture(spec);
+}
+
+std::unique_ptr<Workbench> MakeBench(
+    KernelType kernel = KernelType::kGaussian) {
+  StatusOr<std::unique_ptr<Workbench>> bench =
+      Workbench::Create(TestDataset(), kernel);
+  EXPECT_TRUE(bench.ok()) << bench.status().ToString();
+  return *std::move(bench);
+}
+
+uint64_t Bits(double v) {
+  uint64_t out;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+// Bitwise frame comparison: memcmp, not operator==, so -0.0 vs 0.0 or NaN
+// payload differences cannot hide.
+::testing::AssertionResult FramesBitIdentical(
+    const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (Bits(a[i]) != Bits(b[i])) {
+        return ::testing::AssertionFailure()
+               << "first divergence at pixel " << i << ": " << a[i] << " vs "
+               << b[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel frame == serial frame, bitwise
+// ---------------------------------------------------------------------------
+
+struct ParallelCase {
+  int num_threads;
+  int tile_rows;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ParallelCase>& info) {
+  return "t" + std::to_string(info.param.num_threads) + "_rows" +
+         std::to_string(info.param.tile_rows);
+}
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<ParallelCase> {
+};
+
+TEST_P(ParallelEquivalenceTest, EpsFrameBitIdenticalToSerial) {
+  const ParallelCase param = GetParam();
+  auto bench = MakeBench();
+  KdeEvaluator evaluator = bench->MakeEvaluator(Method::kQuad);
+  PixelGrid grid(40, 30, bench->data_bounds());
+
+  BatchStats serial_stats;
+  DensityFrame serial = RenderEpsFrame(evaluator, grid, 0.05, &serial_stats);
+
+  ThreadPool pool({/*num_threads=*/4, /*max_queue=*/64});
+  RenderOptions options;
+  options.num_threads = param.num_threads;
+  options.tile_rows = param.tile_rows;
+  BatchStats stats;
+  DensityFrame parallel = RenderEpsFrameParallel(
+      evaluator, grid, 0.05, options, &pool, QueryControl(), &stats);
+
+  EXPECT_TRUE(FramesBitIdentical(serial.values, parallel.values));
+  EXPECT_TRUE(stats.completed);
+  // Per-tile accounting merged in tile order must equal the serial counters.
+  EXPECT_EQ(stats.queries, serial_stats.queries);
+  EXPECT_EQ(stats.iterations, serial_stats.iterations);
+  EXPECT_EQ(stats.points_scanned, serial_stats.points_scanned);
+  EXPECT_EQ(stats.numeric_faults, serial_stats.numeric_faults);
+}
+
+TEST_P(ParallelEquivalenceTest, TauFrameBitIdenticalToSerial) {
+  const ParallelCase param = GetParam();
+  auto bench = MakeBench();
+  KdeEvaluator evaluator = bench->MakeEvaluator(Method::kQuad);
+  PixelGrid grid(40, 30, bench->data_bounds());
+  const double tau = 0.3;
+
+  BatchStats serial_stats;
+  BinaryFrame serial = RenderTauFrame(evaluator, grid, tau, &serial_stats);
+
+  ThreadPool pool({/*num_threads=*/4, /*max_queue=*/64});
+  RenderOptions options;
+  options.num_threads = param.num_threads;
+  options.tile_rows = param.tile_rows;
+  BatchStats stats;
+  BinaryFrame parallel = RenderTauFrameParallel(
+      evaluator, grid, tau, options, &pool, QueryControl(), &stats);
+
+  EXPECT_EQ(serial.values, parallel.values);
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.queries, serial_stats.queries);
+  EXPECT_EQ(stats.iterations, serial_stats.iterations);
+  EXPECT_EQ(stats.points_scanned, serial_stats.points_scanned);
+}
+
+TEST_P(ParallelEquivalenceTest, ExactFrameBitIdenticalToSerial) {
+  const ParallelCase param = GetParam();
+  auto bench = MakeBench();
+  KdeEvaluator evaluator = bench->MakeEvaluator(Method::kExact);
+  PixelGrid grid(24, 18, bench->data_bounds());
+
+  BatchStats serial_stats;
+  DensityFrame serial = RenderExactFrame(evaluator, grid, &serial_stats);
+
+  ThreadPool pool({/*num_threads=*/4, /*max_queue=*/64});
+  RenderOptions options;
+  options.num_threads = param.num_threads;
+  options.tile_rows = param.tile_rows;
+  BatchStats stats;
+  DensityFrame parallel = RenderExactFrameParallel(
+      evaluator, grid, options, &pool, QueryControl(), &stats);
+
+  EXPECT_TRUE(FramesBitIdentical(serial.values, parallel.values));
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.queries, serial_stats.queries);
+  EXPECT_EQ(stats.points_scanned, serial_stats.points_scanned);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadAndTileSweep, ParallelEquivalenceTest,
+    ::testing::Values(ParallelCase{1, 16},   // serial-in-caller path
+                      ParallelCase{2, 16},   // fewer helpers than tiles
+                      ParallelCase{4, 5},    // uneven tile split
+                      ParallelCase{8, 1},    // one row per tile
+                      ParallelCase{8, 64},   // one tile bigger than the frame
+                      ParallelCase{0, 16}),  // hardware autodetect
+    CaseName);
+
+// A pool with no free capacity sheds every helper; the caller renders the
+// whole frame itself and the result is still bit-identical.
+TEST(ParallelRenderTest, SaturatedPoolDegradesToCallerOnly) {
+  auto bench = MakeBench();
+  KdeEvaluator evaluator = bench->MakeEvaluator(Method::kQuad);
+  PixelGrid grid(32, 24, bench->data_bounds());
+
+  BatchStats serial_stats;
+  DensityFrame serial = RenderEpsFrame(evaluator, grid, 0.05, &serial_stats);
+
+  // One parked worker plus a full one-slot queue: every TrySubmit from the
+  // renderer is rejected with kResourceExhausted.
+  ThreadPool pool({/*num_threads=*/1, /*max_queue=*/1});
+  std::atomic<bool> release{false};
+  auto park = [&release] {
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  };
+  ASSERT_TRUE(pool.TrySubmit(park).ok());
+  while (pool.queue_depth() > 0) {
+    std::this_thread::yield();  // wait for the worker to pick up the parker
+  }
+  ASSERT_TRUE(pool.TrySubmit(park).ok());  // fills the single queue slot
+
+  RenderOptions options;
+  options.num_threads = 8;
+  options.tile_rows = 4;
+  BatchStats stats;
+  DensityFrame parallel = RenderEpsFrameParallel(
+      evaluator, grid, 0.05, options, &pool, QueryControl(), &stats);
+  release.store(true);
+  pool.Stop();
+
+  EXPECT_TRUE(FramesBitIdentical(serial.values, parallel.values));
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.queries, serial_stats.queries);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation / deadline mid-frame
+// ---------------------------------------------------------------------------
+
+TEST(ParallelRenderTest, CancelledFrameIsMarkedIncomplete) {
+  auto bench = MakeBench();
+  KdeEvaluator evaluator = bench->MakeEvaluator(Method::kQuad);
+  PixelGrid grid(40, 30, bench->data_bounds());
+
+  CancelToken cancel;
+  cancel.RequestCancel();
+  QueryControl control;
+  control.cancel = &cancel;
+
+  ThreadPool pool({/*num_threads=*/4, /*max_queue=*/64});
+  RenderOptions options;
+  options.num_threads = 4;
+  options.tile_rows = 4;
+  BatchStats stats;
+  DensityFrame frame = RenderEpsFrameParallel(evaluator, grid, 0.05, options,
+                                              &pool, control, &stats);
+
+  EXPECT_FALSE(stats.completed);
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_FALSE(stats.deadline_expired);
+  EXPECT_EQ(stats.queries, 0u);
+  // The partial frame is still well-formed: right size, only finite pixels.
+  ASSERT_EQ(frame.values.size(), grid.num_pixels());
+  for (double v : frame.values) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ParallelRenderTest, DeadlineMidFrameIsMarkedExpired) {
+  auto bench = MakeBench();
+  KdeEvaluator evaluator = bench->MakeEvaluator(Method::kQuad);
+  PixelGrid grid(64, 48, bench->data_bounds());
+
+  // A nanosecond budget expires before the first per-pixel poll, whatever
+  // the scheduler does; the frame must come back partial and flagged.
+  Deadline deadline(1e-9);
+  QueryControl control;
+  control.deadline = &deadline;
+
+  ThreadPool pool({/*num_threads=*/4, /*max_queue=*/64});
+  RenderOptions options;
+  options.num_threads = 4;
+  options.tile_rows = 4;
+  BatchStats stats;
+  DensityFrame frame = RenderEpsFrameParallel(evaluator, grid, 0.05, options,
+                                              &pool, control, &stats);
+
+  EXPECT_FALSE(stats.completed);
+  EXPECT_TRUE(stats.deadline_expired);
+  ASSERT_EQ(frame.values.size(), grid.num_pixels());
+  for (double v : frame.values) EXPECT_TRUE(std::isfinite(v));
+}
+
+// Cancellation racing a running frame: either the frame completed before the
+// cancel landed, or it is marked cancelled — never a third state, and never
+// a TSAN report.
+TEST(ParallelRenderTest, ConcurrentCancellationLeavesConsistentStats) {
+  auto bench = MakeBench();
+  KdeEvaluator evaluator = bench->MakeEvaluator(Method::kQuad);
+  PixelGrid grid(96, 72, bench->data_bounds());
+
+  CancelToken cancel;
+  QueryControl control;
+  control.cancel = &cancel;
+
+  ThreadPool pool({/*num_threads=*/4, /*max_queue=*/64});
+  RenderOptions options;
+  options.num_threads = 4;
+  options.tile_rows = 2;
+
+  BatchStats stats;
+  DensityFrame frame;
+  std::thread renderer([&] {
+    frame = RenderEpsFrameParallel(evaluator, grid, 0.01, options, &pool,
+                                   control, &stats);
+  });
+  cancel.RequestCancel();
+  renderer.join();
+
+  if (!stats.completed) {
+    EXPECT_TRUE(stats.cancelled);
+  }
+  ASSERT_EQ(frame.values.size(), grid.num_pixels());
+  for (double v : frame.values) EXPECT_TRUE(std::isfinite(v));
+}
+
+// ---------------------------------------------------------------------------
+// SoA leaf kernel vs AoS scalar loop
+// ---------------------------------------------------------------------------
+
+TEST(LeafKernelTest, SoAMatchesAoSBitwiseOnEveryLeaf) {
+  const KernelType kernels[] = {
+      KernelType::kGaussian, KernelType::kEpanechnikov,
+      KernelType::kExponential, KernelType::kQuartic, KernelType::kUniform,
+  };
+  Rng rng(77);
+  for (int dim : {2, 3, 5}) {
+    PointSet pts;
+    for (int i = 0; i < 700; ++i) {
+      Point p(dim);
+      for (int d = 0; d < dim; ++d) p[d] = rng.Uniform(-1.0, 1.0);
+      pts.push_back(p);
+    }
+    KdTree tree(std::move(pts), {/*leaf_size=*/37});  // chunk-unaligned leaves
+    for (KernelType kernel : kernels) {
+      KernelParams params;
+      params.type = kernel;
+      params.gamma = 2.5;
+      params.weight = 1.0 / 700.0;
+      for (int qi = 0; qi < 8; ++qi) {
+        Point q(dim);
+        for (int d = 0; d < dim; ++d) q[d] = rng.Uniform(-1.5, 1.5);
+        for (size_t n = 0; n < tree.num_nodes(); ++n) {
+          const KdTree::Node& node = tree.node(static_cast<int32_t>(n));
+          if (!node.IsLeaf()) continue;
+          const double aos = LeafSumAoS(tree, params, node.begin, node.end, q);
+          const double soa = LeafSumSoA(tree, params, node.begin, node.end, q);
+          ASSERT_EQ(Bits(aos), Bits(soa))
+              << "dim=" << dim << " kernel=" << KernelTypeName(kernel)
+              << " node=" << n << ": " << aos << " vs " << soa;
+        }
+        // Whole-tree scan (the EXACT method path) spans many chunks.
+        const KdTree::Node& root = tree.node(tree.root());
+        ASSERT_EQ(Bits(LeafSumAoS(tree, params, root.begin, root.end, q)),
+                  Bits(LeafSumSoA(tree, params, root.begin, root.end, q)));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scratch stream reuse
+// ---------------------------------------------------------------------------
+
+TEST(ScratchReuseTest, ResetStreamMatchesFreshEvaluationBitwise) {
+  auto bench = MakeBench();
+  KdeEvaluator evaluator = bench->MakeEvaluator(Method::kQuad);
+  Rng rng(13);
+
+  RefinementStream scratch = evaluator.MakeScratch();
+  QueryControl control;
+  for (int i = 0; i < 200; ++i) {
+    Point q{rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)};
+
+    EvalResult fresh = evaluator.EvaluateEps(q, 0.05);
+    EvalResult reused = evaluator.EvaluateEps(q, 0.05, control, &scratch);
+    ASSERT_EQ(Bits(fresh.estimate), Bits(reused.estimate)) << "query " << i;
+    ASSERT_EQ(Bits(fresh.lower), Bits(reused.lower));
+    ASSERT_EQ(Bits(fresh.upper), Bits(reused.upper));
+    ASSERT_EQ(fresh.iterations, reused.iterations);
+    ASSERT_EQ(fresh.points_scanned, reused.points_scanned);
+    ASSERT_EQ(fresh.converged, reused.converged);
+
+    TauResult tau_fresh = evaluator.EvaluateTau(q, 0.3);
+    TauResult tau_reused = evaluator.EvaluateTau(q, 0.3, control, &scratch);
+    ASSERT_EQ(tau_fresh.above_threshold, tau_reused.above_threshold);
+    ASSERT_EQ(Bits(tau_fresh.lower), Bits(tau_reused.lower));
+    ASSERT_EQ(Bits(tau_fresh.upper), Bits(tau_reused.upper));
+    ASSERT_EQ(tau_fresh.iterations, tau_reused.iterations);
+  }
+}
+
+}  // namespace
+}  // namespace kdv

@@ -33,6 +33,7 @@
 #include <cstring>
 #include <future>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -60,14 +61,17 @@ int Usage() {
       "  render:       --eps E [--budget-ms MS --on-deadline degrade|fail]\n"
       "                (degrade: ship best-effort frame, exit 0; fail: exit\n"
       "                3 when the budget expires before certification)\n"
+      "                [--threads N (0 = hardware concurrency) --tile-rows R]\n"
       "  hotspot:      --tau T | --tau-sigma K (tau = mu + K*sigma)\n"
       "                --block (certify whole pixel blocks)\n"
       "  progressive:  --eps E --budget SECONDS\n"
       "  classify:     --in FILE.csv --label-col I (x,y + integer labels)\n"
       "  regress:      --in FILE.csv --target-col I (x,y + target >= 0)\n"
-      "  serve-sim:    --threads N --requests R --budget-ms MS\n"
+      "  serve-sim:    --threads N (0 = hardware concurrency) --requests R\n"
+      "                --budget-ms MS\n"
       "                [--clients C (default 4x threads) --queue Q\n"
-      "                 --eps E --on-deadline degrade|fail\n"
+      "                 --frame-threads N (intra-frame tile workers)\n"
+      "                 --tile-rows R --eps E --on-deadline degrade|fail\n"
       "                 --failpoints \"site=action;...\" --json]\n");
   return 2;
 }
@@ -91,6 +95,57 @@ double GetValidatedDouble(const Flags& flags, const std::string& name,
     return std::numeric_limits<double>::quiet_NaN();
   }
   return v;  // may be NaN/Inf from the text itself; validation decides
+}
+
+// Strict integer accessor for count-like flags (--threads, --tile-rows).
+// Flags::GetInt silently substitutes the default for malformed text; here a
+// present-but-unusable value parses to INT_MIN so the caller rejects it by
+// name with a usage error instead of silently running with the default.
+int GetValidatedInt(const Flags& flags, const std::string& name,
+                    int default_value) {
+  if (!flags.Has(name)) return default_value;
+  const std::string raw = flags.GetString(name, "");
+  char* end = nullptr;
+  long v = std::strtol(raw.c_str(), &end, 10);
+  if (raw.empty() || end == raw.c_str() || *end != '\0' ||
+      v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return std::numeric_limits<int>::min();
+  }
+  return static_cast<int>(v);
+}
+
+// Parses --threads (0 = hardware concurrency) and --tile-rows for the
+// intra-frame parallel renderer. Returns false (after printing a usage
+// error) on malformed or out-of-range values.
+bool ParseFrameThreads(const Flags& flags, const char* cmd, int* threads,
+                       int* tile_rows) {
+  *threads = GetValidatedInt(flags, "threads", 1);
+  if (*threads < 0) {
+    std::fprintf(stderr,
+                 "kdvtool %s: --threads must be an integer >= 0 "
+                 "(0 = hardware concurrency)\n",
+                 cmd);
+    return false;
+  }
+  *tile_rows = GetValidatedInt(flags, "tile-rows", 16);
+  if (*tile_rows < 1) {
+    std::fprintf(stderr, "kdvtool %s: --tile-rows must be an integer >= 1\n",
+                 cmd);
+    return false;
+  }
+  return true;
+}
+
+// Helper pool for an intra-frame parallel render: resolved - 1 workers (the
+// caller participates), or null when the render is serial.
+std::unique_ptr<ThreadPool> MakeTilePool(int threads) {
+  const int resolved = ResolveRenderThreads(threads);
+  if (resolved <= 1) return nullptr;
+  ThreadPool::Options options;
+  options.num_threads = resolved - 1;
+  options.max_queue = static_cast<size_t>(resolved) * 2;
+  return std::make_unique<ThreadPool>(options);
 }
 
 bool ParseKernel(const std::string& name, KernelType* out) {
@@ -313,7 +368,8 @@ int CmdInfo(const Flags& flags) {
 
 // Budgeted render path: QUAD under --budget-ms with the degradation ladder
 // (or fail-fast with exit code 3 under --on-deadline=fail).
-int CmdRenderBudgeted(const Flags& flags, Session* s, double eps) {
+int CmdRenderBudgeted(const Flags& flags, Session* s, double eps, int threads,
+                      int tile_rows) {
   std::string on_deadline = flags.GetString("on-deadline", "degrade");
   if (on_deadline != "degrade" && on_deadline != "fail") {
     std::fprintf(stderr,
@@ -332,6 +388,10 @@ int CmdRenderBudgeted(const Flags& flags, Session* s, double eps) {
   options.eps = eps;
   options.budget_seconds = budget_ms / 1000.0;
   options.degrade = on_deadline == "degrade";
+  options.parallel.num_threads = threads;
+  options.parallel.tile_rows = tile_rows;
+  std::unique_ptr<ThreadPool> pool = MakeTilePool(threads);
+  options.tile_pool = pool.get();
   ResilientRenderer renderer(&evaluator);
   RenderOutcome outcome = renderer.Render(grid, options);
 
@@ -362,12 +422,27 @@ int CmdRender(const Flags& flags) {
     PrintStatus(eps_status);
     return 1;
   }
-  if (flags.Has("budget-ms")) return CmdRenderBudgeted(flags, &s, eps);
+  int threads = 1;
+  int tile_rows = 16;
+  if (!ParseFrameThreads(flags, "render", &threads, &tile_rows)) return 2;
+  if (flags.Has("budget-ms")) {
+    return CmdRenderBudgeted(flags, &s, eps, threads, tile_rows);
+  }
 
   KdeEvaluator evaluator = s.bench->MakeEvaluator(s.method);
   PixelGrid grid(s.width, s.height, s.bench->data_bounds());
   BatchStats stats;
-  DensityFrame frame = RenderEpsFrame(evaluator, grid, eps, &stats);
+  DensityFrame frame;
+  std::unique_ptr<ThreadPool> pool = MakeTilePool(threads);
+  if (pool != nullptr) {
+    RenderOptions ropts;
+    ropts.num_threads = threads;
+    ropts.tile_rows = tile_rows;
+    frame = RenderEpsFrameParallel(evaluator, grid, eps, ropts, pool.get(),
+                                   QueryControl(), &stats);
+  } else {
+    frame = RenderEpsFrame(evaluator, grid, eps, &stats);
+  }
   if (!stats.status.ok()) {
     PrintStatus(stats.status);
     return 1;
@@ -377,9 +452,9 @@ int CmdRender(const Flags& flags) {
     std::fprintf(stderr, "kdvtool: cannot write %s\n", out.c_str());
     return 1;
   }
-  std::printf("εKDV (%s, eps=%g): %dx%d in %.3fs -> %s\n",
-              MethodName(s.method), eps, s.width, s.height, stats.seconds,
-              out.c_str());
+  std::printf("εKDV (%s, eps=%g, threads=%d): %dx%d in %.3fs -> %s\n",
+              MethodName(s.method), eps, ResolveRenderThreads(threads),
+              s.width, s.height, stats.seconds, out.c_str());
   return 0;
 }
 
@@ -646,13 +721,32 @@ int CmdServeSim(const Flags& flags) {
   Session s;
   if (!OpenSession(flags, &s)) return 1;
 
-  const int threads = flags.GetInt("threads", 4);
+  const int threads_flag = GetValidatedInt(flags, "threads", 4);
+  if (threads_flag < 0) {
+    std::fprintf(stderr,
+                 "kdvtool serve-sim: --threads must be an integer >= 0 "
+                 "(0 = hardware concurrency)\n");
+    return 2;
+  }
+  const int threads = ResolveRenderThreads(threads_flag);
+  int frame_threads = GetValidatedInt(flags, "frame-threads", 1);
+  if (frame_threads < 0) {
+    std::fprintf(stderr,
+                 "kdvtool serve-sim: --frame-threads must be an integer >= 0 "
+                 "(0 = hardware concurrency)\n");
+    return 2;
+  }
+  int tile_rows = GetValidatedInt(flags, "tile-rows", 16);
+  if (tile_rows < 1) {
+    std::fprintf(stderr,
+                 "kdvtool serve-sim: --tile-rows must be an integer >= 1\n");
+    return 2;
+  }
   const int clients = flags.GetInt("clients", threads * 4);
   const long requests = flags.GetInt("requests", 100);
-  if (threads < 1 || clients < 1 || requests < 1) {
+  if (clients < 1 || requests < 1) {
     std::fprintf(stderr,
-                 "kdvtool serve-sim: --threads/--clients/--requests must be "
-                 ">= 1\n");
+                 "kdvtool serve-sim: --clients/--requests must be >= 1\n");
     return 2;
   }
   double budget_ms = GetValidatedDouble(flags, "budget-ms", -1.0);
@@ -695,6 +789,8 @@ int CmdServeSim(const Flags& flags) {
   options.num_threads = threads;
   options.max_queue = static_cast<size_t>(flags.GetInt("queue", threads * 2));
   options.max_attempts = flags.GetInt("max-attempts", 3);
+  options.intra_frame_threads = frame_threads;
+  options.tile_rows = tile_rows;
   RenderService service(&evaluator, options);
 
   ServeRequestOptions request;
