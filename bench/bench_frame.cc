@@ -242,9 +242,13 @@ int main() {
                   : 0.0,
               leaf.identical ? "equal" : "UNEQUAL");
 
-  std::FILE* json = std::fopen("BENCH_frame.json", "w");
+  // Stream to a temp and publish atomically: a crashed or interrupted bench
+  // never leaves a truncated BENCH_frame.json for CI to parse.
+  const std::string json_path = "BENCH_frame.json";
+  const std::string json_temp = kdv::TempPathFor(json_path);
+  std::FILE* json = std::fopen(json_temp.c_str(), "w");
   if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_frame.json\n");
+    std::fprintf(stderr, "cannot write %s\n", json_temp.c_str());
     return 1;
   }
   std::fprintf(json, "{\"bench\":\"frame_parallel\",");
@@ -290,6 +294,12 @@ int main() {
                    ? leaf.aos_seconds / leaf.soa_seconds
                    : 0.0);
   std::fclose(json);
+  kdv::Status published = kdv::AtomicPublish(json_temp, json_path);
+  if (!published.ok()) {
+    std::fprintf(stderr, "cannot publish %s: %s\n", json_path.c_str(),
+                 published.ToString().c_str());
+    return 1;
+  }
   std::printf("\nwrote BENCH_frame.json\n");
 
   if (!all_identical) {

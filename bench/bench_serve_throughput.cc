@@ -147,9 +147,13 @@ int main() {
                 static_cast<unsigned long long>(r.shed_retries));
   }
 
-  std::FILE* json = std::fopen("BENCH_serve.json", "w");
+  // Stream to a temp and publish atomically: a crashed or interrupted bench
+  // never leaves a truncated BENCH_serve.json for CI to parse.
+  const std::string json_path = "BENCH_serve.json";
+  const std::string json_temp = kdv::TempPathFor(json_path);
+  std::FILE* json = std::fopen(json_temp.c_str(), "w");
   if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    std::fprintf(stderr, "cannot write %s\n", json_temp.c_str());
     return 1;
   }
   std::fprintf(json, "{\"bench\":\"serve_throughput\",");
@@ -171,6 +175,12 @@ int main() {
   }
   std::fprintf(json, "]}\n");
   std::fclose(json);
+  kdv::Status published = kdv::AtomicPublish(json_temp, json_path);
+  if (!published.ok()) {
+    std::fprintf(stderr, "cannot publish %s: %s\n", json_path.c_str(),
+                 published.ToString().c_str());
+    return 1;
+  }
   std::printf("\nwrote BENCH_serve.json\n");
   return 0;
 }

@@ -1,0 +1,385 @@
+#include "index/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+
+namespace kdv {
+
+namespace {
+
+constexpr char kSegmentMagic[4] = {'K', 'D', 'V', 'J'};
+constexpr uint32_t kSegmentVersion = 1;
+constexpr size_t kSegmentHeaderBytes =
+    sizeof(kSegmentMagic) + sizeof(uint32_t) + sizeof(uint64_t);
+constexpr size_t kRecordHeaderBytes = 2 * sizeof(uint32_t);
+// payload fixed part: op + dim + reserved + count.
+constexpr size_t kPayloadFixedBytes =
+    sizeof(uint8_t) + sizeof(uint8_t) + sizeof(uint16_t) + sizeof(uint32_t);
+// A batch beyond this is a corrupt length field, not data (2^26 bytes of
+// 2-d doubles is ~4M points per batch).
+constexpr uint32_t kMaxRecordPayload = 64u << 20;
+
+std::string Errno(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + " failed: " + std::strerror(errno);
+}
+
+template <typename T>
+void AppendPod(std::string* buf, const T& value) {
+  buf->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ParsePod(const char* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+Status WriteAllFd(int fd, const char* data, size_t len,
+                  const std::string& path) {
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return DataLossError(Errno("write to", path));
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+// Parses "seg-%08llu.kdvj"; returns 0 for anything else (0 is never a valid
+// sequence).
+uint64_t ParseSegmentSequence(const std::string& name) {
+  unsigned long long seq = 0;
+  char tail = '\0';
+  if (std::sscanf(name.c_str(), "seg-%llu.kdvj%c", &seq, &tail) != 1) {
+    return 0;
+  }
+  return seq;
+}
+
+}  // namespace
+
+const char* JournalOpName(JournalOp op) {
+  switch (op) {
+    case JournalOp::kInsert:
+      return "insert";
+    case JournalOp::kRemove:
+      return "remove";
+  }
+  return "unknown";
+}
+
+std::string Journal::SegmentFileName(uint64_t sequence) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%08llu.kdvj",
+                static_cast<unsigned long long>(sequence));
+  return buf;
+}
+
+Journal::Journal(std::string dir, uint64_t floor, Options options)
+    : dir_(std::move(dir)), options_(options), floor_(floor) {}
+
+Journal::~Journal() { (void)CloseWriteFd(); }
+
+Status Journal::CloseWriteFd() {
+  if (write_fd_ < 0) return OkStatus();
+  int fd = write_fd_;
+  write_fd_ = -1;
+  if (::close(fd) != 0) {
+    return DataLossError(Errno("close of segment in", dir_));
+  }
+  return OkStatus();
+}
+
+std::string Journal::SegmentPath(uint64_t sequence) const {
+  return dir_ + "/" + SegmentFileName(sequence);
+}
+
+StatusOr<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
+                                                 uint64_t floor,
+                                                 Options options) {
+  if (floor == 0) {
+    return InvalidArgumentError("journal floor must be >= 1");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return NotFoundError("cannot create journal directory " + dir + ": " +
+                         ec.message());
+  }
+
+  std::unique_ptr<Journal> journal(new Journal(dir, floor, options));
+
+  // Find the highest existing segment at or above the floor.
+  uint64_t tail = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const uint64_t seq = ParseSegmentSequence(entry.path().filename());
+    if (seq >= floor) tail = std::max(tail, seq);
+  }
+  if (ec) {
+    return NotFoundError("cannot scan journal directory " + dir + ": " +
+                         ec.message());
+  }
+
+  if (tail == 0) {
+    KDV_RETURN_IF_ERROR(journal->StartSegment(floor));
+    return journal;
+  }
+
+  // Re-open the tail for appending. A tail shorter than its own header is a
+  // crash artifact from segment creation; rewrite it as empty.
+  const std::string path = journal->SegmentPath(tail);
+  const uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec || size < kSegmentHeaderBytes) {
+    KDV_RETURN_IF_ERROR(journal->StartSegment(tail));
+    return journal;
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) return NotFoundError(Errno("open of", path));
+  journal->write_fd_ = fd;
+  journal->tail_seq_ = tail;
+  journal->tail_bytes_ = size;
+  return journal;
+}
+
+Status Journal::StartSegment(uint64_t sequence) {
+  KDV_RETURN_IF_ERROR(CloseWriteFd());
+  const std::string path = SegmentPath(sequence);
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return NotFoundError(Errno("open of", path));
+
+  std::string header(kSegmentMagic, sizeof(kSegmentMagic));
+  AppendPod(&header, kSegmentVersion);
+  AppendPod(&header, sequence);
+  Status status = WriteAllFd(fd, header.data(), header.size(), path);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = DataLossError(Errno("fsync of", path));
+  }
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  write_fd_ = fd;
+  tail_seq_ = sequence;
+  tail_bytes_ = header.size();
+  // Make the new directory entry durable so a crash cannot lose an
+  // acknowledged batch by losing the segment that holds it.
+  return FsyncParentDir(path);
+}
+
+Status Journal::Append(JournalOp op, const PointSet& points) {
+  if (points.empty()) {
+    return InvalidArgumentError("journal batch must be non-empty");
+  }
+  const int dim = points[0].dim();
+  if (dim < 1 || dim > kMaxDim) {
+    return InvalidArgumentError("journal batch dim " + std::to_string(dim) +
+                                " outside [1, " + std::to_string(kMaxDim) +
+                                "]");
+  }
+  for (const Point& p : points) {
+    if (p.dim() != dim) {
+      return InvalidArgumentError("journal batch has mixed dimensionality");
+    }
+  }
+  if (write_fd_ < 0) {
+    return FailedPreconditionError("journal has no open tail segment");
+  }
+  if (tail_bytes_ >= options_.max_segment_bytes) {
+    KDV_RETURN_IF_ERROR(StartSegment(tail_seq_ + 1));
+  }
+  const std::string path = SegmentPath(tail_seq_);
+
+  std::string payload;
+  payload.reserve(kPayloadFixedBytes + points.size() * dim * sizeof(double));
+  AppendPod(&payload, static_cast<uint8_t>(op));
+  AppendPod(&payload, static_cast<uint8_t>(dim));
+  AppendPod(&payload, static_cast<uint16_t>(0));
+  AppendPod(&payload, static_cast<uint32_t>(points.size()));
+  for (const Point& p : points) {
+    for (int j = 0; j < dim; ++j) AppendPod(&payload, p[j]);
+  }
+
+  std::string record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  AppendPod(&record, static_cast<uint32_t>(payload.size()));
+  AppendPod(&record, Crc32(payload.data(), payload.size()));
+  record += payload;
+
+  // Torn-tail injection: half the record lands, the rest never does — the
+  // on-disk state a crash mid-append leaves. Replay() must repair it.
+  Status torn = KDV_FAILPOINT_STATUS("journal.tail");
+  if (!torn.ok()) {
+    (void)WriteAllFd(write_fd_, record.data(), record.size() / 2, path);
+    tail_bytes_ += record.size() / 2;
+    return DataLossError("journal append to " + path +
+                         " tore (injected journal.tail fault)");
+  }
+  Status short_write = KDV_FAILPOINT_STATUS("io.write");
+  if (!short_write.ok()) {
+    (void)WriteAllFd(write_fd_, record.data(), record.size() / 2, path);
+    tail_bytes_ += record.size() / 2;
+    return DataLossError("short journal append to " + path +
+                         " (injected io.write fault)");
+  }
+
+  KDV_RETURN_IF_ERROR(
+      WriteAllFd(write_fd_, record.data(), record.size(), path));
+  tail_bytes_ += record.size();
+
+  if (options_.fsync_each_append) {
+    Status injected = KDV_FAILPOINT_STATUS("io.fsync");
+    if (!injected.ok()) {
+      return DataLossError("journal fsync of " + path +
+                           " failed (injected io.fsync fault)");
+    }
+    if (::fsync(write_fd_) != 0) {
+      return DataLossError(Errno("fsync of", path));
+    }
+  }
+  return OkStatus();
+}
+
+Status Journal::Replay(const ReplayFn& fn, JournalReplayStats* stats) {
+  JournalReplayStats local;
+  JournalReplayStats* out = stats != nullptr ? stats : &local;
+  *out = JournalReplayStats();
+
+  for (uint64_t seq = floor_; seq <= tail_seq_; ++seq) {
+    const std::string path = SegmentPath(seq);
+    const bool is_tail = seq == tail_seq_;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      if (is_tail) continue;  // never created; nothing was acknowledged
+      return DataLossError("journal segment " + path + " is missing");
+    }
+    std::string raw((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    in.close();
+    ++out->segments_scanned;
+
+    if (raw.size() < kSegmentHeaderBytes ||
+        std::memcmp(raw.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0 ||
+        ParsePod<uint32_t>(raw.data() + 4) != kSegmentVersion ||
+        ParsePod<uint64_t>(raw.data() + 8) != seq) {
+      if (is_tail && raw.size() < kSegmentHeaderBytes) {
+        // Crash during segment creation: treat as empty and rebuild it.
+        out->tail_truncated = true;
+        out->torn_bytes_truncated += raw.size();
+        KDV_RETURN_IF_ERROR(StartSegment(seq));
+        continue;
+      }
+      return DataLossError("journal segment " + path +
+                           " has a corrupt header");
+    }
+
+    size_t pos = kSegmentHeaderBytes;
+    while (pos < raw.size()) {
+      // Validate the frame before touching the payload; any mismatch at the
+      // tail is a crash artifact, anywhere else it is corruption.
+      std::string reason;
+      uint32_t len = 0;
+      if (raw.size() - pos < kRecordHeaderBytes) {
+        reason = "torn record header";
+      } else {
+        len = ParsePod<uint32_t>(raw.data() + pos);
+        if (len > kMaxRecordPayload || len < kPayloadFixedBytes) {
+          reason = "implausible record length " + std::to_string(len);
+        } else if (raw.size() - pos - kRecordHeaderBytes < len) {
+          reason = "torn record payload";
+        } else {
+          const char* payload = raw.data() + pos + kRecordHeaderBytes;
+          const uint32_t stored = ParsePod<uint32_t>(raw.data() + pos + 4);
+          if (Crc32(payload, len) != stored) {
+            reason = "record checksum mismatch";
+          }
+        }
+      }
+      if (reason.empty()) {
+        const char* payload = raw.data() + pos + kRecordHeaderBytes;
+        const uint8_t op = ParsePod<uint8_t>(payload);
+        const uint8_t dim = ParsePod<uint8_t>(payload + 1);
+        const uint32_t count = ParsePod<uint32_t>(payload + 4);
+        if ((op != static_cast<uint8_t>(JournalOp::kInsert) &&
+             op != static_cast<uint8_t>(JournalOp::kRemove)) ||
+            dim < 1 || dim > kMaxDim || count == 0 ||
+            len != kPayloadFixedBytes +
+                       static_cast<uint64_t>(count) * dim * sizeof(double)) {
+          reason = "record payload fails validation";
+        } else {
+          PointSet batch;
+          batch.reserve(count);
+          const char* cursor = payload + kPayloadFixedBytes;
+          for (uint32_t i = 0; i < count; ++i) {
+            Point p(dim);
+            for (uint8_t j = 0; j < dim; ++j) {
+              p[j] = ParsePod<double>(cursor);
+              cursor += sizeof(double);
+            }
+            batch.push_back(p);
+          }
+          KDV_RETURN_IF_ERROR(fn(static_cast<JournalOp>(op), batch));
+          ++out->records_applied;
+          out->points_applied += count;
+          pos += kRecordHeaderBytes + len;
+          continue;
+        }
+      }
+      // Damaged frame. Tail-of-the-last-segment damage is repaired by
+      // truncating back to the last good record boundary.
+      if (!is_tail) {
+        return DataLossError("journal segment " + path + " is corrupt (" +
+                             reason + ") before the tail — not a crash "
+                             "artifact");
+      }
+      out->tail_truncated = true;
+      out->torn_bytes_truncated += raw.size() - pos;
+      KDV_RETURN_IF_ERROR(CloseWriteFd());
+      if (::truncate(path.c_str(), static_cast<off_t>(pos)) != 0) {
+        return DataLossError(Errno("truncate of", path));
+      }
+      int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+      if (fd < 0) return NotFoundError(Errno("open of", path));
+      if (::fsync(fd) != 0) {
+        Status status = DataLossError(Errno("fsync of", path));
+        ::close(fd);
+        return status;
+      }
+      write_fd_ = fd;
+      tail_bytes_ = pos;
+      break;
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<uint64_t> Journal::Rotate() {
+  KDV_RETURN_IF_ERROR(StartSegment(tail_seq_ + 1));
+  return tail_seq_;
+}
+
+void Journal::DropSegmentsBelow(uint64_t floor) {
+  for (uint64_t seq = floor_; seq < floor; ++seq) {
+    std::error_code ec;
+    std::filesystem::remove(SegmentPath(seq), ec);
+  }
+  floor_ = std::max(floor_, floor);
+}
+
+}  // namespace kdv

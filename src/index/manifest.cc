@@ -1,0 +1,107 @@
+#include "index/manifest.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+
+namespace kdv {
+
+namespace {
+
+constexpr char kManifestMagic[4] = {'K', 'D', 'V', 'M'};
+constexpr uint32_t kManifestVersion = 1;
+// An index file name is "index-%08llu.kdv" or a quarantine-era variant;
+// anything longer than this is a corrupt length field, not a name.
+constexpr uint32_t kMaxNameLen = 4096;
+
+template <typename T>
+void AppendPod(std::string* buf, const T& value) {
+  buf->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ParsePod(const char* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::string IndexFileName(uint64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "index-%08llu.kdv",
+                static_cast<unsigned long long>(generation));
+  return buf;
+}
+
+Status SaveManifest(const std::string& path, const Manifest& manifest) {
+  std::string body;
+  AppendPod(&body, kManifestVersion);
+  AppendPod(&body, manifest.generation);
+  AppendPod(&body, manifest.journal_floor);
+  AppendPod(&body, static_cast<uint32_t>(manifest.index_file.size()));
+  body += manifest.index_file;
+  const uint32_t crc = Crc32(body.data(), body.size());
+
+  std::string file(kManifestMagic, sizeof(kManifestMagic));
+  file += body;
+  AppendPod(&file, crc);
+  return AtomicWriteFile(path, file);
+}
+
+StatusOr<Manifest> LoadManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return NotFoundError("cannot open manifest " + path);
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+
+  constexpr size_t kFixed = sizeof(kManifestMagic) + sizeof(uint32_t) +
+                            2 * sizeof(uint64_t) + 2 * sizeof(uint32_t);
+  if (raw.size() < kFixed) {
+    return DataLossError("manifest " + path + " truncated (" +
+                         std::to_string(raw.size()) + " bytes)");
+  }
+  if (std::memcmp(raw.data(), kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    return DataLossError("manifest " + path + " has a bad magic");
+  }
+  const char* body = raw.data() + sizeof(kManifestMagic);
+  const size_t body_len = raw.size() - sizeof(kManifestMagic) -
+                          sizeof(uint32_t);  // trailing crc
+  const uint32_t version = ParsePod<uint32_t>(body);
+  if (version != kManifestVersion) {
+    return UnimplementedError("manifest version " + std::to_string(version) +
+                              " is newer than this library");
+  }
+  Manifest m;
+  m.generation = ParsePod<uint64_t>(body + 4);
+  m.journal_floor = ParsePod<uint64_t>(body + 12);
+  const uint32_t name_len = ParsePod<uint32_t>(body + 20);
+  if (name_len > kMaxNameLen ||
+      body_len != sizeof(uint32_t) + 2 * sizeof(uint64_t) + sizeof(uint32_t) +
+                      name_len) {
+    return DataLossError("manifest " + path +
+                         " declares an implausible name length " +
+                         std::to_string(name_len));
+  }
+  m.index_file.assign(body + 24, name_len);
+
+  const uint32_t stored = ParsePod<uint32_t>(body + body_len);
+  const uint32_t computed = Crc32(body, body_len);
+  if (stored != computed) {
+    return DataLossError("manifest " + path + " checksum mismatch");
+  }
+  if (m.index_file.empty() ||
+      m.index_file.find('/') != std::string::npos) {
+    return DataLossError("manifest " + path +
+                         " names an invalid index file '" + m.index_file +
+                         "'");
+  }
+  return m;
+}
+
+}  // namespace kdv

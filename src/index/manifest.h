@@ -1,0 +1,48 @@
+// State-directory manifest: the single atomic commit point for checkpoints.
+//
+// A persisted KDV dataset lives in a state directory:
+//
+//   <state>/MANIFEST                 this file (CRC-framed, written atomically)
+//   <state>/index-00000001.kdv       checksummed kd-tree (index/serialization.h)
+//   <state>/wal/seg-00000001.kdvj    update journal segments (index/journal.h)
+//
+// The manifest names the current index file and the first journal segment
+// that is NOT yet folded into it (`journal_floor`). A checkpoint writes the
+// new index under a fresh generation-numbered name, then atomically rewrites
+// the manifest to point at it with a raised floor. Because the manifest
+// flip is the only commit, a crash anywhere leaves a consistent pair:
+// either the old {index, floor} (the new index file is an orphan recovery
+// deletes) or the new one. Index files are never modified in place.
+//
+// Format (little-endian): magic "KDVM", then a CRC-32-covered body:
+//   uint32 version = 1, uint64 generation, uint64 journal_floor,
+//   uint32 name_len, name bytes, uint32 body_crc.
+#ifndef QUADKDV_INDEX_MANIFEST_H_
+#define QUADKDV_INDEX_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace kdv {
+
+struct Manifest {
+  uint64_t generation = 0;     // bumped by every bootstrap/checkpoint
+  uint64_t journal_floor = 1;  // first journal segment to replay on load
+  std::string index_file;      // file name within the state directory
+};
+
+// "index-%08llu.kdv" for a generation.
+std::string IndexFileName(uint64_t generation);
+
+// Atomically writes the manifest (util/atomic_file.h).
+Status SaveManifest(const std::string& path, const Manifest& manifest);
+
+// Loads and verifies a manifest. NotFound if absent; DataLoss for a bad
+// magic, truncation, an implausible name length, or a checksum mismatch.
+StatusOr<Manifest> LoadManifest(const std::string& path);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_INDEX_MANIFEST_H_

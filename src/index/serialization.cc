@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/atomic_file.h"
 #include "util/crc32.h"
 
 namespace kdv {
@@ -36,11 +37,6 @@ template <typename T>
 void AppendPod(std::vector<char>* buf, const T& value) {
   const char* raw = reinterpret_cast<const char*>(&value);
   buf->insert(buf->end(), raw, raw + sizeof(T));
-}
-
-template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
@@ -76,22 +72,16 @@ void AppendNodesSection(const KdTree& tree, std::vector<char>* buf) {
   }
 }
 
-Status SaveV1(const KdTree& tree, std::ofstream& out,
-              const std::string& path) {
-  WritePod(out, static_cast<uint32_t>(tree.dim()));
-  WritePod(out, static_cast<uint64_t>(tree.num_points()));
-  WritePod(out, static_cast<uint64_t>(tree.num_nodes()));
-  std::vector<char> buf;
-  AppendPointsSection(tree, &buf);
-  AppendIndicesSection(tree, &buf);
-  AppendNodesSection(tree, &buf);
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (!out.good()) return DataLossError("write to " + path + " failed");
-  return OkStatus();
+void SaveV1(const KdTree& tree, std::vector<char>* out) {
+  AppendPod(out, static_cast<uint32_t>(tree.dim()));
+  AppendPod(out, static_cast<uint64_t>(tree.num_points()));
+  AppendPod(out, static_cast<uint64_t>(tree.num_nodes()));
+  AppendPointsSection(tree, out);
+  AppendIndicesSection(tree, out);
+  AppendNodesSection(tree, out);
 }
 
-Status SaveV2(const KdTree& tree, std::ofstream& out,
-              const std::string& path) {
+void SaveV2(const KdTree& tree, std::vector<char>* out) {
   std::vector<char> points, indices, nodes;
   AppendPointsSection(tree, &points);
   AppendIndicesSection(tree, &indices);
@@ -107,14 +97,12 @@ Status SaveV2(const KdTree& tree, std::ofstream& out,
   AppendPod(&header, payload_bytes);
   const uint32_t header_crc = Crc32(header.data(), header.size());
 
-  out.write(header.data(), static_cast<std::streamsize>(header.size()));
-  WritePod(out, header_crc);
+  out->insert(out->end(), header.begin(), header.end());
+  AppendPod(out, header_crc);
   for (const std::vector<char>* section : {&points, &indices, &nodes}) {
-    out.write(section->data(), static_cast<std::streamsize>(section->size()));
-    WritePod(out, Crc32(section->data(), section->size()));
+    out->insert(out->end(), section->begin(), section->end());
+    AppendPod(out, Crc32(section->data(), section->size()));
   }
-  if (!out.good()) return DataLossError("write to " + path + " failed");
-  return OkStatus();
 }
 
 // Reads `bytes` bytes of section `name`, verifying the stored trailing CRC
@@ -237,13 +225,18 @@ Status SaveKdTree(const KdTree& tree, const std::string& path,
     return InvalidArgumentError("unsupported kd-tree format version " +
                                 std::to_string(version));
   }
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return NotFoundError("cannot open " + path + " for writing");
+  // Stage the complete image in memory, then publish it atomically: a crash
+  // (or injected I/O fault) mid-save must never leave a half-written index
+  // where a valid one used to be.
+  std::vector<char> image;
+  image.insert(image.end(), kMagic, kMagic + sizeof(kMagic));
+  AppendPod(&image, version);
+  if (version == 1) {
+    SaveV1(tree, &image);
+  } else {
+    SaveV2(tree, &image);
   }
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, version);
-  return version == 1 ? SaveV1(tree, out, path) : SaveV2(tree, out, path);
+  return AtomicWriteFile(path, image.data(), image.size());
 }
 
 StatusOr<std::unique_ptr<KdTree>> LoadKdTree(const std::string& path) {

@@ -27,7 +27,9 @@
 #include "geom/morton.h"
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "index/journal.h"
 #include "index/kdtree.h"
+#include "index/manifest.h"
 #include "index/node_stats.h"
 #include "index/serialization.h"
 #include "kernel/bandwidth.h"
@@ -37,11 +39,15 @@
 #include "regress/weighted_bounds.h"
 #include "regress/weighted_stats.h"
 #include "sampling/zorder.h"
+#include "serve/health.h"
+#include "serve/recovery_manager.h"
 #include "serve/render_service.h"
 #include "serve/resilient_renderer.h"
 #include "stats/density_stats.h"
 #include "stats/pca.h"
+#include "util/atomic_file.h"
 #include "util/backoff.h"
+#include "util/build_info.h"
 #include "util/cancel.h"
 #include "util/check.h"
 #include "util/failpoint.h"

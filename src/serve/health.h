@@ -1,0 +1,43 @@
+// Service readiness states surfaced by RenderService::Health().
+//
+// A load balancer (or kdvtool serve-sim's invariant checks) polls this to
+// decide whether the process may receive traffic:
+//
+//   kStarting    process is up, no evaluator published yet — do not route
+//   kRecovering  recovery manager is replaying state — do not route
+//   kServing     an evaluator is published and the breaker is closed
+//   kDegraded    serving, but impaired: the circuit breaker is open, or
+//                recovery had to quarantine state (possible data loss) —
+//                route only if there is no healthy replica
+//
+// Transitions are monotonic through startup (kStarting -> kRecovering ->
+// kServing) and may oscillate kServing <-> kDegraded while live.
+#ifndef QUADKDV_SERVE_HEALTH_H_
+#define QUADKDV_SERVE_HEALTH_H_
+
+namespace kdv {
+
+enum class ServiceHealth {
+  kStarting,
+  kRecovering,
+  kServing,
+  kDegraded,
+};
+
+inline const char* ServiceHealthName(ServiceHealth health) {
+  switch (health) {
+    case ServiceHealth::kStarting:
+      return "starting";
+    case ServiceHealth::kRecovering:
+      return "recovering";
+    case ServiceHealth::kServing:
+      return "serving";
+    case ServiceHealth::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+}  // namespace kdv
+
+#endif  // QUADKDV_SERVE_HEALTH_H_

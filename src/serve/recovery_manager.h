@@ -1,0 +1,120 @@
+// Startup recovery and checkpointing over a persisted state directory.
+//
+// Layout (see index/manifest.h):
+//
+//   <state>/MANIFEST                the atomic commit point
+//   <state>/index-%08llu.kdv        generation-numbered checksummed indexes
+//   <state>/wal/seg-%08llu.kdvj     update-journal segments
+//
+// Recover() turns whatever a crash (or bit rot, or an operator's rm) left
+// in that directory back into a servable dataset, never trusting a byte
+// that fails its checksum:
+//
+//   * A valid manifest + valid index + clean/torn-tail journal is the happy
+//     path: load, replay, done. A torn journal tail (crash mid-append) is
+//     repaired in place.
+//   * A corrupt index file is quarantined (renamed *.quarantine) and the
+//     dataset is rebuilt from the CSV fallback when one is configured. The
+//     journal is quarantined with it — its batches are deltas against the
+//     lost index, and replaying them over a rebuilt base is not exact — so
+//     the report flags possible data loss.
+//   * A corrupt manifest is quarantined and the highest generation index
+//     that still verifies is scavenged. The journal floor died with the
+//     manifest, so segments are quarantined rather than risk double-apply.
+//   * Orphan index generations (a checkpoint that crashed before its
+//     manifest flip) and stale *.kdvtmp temps are deleted silently — they
+//     were never committed.
+//
+// Every decision lands in the RecoveryReport so serve-sim / kdvtool can
+// print it and tests can assert on it. Recovery itself writes only
+// atomically, so a crash *during* recovery is just another recovery.
+#ifndef QUADKDV_SERVE_RECOVERY_MANAGER_H_
+#define QUADKDV_SERVE_RECOVERY_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "index/journal.h"
+#include "index/kdtree.h"
+#include "util/status.h"
+
+namespace kdv {
+
+struct RecoveryOptions {
+  std::string state_dir;
+
+  // Dataset of last resort: when the persisted index is unusable, rebuild
+  // from this CSV (columns selected by csv_attributes; empty keeps all).
+  // Empty string disables the fallback — recovery then fails instead.
+  std::string csv_fallback;
+  std::vector<int> csv_attributes;
+
+  size_t leaf_size = 32;            // for trees rebuilt during recovery
+  Journal::Options journal;
+};
+
+// Where the recovered dataset ultimately came from.
+enum class RecoverySource {
+  kManifest,        // committed manifest + index verified
+  kScavengedIndex,  // manifest lost; highest verifiable index adopted
+  kCsvRebuild,      // persisted index unusable; rebuilt from csv_fallback
+};
+
+const char* RecoverySourceName(RecoverySource source);
+
+struct RecoveryReport {
+  RecoverySource source = RecoverySource::kManifest;
+  uint64_t generation = 0;
+  std::vector<std::string> quarantined;  // files renamed to *.quarantine
+  JournalReplayStats journal_stats;
+  bool journal_quarantined = false;  // replay refused; segments set aside
+  // True when recovery cannot prove the result equals the pre-crash state
+  // (scavenge or CSV rebuild, or a quarantined journal).
+  bool possible_data_loss = false;
+  uint64_t orphan_indexes_removed = 0;  // uncommitted checkpoint leftovers
+  uint64_t stale_temps_removed = 0;     // *.kdvtmp from torn atomic writes
+
+  // One line, e.g. "recovered gen 3 from manifest, replayed 2 records
+  // (120 points), quarantined 0 files".
+  std::string Summary() const;
+};
+
+// The servable result of recovery: the point set with all journaled batches
+// applied, its index, and the journal reopened for further appends.
+struct RecoveredState {
+  PointSet live_points;
+  std::unique_ptr<KdTree> tree;
+  std::unique_ptr<Journal> journal;
+  uint64_t generation = 0;
+  std::string state_dir;
+  size_t leaf_size = 32;
+};
+
+class RecoveryManager {
+ public:
+  // Initializes a fresh state directory from `points`: index generation 1,
+  // a manifest naming it, and an empty journal at floor 1. Fails if the
+  // directory already holds a readable manifest (refuses to clobber state).
+  static StatusOr<RecoveredState> Bootstrap(const RecoveryOptions& options,
+                                            PointSet points);
+
+  // Recovers the state directory per the policy above. `report` (optional)
+  // receives the full account even when the overall Status is non-OK.
+  static StatusOr<RecoveredState> Recover(const RecoveryOptions& options,
+                                          RecoveryReport* report);
+
+  // Folds everything journaled so far into a fresh index generation:
+  // rotates the journal, writes index generation N+1 from the live points,
+  // atomically flips the manifest, then drops folded segments and the old
+  // index file. A crash at any step leaves either the old or the new
+  // committed state for the next Recover(). On success `state` holds the
+  // new generation and (rebuilt) tree.
+  static Status RunCheckpoint(RecoveredState* state);
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_SERVE_RECOVERY_MANAGER_H_

@@ -99,13 +99,17 @@ struct RenderService::Job {
 };
 
 RenderService::RenderService(const KdeEvaluator* evaluator, Options options)
+    : RenderService(std::move(options)) {
+  SwapEvaluator(evaluator);
+}
+
+RenderService::RenderService(Options options)
     : options_(options),
       max_in_flight_(options.max_in_flight > 0
                          ? options.max_in_flight
                          : options.max_queue +
                                static_cast<size_t>(
                                    std::max(1, options.num_threads))),
-      renderer_(evaluator),
       breaker_(options.breaker, options.breaker_clock),
       pool_({options.num_threads, options.max_queue}),
       backoff_(options.backoff, options.backoff_seed) {
@@ -128,6 +132,43 @@ RenderService::~RenderService() { Stop(); }
 
 void RenderService::Stop() { pool_.Stop(); }
 
+void RenderService::SwapEvaluator(const KdeEvaluator* evaluator) {
+  KDV_CHECK(evaluator != nullptr);
+  const uint64_t swap_number =
+      swaps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto epoch = std::make_shared<const Epoch>(evaluator, swap_number);
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    // The old epoch's refcount now belongs entirely to in-flight requests;
+    // the last of them to finish destroys it.
+    epoch_ = std::move(epoch);
+  }
+  ServiceHealth expected = ServiceHealth::kStarting;
+  if (!health_.compare_exchange_strong(expected, ServiceHealth::kServing)) {
+    expected = ServiceHealth::kRecovering;
+    health_.compare_exchange_strong(expected, ServiceHealth::kServing);
+  }
+}
+
+std::shared_ptr<const RenderService::Epoch> RenderService::CurrentEpoch()
+    const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
+ServiceHealth RenderService::Health() const {
+  const ServiceHealth recorded = health_.load(std::memory_order_acquire);
+  if (recorded == ServiceHealth::kServing &&
+      breaker_.state() == CircuitBreaker::State::kOpen) {
+    return ServiceHealth::kDegraded;
+  }
+  return recorded;
+}
+
+void RenderService::SetHealth(ServiceHealth health) {
+  health_.store(health, std::memory_order_release);
+}
+
 void RenderService::SleepMs(double ms) {
   if (ms <= 0.0) return;
   if (options_.sleep_ms) {
@@ -140,6 +181,13 @@ void RenderService::SleepMs(double ms) {
 StatusOr<std::future<ServeOutcome>> RenderService::Submit(
     const PixelGrid& grid, const ServeRequestOptions& request) {
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+
+  // Nothing published yet (still starting/recovering): there is no
+  // evaluator any worker could render against.
+  if (CurrentEpoch() == nullptr) {
+    return UnavailableError("no evaluator published (service is " +
+                            std::string(ServiceHealthName(Health())) + ")");
+  }
 
   // In-flight cap first: it bounds admitted-but-unfinished work (queued +
   // executing), independent of the pool's own queue bound.
@@ -181,6 +229,12 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
   const PixelGrid& grid = *job->grid;
   const ServeRequestOptions& request = job->request;
 
+  // One epoch per request, snapshotted at execution start: every attempt
+  // (including retries and coarse fallbacks) renders against the same
+  // evaluator even if SwapEvaluator publishes a successor mid-request.
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  const ResilientRenderer& renderer = epoch->renderer;
+
   ResilientRenderOptions ropts;
   ropts.eps = request.eps;
   ropts.degrade = request.degrade;
@@ -209,7 +263,7 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
                                         : -1.0);
   if (has_deadline && remaining <= 0.0) {
     if (request.degrade) {
-      outcome.render = renderer_.RenderCoarseOnly(grid, ropts);
+      outcome.render = renderer.RenderCoarseOnly(grid, ropts);
     } else {
       outcome.render.frame = DensityFrame(grid.width(), grid.height());
       outcome.render.status =
@@ -229,7 +283,7 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
       outcome.breaker_open = true;
       counters_.unavailable.fetch_add(1, std::memory_order_relaxed);
       if (request.degrade) {
-        outcome.render = renderer_.RenderCoarseOnly(grid, ropts);
+        outcome.render = renderer.RenderCoarseOnly(grid, ropts);
       } else {
         outcome.render.frame = DensityFrame(grid.width(), grid.height());
         outcome.render.status = UnavailableError(
@@ -246,7 +300,7 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
     ropts.budget_seconds =
         job->deadline ? std::max(0.0, job->deadline->RemainingSeconds())
                       : -1.0;
-    RenderOutcome render = renderer_.Render(grid, ropts);
+    RenderOutcome render = renderer.Render(grid, ropts);
 
     // Breaker accounting: a kInternal status is a certified-path fault
     // (real or injected); anything else — including degraded-by-deadline
@@ -341,6 +395,9 @@ ServiceStats RenderService::stats() const {
       counters_.tier_progressive.load(std::memory_order_relaxed);
   s.tier_coarse = counters_.tier_coarse.load(std::memory_order_relaxed);
   s.tier_flat = counters_.tier_flat.load(std::memory_order_relaxed);
+  s.swaps = swaps_.load(std::memory_order_relaxed);
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  s.epoch = epoch != nullptr ? epoch->id : 0;
   return s;
 }
 

@@ -24,12 +24,22 @@
 //     coarse tier directly (or rejected with kUnavailable in fail-fast
 //     mode); after breaker_cooldown_seconds one half-open probe is allowed
 //     through, and its success closes the breaker again.
-//   * Graceful drain: Stop() rejects new submits, finishes every admitted
-//     request, and never deadlocks. The destructor stops the service.
+//   * Graceful drain: Stop() rejects new submits, finishes all admitted
+//     requests, and never deadlocks. The destructor stops the service.
+//   * Epoch-based hot-swap: SwapEvaluator() publishes a new evaluator
+//     without stopping the service. Each request snapshots the current
+//     epoch (a shared_ptr) at execution start; in-flight renders finish on
+//     the epoch they started with, and an old epoch is destroyed only when
+//     its last in-flight render drops the reference. No request is ever
+//     dropped or served a half-swapped evaluator.
+//   * Readiness (serve/health.h): Health() reports kStarting until an
+//     evaluator is published, whatever SetHealth() last recorded
+//     (kRecovering while a recovery manager replays state), and kDegraded
+//     whenever the circuit breaker is open.
 //
-// Thread safety: Submit/Stop/stats may be called from any thread. The
-// shared KdeEvaluator is used strictly const-concurrently (see the audit
-// note on ResilientRenderer).
+// Thread safety: Submit/Stop/SwapEvaluator/Health/stats may be called from
+// any thread. The shared KdeEvaluator is used strictly const-concurrently
+// (see the audit note on ResilientRenderer).
 #ifndef QUADKDV_SERVE_RENDER_SERVICE_H_
 #define QUADKDV_SERVE_RENDER_SERVICE_H_
 
@@ -40,6 +50,7 @@
 #include <memory>
 #include <mutex>
 
+#include "serve/health.h"
 #include "serve/resilient_renderer.h"
 #include "util/backoff.h"
 #include "util/cancel.h"
@@ -140,6 +151,8 @@ struct ServiceStats {
   uint64_t tier_progressive = 0;
   uint64_t tier_coarse = 0;
   uint64_t tier_flat = 0;
+  uint64_t swaps = 0;  // SwapEvaluator() publications (initial one included)
+  uint64_t epoch = 0;  // id of the currently published epoch (0: none yet)
 };
 
 class RenderService {
@@ -170,8 +183,15 @@ class RenderService {
   };
 
   // `evaluator` must outlive the service and is shared const-concurrently
-  // by all workers.
+  // by all workers. Publishes it as epoch 1 and starts in kServing.
   RenderService(const KdeEvaluator* evaluator, Options options);
+
+  // Starts with no evaluator published: Health() is kStarting and Submit()
+  // rejects with kUnavailable until the first SwapEvaluator(). This is the
+  // recovery-manager path — the service front door comes up (and reports
+  // readiness) while state is still being replayed.
+  explicit RenderService(Options options);
+
   ~RenderService();  // Stop()
 
   RenderService(const RenderService&) = delete;
@@ -189,19 +209,43 @@ class RenderService {
   // Graceful drain: rejects new submits, finishes all admitted requests.
   void Stop();
 
+  // Atomically publishes `evaluator` as a new epoch. Requests admitted
+  // after this call render against it; requests already executing finish on
+  // the epoch they snapshotted. The evaluator must outlive every request
+  // that can still observe its epoch (in practice: the service). Promotes
+  // kStarting/kRecovering health to kServing.
+  void SwapEvaluator(const KdeEvaluator* evaluator);
+
+  // Readiness for load balancers (see serve/health.h). SetHealth records an
+  // explicit state (e.g. kRecovering during replay, kDegraded after a
+  // lossy recovery); Health() additionally reports kDegraded whenever the
+  // recorded state is kServing but the circuit breaker is open.
+  ServiceHealth Health() const;
+  void SetHealth(ServiceHealth health);
+
   ServiceStats stats() const;
   CircuitBreaker::State breaker_state() const { return breaker_.state(); }
   int num_threads() const { return pool_.num_threads(); }
 
  private:
   struct Job;
+
+  // One published evaluator generation. Immutable once published; shared by
+  // every request that snapshotted it while it was current.
+  struct Epoch {
+    Epoch(const KdeEvaluator* evaluator, uint64_t id)
+        : renderer(evaluator), id(id) {}
+    ResilientRenderer renderer;
+    uint64_t id;
+  };
+
+  std::shared_ptr<const Epoch> CurrentEpoch() const;
   void Execute(const std::shared_ptr<Job>& job);
   void FinishOutcome(const std::shared_ptr<Job>& job, ServeOutcome outcome);
   void SleepMs(double ms);
 
   const Options options_;
   const size_t max_in_flight_;
-  ResilientRenderer renderer_;
   CircuitBreaker breaker_;
   ThreadPool pool_;
   // Shared tile-helper pool for intra-frame parallelism; null when
@@ -212,6 +256,11 @@ class RenderService {
 
   std::mutex backoff_mu_;  // guards backoff_ (shared RNG stream)
   Backoff backoff_;
+
+  mutable std::mutex epoch_mu_;      // guards epoch_ publication only
+  std::shared_ptr<const Epoch> epoch_;  // null until the first publication
+  std::atomic<uint64_t> swaps_{0};
+  std::atomic<ServiceHealth> health_{ServiceHealth::kStarting};
 
   std::atomic<size_t> in_flight_{0};
 

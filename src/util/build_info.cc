@@ -1,0 +1,45 @@
+#include "util/build_info.h"
+
+#ifndef KDV_GIT_HASH
+#define KDV_GIT_HASH "unknown"
+#endif
+#ifndef KDV_BUILD_TYPE
+#define KDV_BUILD_TYPE "unknown"
+#endif
+#ifndef KDV_SANITIZE_PRESET
+#define KDV_SANITIZE_PRESET "OFF"
+#endif
+#ifndef KDV_OPT_FAILPOINTS
+#define KDV_OPT_FAILPOINTS 0
+#endif
+#ifndef KDV_OPT_AVX2
+#define KDV_OPT_AVX2 0
+#endif
+
+namespace kdv {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {
+      KDV_GIT_HASH, KDV_BUILD_TYPE, KDV_SANITIZE_PRESET,
+      KDV_OPT_FAILPOINTS != 0, KDV_OPT_AVX2 != 0,
+  };
+  return info;
+}
+
+std::string BuildStamp() {
+  const BuildInfo& info = GetBuildInfo();
+  std::string stamp = "quadkdv ";
+  stamp += info.git_hash;
+  stamp += " (";
+  stamp += info.build_type;
+  stamp += ", sanitize=";
+  stamp += info.sanitizer;
+  stamp += ", failpoints=";
+  stamp += info.failpoints ? "on" : "off";
+  stamp += ", avx2=";
+  stamp += info.avx2 ? "on" : "off";
+  stamp += ")";
+  return stamp;
+}
+
+}  // namespace kdv

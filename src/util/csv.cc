@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.h"
+
 namespace kdv {
 
 bool ParseCsvDoubles(const std::string& line, std::vector<double>* out,
@@ -71,13 +73,11 @@ Status ReadCsvFile(const std::string& path,
 
 Status WriteCsvFile(const std::string& path, const std::string& header,
                     const std::vector<std::vector<double>>& rows) {
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return NotFoundError("cannot open " + path + " for writing");
-  }
-  if (!header.empty()) out << header << "\n";
+  // Staged in memory and published atomically so an interrupted export
+  // never truncates a previous good file (util/atomic_file.h).
   std::ostringstream oss;
   oss.precision(17);
+  if (!header.empty()) oss << header << "\n";
   for (const auto& row : rows) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) oss << ',';
@@ -85,11 +85,7 @@ Status WriteCsvFile(const std::string& path, const std::string& header,
     }
     oss << '\n';
   }
-  out << oss.str();
-  if (!out.good()) {
-    return DataLossError("write to " + path + " failed (disk full?)");
-  }
-  return OkStatus();
+  return AtomicWriteFile(path, oss.str());
 }
 
 }  // namespace kdv

@@ -83,6 +83,10 @@ const std::vector<std::string>& AllSites() {
       "viz.render",          // whole-frame render entry (eps/tau/exact)
       "serve.render",        // ResilientRenderer::Render entry
       "serve.coarse",        // ResilientRenderer coarse (GridKde) stage
+      "io.write",            // atomic/journal writes: short write, then fail
+      "io.fsync",            // data written, fsync reports failure
+      "io.rename",           // temp complete+synced, rename never happens
+      "journal.tail",        // journal append leaves a torn half-record
   };
   return *sites;
 }

@@ -1,7 +1,9 @@
 // Failpoint framework: named fault-injection sites for chaos testing.
 //
-// A failpoint is a named site in the query path where a test (or the
-// KDV_FAILPOINTS environment variable) can inject one of three fault kinds:
+// A failpoint is a named site in the query path or the persistence path
+// (atomic writes, journal appends — the io.* / journal.* sites) where a
+// test (or the KDV_FAILPOINTS environment variable) can inject one of three
+// fault kinds:
 //
 //   * error   — a clean kdv::Status error (Status-channel sites), or an
 //               inverted [lb, ub] interval (numeric sites)

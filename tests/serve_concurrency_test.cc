@@ -463,6 +463,84 @@ TEST_F(RenderServiceTest, CancelledRequestsNeverReportAsServed) {
 }
 
 // ---------------------------------------------------------------------------
+// Hot-swap and readiness
+// ---------------------------------------------------------------------------
+
+TEST_F(RenderServiceTest, ColdStartRejectsUntilFirstEvaluatorIsPublished) {
+  RenderService::Options options;
+  options.num_threads = 2;
+  RenderService service(options);  // recovery-manager path: no evaluator yet
+  EXPECT_EQ(service.Health(), ServiceHealth::kStarting);
+  EXPECT_EQ(service.stats().epoch, 0u);
+
+  ServeRequestOptions request;
+  StatusOr<std::future<ServeOutcome>> ticket = service.Submit(grid_, request);
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kUnavailable);
+
+  // A recovery manager reports replay in progress, then publishes.
+  service.SetHealth(ServiceHealth::kRecovering);
+  EXPECT_EQ(service.Health(), ServiceHealth::kRecovering);
+  service.SwapEvaluator(&evaluator_);
+  EXPECT_EQ(service.Health(), ServiceHealth::kServing);
+
+  ticket = service.Submit(grid_, request);
+  ASSERT_TRUE(ticket.ok());
+  ServeOutcome outcome = ticket->get();
+  EXPECT_TRUE(outcome.ok());
+  ExpectFinite(outcome.render.frame);
+  service.Stop();
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(stats.epoch, 1u);
+}
+
+TEST_F(RenderServiceTest, HotSwapUnderLoadDropsNoAdmittedRequest) {
+  // A second evaluator to flip to and from. Built before any thread starts:
+  // MakeEvaluator is not thread-safe, published epochs are.
+  KdeEvaluator next = bench_.MakeEvaluator(Method::kQuad);
+
+  RenderService::Options options;
+  options.num_threads = 4;
+  options.max_queue = 512;
+  RenderService service(&evaluator_, options);
+  ServeRequestOptions request;
+  request.eps = 0.05;
+
+  // Swap continuously while clients submit: every admitted request must
+  // resolve OK on whichever epoch it snapshotted.
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&] {
+    int flips = 0;
+    while (!stop_swapping.load()) {
+      service.SwapEvaluator((flips++ % 2 == 0) ? &next : &evaluator_);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::future<ServeOutcome>> tickets;
+  for (int i = 0; i < 96; ++i) {
+    StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, request);
+    if (t.ok()) tickets.push_back(*std::move(t));
+  }
+  for (std::future<ServeOutcome>& t : tickets) {
+    ServeOutcome outcome = t.get();
+    EXPECT_TRUE(outcome.ok()) << outcome.status.ToString();
+    ExpectFinite(outcome.render.frame);
+  }
+  stop_swapping.store(true);
+  swapper.join();
+  service.Stop();
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(tickets.size()));
+  EXPECT_EQ(stats.served_ok, static_cast<uint64_t>(tickets.size()));
+  EXPECT_GE(stats.swaps, 2u);  // the initial publication plus the churn
+  EXPECT_EQ(stats.epoch, stats.swaps);
+  EXPECT_EQ(service.Health(), ServiceHealth::kServing);
+}
+
+// ---------------------------------------------------------------------------
 // Failpoint-driven paths (retry, breaker, chaos sweep): -DKDV_FAILPOINTS=ON
 // ---------------------------------------------------------------------------
 

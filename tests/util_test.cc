@@ -367,6 +367,31 @@ TEST(BackoffTest, JitterStaysWithinBand) {
   }
 }
 
+TEST(BackoffTest, FullJitterIsNeverNegativeAndNeverExceedsCap) {
+  // jitter = 1.0 randomizes the entire base away: delays may get arbitrarily
+  // close to zero but must never go negative, and must never exceed the cap
+  // no matter how far past it the geometric schedule has run.
+  const double max_ms = 32.0;
+  for (uint64_t seed : {1ull, 42ull, 0x5EEDBACC0FFull}) {
+    Backoff backoff({/*initial_ms=*/2.0, /*multiplier=*/4.0, max_ms,
+                     /*jitter=*/1.0},
+                    seed);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      double d = backoff.NextDelayMs();
+      EXPECT_GE(d, 0.0) << "seed " << seed << " attempt " << attempt;
+      EXPECT_LE(d, max_ms) << "seed " << seed << " attempt " << attempt;
+    }
+  }
+}
+
+TEST(BackoffTest, ZeroInitialDelayStaysAtZeroWithoutJitter) {
+  Backoff backoff({/*initial_ms=*/0.0, /*multiplier=*/2.0, /*max_ms=*/10.0,
+                   /*jitter=*/0.0});
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 0.0);
+  }
+}
+
 TEST(BackoffTest, ResetRestartsScheduleButNotRngStream) {
   Backoff backoff({/*initial_ms=*/1.0, /*multiplier=*/2.0, /*max_ms=*/100.0,
                    /*jitter=*/0.5},
@@ -392,6 +417,25 @@ TEST(Crc32Test, MatchesKnownVectors) {
   EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
   EXPECT_EQ(Crc32(nullptr, 0), 0u);
   EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+  // zlib/PNG published vectors — the index format promises this exact CRC
+  // so external tools can verify persisted files.
+  EXPECT_EQ(Crc32("abc", 3), 0x352441C2u);
+  const char fox[] = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(Crc32(fox, sizeof(fox) - 1), 0x414FA339u);
+  const unsigned char zeros[32] = {};
+  EXPECT_EQ(Crc32(zeros, sizeof(zeros)), 0x190A55ADu);
+}
+
+TEST(Crc32Test, EmptyChunksDoNotPerturbIncrementalState) {
+  const char data[] = "payload";
+  uint32_t crc = Crc32Update(0, nullptr, 0);
+  EXPECT_EQ(crc, 0u);
+  crc = Crc32Update(crc, data, 3);
+  const uint32_t mid = crc;
+  crc = Crc32Update(crc, data + 3, 0);  // empty chunk mid-stream
+  EXPECT_EQ(crc, mid);
+  crc = Crc32Update(crc, data + 3, sizeof(data) - 1 - 3);
+  EXPECT_EQ(crc, Crc32(data, sizeof(data) - 1));
 }
 
 TEST(Crc32Test, IncrementalMatchesOneShot) {

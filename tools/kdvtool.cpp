@@ -10,12 +10,18 @@
 //   progressive anytime εKDV under a time budget -> PPM
 //   serve-sim   closed-loop load generator against the concurrent
 //               RenderService (throughput, latency percentiles, shed/
-//               degraded/retried counts; --json for machine-readable)
+//               degraded/retried counts; --json for machine-readable;
+//               --swap-after N hot-swaps the evaluator mid-run)
+//   recover     recover a crash-consistent state directory (or --bootstrap
+//               one from points); prints the recovery report
+//   checkpoint  fold the update journal into a fresh index generation
+//   version     print the build stamp (also: kdvtool --version)
 //
 // Every failure path exits non-zero with a printed reason; bad input (a
 // malformed CSV, a truncated index, a NaN flag value) must never abort.
 // Exit codes: 0 success (including a degraded budgeted render), 1 failure,
 // 2 usage error, 3 budget expired under `render --on-deadline=fail`.
+// README.md carries the per-subcommand exit-code table.
 //
 // Examples:
 //   kdvtool generate --dataset crime --scale 0.05 --out crime.csv
@@ -51,7 +57,7 @@ int Usage() {
       stderr,
       "usage: kdvtool "
       "<generate|info|index|render|hotspot|progressive|classify|regress"
-      "|serve-sim> [flags]\n"
+      "|serve-sim|recover|checkpoint|version> [flags]\n"
       "  common flags: --in FILE.csv | --dataset el_nino|crime|home|hep\n"
       "                --scale S --kernel NAME --method quad|karl|akde|exact\n"
       "                --width W --height H --out FILE\n"
@@ -72,7 +78,12 @@ int Usage() {
       "                [--clients C (default 4x threads) --queue Q\n"
       "                 --frame-threads N (intra-frame tile workers)\n"
       "                 --tile-rows R --eps E --on-deadline degrade|fail\n"
-      "                 --failpoints \"site=action;...\" --json]\n");
+      "                 --failpoints \"site=action;...\" --json\n"
+      "                 --swap-after N (hot-swap the evaluator after N\n"
+      "                 completed requests)]\n"
+      "  recover:      --state DIR [--csv FILE.csv (rebuild fallback)]\n"
+      "                [--bootstrap (initialize DIR from --in/--dataset)]\n"
+      "  checkpoint:   --state DIR [--csv FILE.csv]\n");
   return 2;
 }
 
@@ -335,6 +346,7 @@ bool OpenSession(const Flags& flags, Session* session) {
 }
 
 int CmdInfo(const Flags& flags) {
+  std::printf("build:        %s\n", BuildStamp().c_str());
   // --index FILE: verify and summarize a persisted index instead of
   // building one from points.
   std::string index_path = flags.GetString("index", "");
@@ -703,6 +715,97 @@ int CmdRegress(const Flags& flags) {
   return 0;
 }
 
+// Shared flag parsing for the state-directory commands (recover,
+// checkpoint). Returns false after printing a usage error.
+bool ParseRecoveryOptions(const Flags& flags, const char* cmd,
+                          RecoveryOptions* options) {
+  options->state_dir = flags.GetString("state", "");
+  if (options->state_dir.empty()) {
+    std::fprintf(stderr, "kdvtool %s: --state DIR required\n", cmd);
+    return false;
+  }
+  options->csv_fallback = flags.GetString("csv", "");
+  const int leaf_size = GetValidatedInt(flags, "leaf-size", 32);
+  if (leaf_size < 1) {
+    std::fprintf(stderr, "kdvtool %s: --leaf-size must be >= 1\n", cmd);
+    return false;
+  }
+  options->leaf_size = static_cast<size_t>(leaf_size);
+  return true;
+}
+
+// Recovers (or with --bootstrap, initializes) a crash-consistent state
+// directory and prints the full recovery report. Quarantined files are
+// listed on stderr so operators see them even when piping stdout.
+int CmdRecover(const Flags& flags) {
+  RecoveryOptions options;
+  if (!ParseRecoveryOptions(flags, "recover", &options)) return 2;
+
+  if (flags.GetBool("bootstrap", false)) {
+    PointSet points;
+    if (!LoadInput(flags, &points)) return 1;
+    StatusOr<RecoveredState> state =
+        RecoveryManager::Bootstrap(options, std::move(points));
+    if (!state.ok()) {
+      PrintStatus(state.status());
+      return 1;
+    }
+    std::printf("bootstrapped %s: gen %llu, %zu points, journal floor %llu\n",
+                options.state_dir.c_str(),
+                static_cast<unsigned long long>(state->generation),
+                state->live_points.size(),
+                static_cast<unsigned long long>(state->journal->floor()));
+    return 0;
+  }
+
+  RecoveryReport report;
+  StatusOr<RecoveredState> state = RecoveryManager::Recover(options, &report);
+  for (const std::string& path : report.quarantined) {
+    std::fprintf(stderr, "kdvtool recover: quarantined %s\n", path.c_str());
+  }
+  if (!state.ok()) {
+    PrintStatus(state.status());
+    return 1;
+  }
+  std::printf("%s\n", report.Summary().c_str());
+  std::printf("recovered %s: gen %llu, %zu live points, journal segments "
+              "[%llu, %llu]\n",
+              options.state_dir.c_str(),
+              static_cast<unsigned long long>(state->generation),
+              state->live_points.size(),
+              static_cast<unsigned long long>(state->journal->floor()),
+              static_cast<unsigned long long>(state->journal->tail_sequence()));
+  return 0;
+}
+
+// Recovers the state directory, then folds the journal into a fresh index
+// generation committed by an atomic manifest flip.
+int CmdCheckpoint(const Flags& flags) {
+  RecoveryOptions options;
+  if (!ParseRecoveryOptions(flags, "checkpoint", &options)) return 2;
+
+  RecoveryReport report;
+  StatusOr<RecoveredState> state = RecoveryManager::Recover(options, &report);
+  if (!state.ok()) {
+    PrintStatus(state.status());
+    return 1;
+  }
+  const uint64_t old_gen = state->generation;
+  Status status = RecoveryManager::RunCheckpoint(&*state);
+  if (!status.ok()) {
+    PrintStatus(status);
+    return 1;
+  }
+  std::printf("checkpoint %s: gen %llu -> %llu, %zu points folded, journal "
+              "floor %llu\n",
+              options.state_dir.c_str(),
+              static_cast<unsigned long long>(old_gen),
+              static_cast<unsigned long long>(state->generation),
+              state->live_points.size(),
+              static_cast<unsigned long long>(state->journal->floor()));
+  return 0;
+}
+
 // Percentile over a sorted sample (nearest-rank); 0 for an empty sample.
 double Percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
@@ -768,6 +871,14 @@ int CmdServeSim(const Flags& flags) {
     return 2;
   }
 
+  const int swap_after = GetValidatedInt(flags, "swap-after", -1);
+  if (flags.Has("swap-after") && swap_after < 0) {
+    std::fprintf(stderr,
+                 "kdvtool serve-sim: --swap-after must be an integer >= 0 "
+                 "(completed requests before the hot-swap)\n");
+    return 2;
+  }
+
   std::string fp_spec = flags.GetString("failpoints", "");
   if (!fp_spec.empty()) {
     Status fp = failpoint::ConfigureFromSpec(fp_spec);
@@ -783,6 +894,10 @@ int CmdServeSim(const Flags& flags) {
   }
 
   KdeEvaluator evaluator = s.bench->MakeEvaluator(s.method);
+  // The hot-swap target must exist before any serving thread starts:
+  // Workbench::MakeEvaluator mutates its bound-function caches and is not
+  // thread-safe. The evaluators themselves are safe to share.
+  KdeEvaluator next_evaluator = s.bench->MakeEvaluator(s.method);
   PixelGrid grid(s.width, s.height, s.bench->data_bounds());
 
   RenderService::Options options;
@@ -791,7 +906,13 @@ int CmdServeSim(const Flags& flags) {
   options.max_attempts = flags.GetInt("max-attempts", 3);
   options.intra_frame_threads = frame_threads;
   options.tile_rows = tile_rows;
-  RenderService service(&evaluator, options);
+
+  // Start cold so the readiness transition is observable, then publish the
+  // first epoch the way a recovery-managed deployment would.
+  RenderService service(options);
+  const std::string health_at_start = ServiceHealthName(service.Health());
+  service.SwapEvaluator(&evaluator);
+  const std::string health_serving = ServiceHealthName(service.Health());
 
   ServeRequestOptions request;
   request.eps = eps;
@@ -852,8 +973,29 @@ int CmdServeSim(const Flags& flags) {
       latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
     });
   }
+  // Hot-swap monitor: publishes the next epoch once --swap-after requests
+  // have completed (or at end of load if the run was shorter), while the
+  // client swarm keeps submitting. In-flight renders finish on the epoch
+  // they started with; the invariant checks below would catch any drop.
+  std::atomic<bool> clients_done{false};
+  std::thread swapper;
+  if (swap_after >= 0) {
+    swapper = std::thread([&] {
+      while (!clients_done.load(std::memory_order_acquire)) {
+        if (service.stats().completed >=
+            static_cast<uint64_t>(swap_after)) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      service.SwapEvaluator(&next_evaluator);
+    });
+  }
   for (std::thread& t : swarm) t.join();
+  clients_done.store(true, std::memory_order_release);
+  if (swapper.joinable()) swapper.join();
   service.Stop();
+  const std::string health_final = ServiceHealthName(service.Health());
   const double wall_seconds = wall.ElapsedSeconds();
   if (!fp_spec.empty()) failpoint::Reset();
 
@@ -878,6 +1020,9 @@ int CmdServeSim(const Flags& flags) {
         "\"breaker_trips\":%llu,\"unavailable\":%llu,\"dropped\":%llu},"
         "\"tiers\":{\"certified\":%llu,\"progressive\":%llu,"
         "\"coarse\":%llu,\"flat\":%llu},"
+        "\"epochs\":{\"swaps\":%llu,\"current\":%llu},"
+        "\"health\":{\"at_start\":\"%s\",\"serving\":\"%s\","
+        "\"final\":\"%s\"},"
         "\"invariants\":{\"bad_rejections\":%llu,\"nonfinite_pixels\":%llu}"
         "}\n",
         threads, clients, requests, budget_ms, wall_seconds, rps, p50, p95,
@@ -897,6 +1042,10 @@ int CmdServeSim(const Flags& flags) {
         static_cast<unsigned long long>(stats.tier_progressive),
         static_cast<unsigned long long>(stats.tier_coarse),
         static_cast<unsigned long long>(stats.tier_flat),
+        static_cast<unsigned long long>(stats.swaps),
+        static_cast<unsigned long long>(stats.epoch),
+        health_at_start.c_str(), health_serving.c_str(),
+        health_final.c_str(),
         static_cast<unsigned long long>(bad_rejections.load()),
         static_cast<unsigned long long>(nonfinite_pixels.load()));
   } else {
@@ -928,6 +1077,12 @@ int CmdServeSim(const Flags& flags) {
                 static_cast<unsigned long long>(stats.tier_progressive),
                 static_cast<unsigned long long>(stats.tier_coarse),
                 static_cast<unsigned long long>(stats.tier_flat));
+    std::printf("  health: %s -> %s (final %s), epoch %llu after %llu "
+                "swap(s)\n",
+                health_at_start.c_str(), health_serving.c_str(),
+                health_final.c_str(),
+                static_cast<unsigned long long>(stats.epoch),
+                static_cast<unsigned long long>(stats.swaps));
   }
 
   if (bad_rejections.load() > 0) {
@@ -950,6 +1105,12 @@ int CmdServeSim(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
+  // Handled before flag parsing so `kdvtool --version` works even though
+  // every other invocation expects a bare subcommand first.
+  if (cmd == "version" || cmd == "--version") {
+    std::printf("%s\n", kdv::BuildStamp().c_str());
+    return 0;
+  }
 
   kdv::Flags flags;
   std::string error;
@@ -971,5 +1132,7 @@ int main(int argc, char** argv) {
   if (cmd == "classify") return CmdClassify(flags);
   if (cmd == "regress") return CmdRegress(flags);
   if (cmd == "serve-sim") return CmdServeSim(flags);
+  if (cmd == "recover") return CmdRecover(flags);
+  if (cmd == "checkpoint") return CmdCheckpoint(flags);
   return Usage();
 }
