@@ -52,16 +52,32 @@ struct SweepResult {
   double rps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  uint64_t browned = 0;  // requests served below their asked tier
+  uint64_t shed = 0;     // submits rejected (admission or governor ceiling)
 };
 
+// `oversubscribe` multiplies the closed-loop client count per worker (2 is
+// the saturated-but-admittable baseline; 4 is sustained overload).
+// `governor` arms the brownout governor; `certified_seconds` (one measured
+// full-quality render) calibrates its queue-wait saturation to the
+// workload: 4x oversubscription queues ~3 renders' worth of wait, so a
+// saturation of 4x one render puts the sustained overload in the brownout
+// band rather than past the shed ceiling.
 SweepResult RunSweep(const kdv::KdeEvaluator& evaluator,
-                     const kdv::PixelGrid& grid, int threads, int requests) {
+                     const kdv::PixelGrid& grid, int threads, int requests,
+                     int oversubscribe, bool governor,
+                     double certified_seconds) {
   RenderService::Options options;
   options.num_threads = threads;
   options.max_queue = static_cast<size_t>(2 * threads);
+  if (governor) {
+    options.governor.enabled = true;
+    options.governor.queue_wait_saturation_seconds =
+        std::max(4.0 * certified_seconds, 0.01);
+  }
   RenderService service(&evaluator, options);
 
-  const int clients = 2 * threads;
+  const int clients = oversubscribe * threads;
   std::atomic<int> next{0};
   std::atomic<uint64_t> shed_retries{0};
   std::mutex mu;
@@ -103,6 +119,7 @@ SweepResult RunSweep(const kdv::KdeEvaluator& evaluator,
   for (std::thread& t : swarm) t.join();
   double wall_seconds = wall.ElapsedSeconds();
   service.Stop();
+  const kdv::ServiceStats stats = service.stats();
 
   std::sort(latencies_ms.begin(), latencies_ms.end());
   SweepResult result;
@@ -113,6 +130,8 @@ SweepResult RunSweep(const kdv::KdeEvaluator& evaluator,
   result.rps = wall_seconds > 0.0 ? latencies_ms.size() / wall_seconds : 0.0;
   result.p50_ms = Percentile(latencies_ms, 0.50);
   result.p99_ms = Percentile(latencies_ms, 0.99);
+  result.browned = stats.brownout_applied;
+  result.shed = stats.shed;
   return result;
 }
 
@@ -138,13 +157,43 @@ int main() {
 
   std::printf("\n%8s %10s %12s %10s %10s %12s\n", "threads", "requests",
               "req/sec", "p50(ms)", "p99(ms)", "shed-retry");
+  // Calibration render for the governor sweeps below.
+  Timer certified_timer;
+  (void)RenderEpsFrame(evaluator, grid, 0.05, nullptr);
+  const double certified_seconds = certified_timer.ElapsedSeconds();
+
   std::vector<SweepResult> results;
   for (int threads : thread_counts) {
-    SweepResult r = RunSweep(evaluator, grid, threads, requests);
+    SweepResult r = RunSweep(evaluator, grid, threads, requests,
+                             /*oversubscribe=*/2, /*governor=*/false,
+                             certified_seconds);
     results.push_back(r);
     std::printf("%8d %10d %12.1f %10.2f %10.2f %12llu\n", r.threads,
                 r.requests, r.rps, r.p50_ms, r.p99_ms,
                 static_cast<unsigned long long>(r.shed_retries));
+  }
+
+  // Overload sweeps: 4x oversubscribed, admission control alone vs the
+  // brownout governor. The interesting deltas: with the governor armed,
+  // browned-out (degraded-tier) serving replaces shed-retry churn, so
+  // throughput holds and tail latency shrinks under identical load.
+  std::printf("\n%8s %10s %12s %10s %10s %10s %10s  (4x overload)\n",
+              "threads", "governor", "req/sec", "p50(ms)", "p99(ms)",
+              "browned", "shed");
+  std::vector<SweepResult> overload_results;
+  std::vector<bool> overload_governor;
+  for (int threads : thread_counts) {
+    for (bool governor : {false, true}) {
+      SweepResult r = RunSweep(evaluator, grid, threads, requests,
+                               /*oversubscribe=*/4, governor,
+                               certified_seconds);
+      overload_results.push_back(r);
+      overload_governor.push_back(governor);
+      std::printf("%8d %10s %12.1f %10.2f %10.2f %10llu %10llu\n", r.threads,
+                  governor ? "on" : "off", r.rps, r.p50_ms, r.p99_ms,
+                  static_cast<unsigned long long>(r.browned),
+                  static_cast<unsigned long long>(r.shed));
+    }
   }
 
   // Stream to a temp and publish atomically: a crashed or interrupted bench
@@ -172,6 +221,21 @@ int main() {
                  i == 0 ? "" : ",", r.threads, r.requests, r.wall_seconds,
                  r.rps, r.p50_ms, r.p99_ms,
                  static_cast<unsigned long long>(r.shed_retries));
+  }
+  std::fprintf(json, "],\"overload_sweeps\":[");
+  for (size_t i = 0; i < overload_results.size(); ++i) {
+    const SweepResult& r = overload_results[i];
+    std::fprintf(json,
+                 "%s{\"threads\":%d,\"governor\":%s,\"requests\":%d,"
+                 "\"wall_seconds\":%.6f,\"requests_per_sec\":%.3f,"
+                 "\"latency_p50_ms\":%.4f,\"latency_p99_ms\":%.4f,"
+                 "\"shed_retries\":%llu,\"browned\":%llu,\"shed\":%llu}",
+                 i == 0 ? "" : ",", r.threads,
+                 overload_governor[i] ? "true" : "false", r.requests,
+                 r.wall_seconds, r.rps, r.p50_ms, r.p99_ms,
+                 static_cast<unsigned long long>(r.shed_retries),
+                 static_cast<unsigned long long>(r.browned),
+                 static_cast<unsigned long long>(r.shed));
   }
   std::fprintf(json, "]}\n");
   std::fclose(json);

@@ -29,9 +29,11 @@ GridKde::GridKde(const PointSet& points, const KernelParams& params,
                  const Rect& domain, const Options& options)
     : params_(params), domain_(domain),
       grid_size_(std::max(options.grid_size, 1)),
-      radius_(TruncationRadius(params, options.truncation)),
-      counts_(static_cast<size_t>(grid_size_) * grid_size_, 0.0) {
+      radius_(TruncationRadius(params, options.truncation)) {
   KDV_CHECK(domain_.dim() >= 2);
+  // Bin densely first, then compress to occupied cells (see header).
+  std::vector<double> dense(static_cast<size_t>(grid_size_) * grid_size_,
+                            0.0);
   for (const Point& p : points) {
     int cx = 0, cy = 0;
     for (int axis = 0; axis < 2; ++axis) {
@@ -41,7 +43,32 @@ GridKde::GridKde(const PointSet& points, const KernelParams& params,
       c = std::min(c, grid_size_ - 1);
       (axis == 0 ? cx : cy) = c;
     }
-    counts_[static_cast<size_t>(cy) * grid_size_ + cx] += 1.0;
+    dense[static_cast<size_t>(cy) * grid_size_ + cx] += 1.0;
+  }
+  row_start_.reserve(static_cast<size_t>(grid_size_) + 1);
+  row_start_.push_back(0);
+  for (int cy = 0; cy < grid_size_; ++cy) {
+    for (int cx = 0; cx < grid_size_; ++cx) {
+      double c = dense[static_cast<size_t>(cy) * grid_size_ + cx];
+      if (c == 0.0) continue;
+      col_.push_back(cx);
+      counts_.push_back(c);
+    }
+    row_start_.push_back(static_cast<int>(col_.size()));
+  }
+  if (options.precompute) {
+    // Convolve once: density at every cell center, so queries are O(1)
+    // bilinear lookups. Costs grid^2 direct evaluations up front — callers
+    // that render many frames per dataset (the serve brownout tier, behind
+    // its per-epoch cache) amortize it; one-shot callers should leave
+    // precompute off.
+    table_.resize(static_cast<size_t>(grid_size_) * grid_size_);
+    for (int cy = 0; cy < grid_size_; ++cy) {
+      for (int cx = 0; cx < grid_size_; ++cx) {
+        table_[static_cast<size_t>(cy) * grid_size_ + cx] =
+            EvaluateDirect(CellCenter(cx, cy));
+      }
+    }
   }
 }
 
@@ -53,6 +80,36 @@ Point GridKde::CellCenter(int cx, int cy) const {
 }
 
 double GridKde::Evaluate(const Point& q) const {
+  if (table_.empty()) return EvaluateDirect(q);
+  // Bilinear interpolation between the four nearest cell centers; queries
+  // outside the domain clamp to the boundary cells.
+  auto axis_coord = [this](double q_coord, int axis, int* i0, double* frac) {
+    const double len = domain_.Length(axis);
+    const double u =
+        len > 0.0
+            ? (q_coord - domain_.lo(axis)) / len * grid_size_ - 0.5
+            : 0.0;
+    const double clamped =
+        std::clamp(u, 0.0, static_cast<double>(grid_size_ - 1));
+    *i0 = std::min(static_cast<int>(clamped), grid_size_ - 2);
+    if (*i0 < 0) *i0 = 0;  // grid_size_ == 1
+    *frac = std::clamp(clamped - *i0, 0.0, 1.0);
+  };
+  int x0 = 0, y0 = 0;
+  double fx = 0.0, fy = 0.0;
+  axis_coord(q[0], 0, &x0, &fx);
+  axis_coord(q[1], 1, &y0, &fy);
+  const int x1 = std::min(x0 + 1, grid_size_ - 1);
+  const int y1 = std::min(y0 + 1, grid_size_ - 1);
+  auto at = [this](int cx, int cy) {
+    return table_[static_cast<size_t>(cy) * grid_size_ + cx];
+  };
+  const double top = at(x0, y0) + fx * (at(x1, y0) - at(x0, y0));
+  const double bot = at(x0, y1) + fx * (at(x1, y1) - at(x0, y1));
+  return top + fy * (bot - top);
+}
+
+double GridKde::EvaluateDirect(const Point& q) const {
   // Cell ranges overlapping the truncation disc around q.
   const double cell_w = domain_.Length(0) / grid_size_;
   const double cell_h = domain_.Length(1) / grid_size_;
@@ -74,12 +131,17 @@ double GridKde::Evaluate(const Point& q) const {
   const double radius_sq = radius_ * radius_;
   double sum = 0.0;
   for (int cy = y0; cy <= y1; ++cy) {
-    for (int cx = x0; cx <= x1; ++cx) {
-      double c = counts_[static_cast<size_t>(cy) * grid_size_ + cx];
-      if (c == 0.0) continue;
+    const int row_begin = row_start_[cy];
+    const int row_end = row_start_[cy + 1];
+    // First occupied cell in this row with cx >= x0.
+    const int* first = std::lower_bound(col_.data() + row_begin,
+                                        col_.data() + row_end, x0);
+    for (int i = static_cast<int>(first - col_.data()); i < row_end; ++i) {
+      const int cx = col_[i];
+      if (cx > x1) break;
       double d_sq = SquaredDistance(q, CellCenter(cx, cy));
       if (d_sq > radius_sq) continue;
-      sum += c * params_.EvalSquaredDistance(d_sq);
+      sum += counts_[i] * params_.EvalSquaredDistance(d_sq);
     }
   }
   return params_.weight * sum;

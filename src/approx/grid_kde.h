@@ -30,6 +30,15 @@ class GridKde {
   struct Options {
     int grid_size = 256;        // cells per axis
     double truncation = 1e-4;   // drop kernel contributions below this value
+    // Convolve the binned counts onto the grid once at construction and
+    // answer Evaluate/RenderFrame by bilinear interpolation of that table.
+    // Queries become O(1) instead of O(occupied cells in the truncation
+    // window) — the serve layer's brownout tier turns this on (behind its
+    // per-epoch cache) so a browned-out service pays the convolution once,
+    // not per frame. Trade-offs: construction costs ~grid_size^2 direct
+    // evaluations, and queries outside the domain clamp to the boundary
+    // cell instead of decaying to zero.
+    bool precompute = false;
   };
 
   // Bins `points` over `domain` (points outside the domain are clamped to
@@ -51,12 +60,26 @@ class GridKde {
 
  private:
   Point CellCenter(int cx, int cy) const;
+  // Kernel sum over occupied cells in the truncation window around q.
+  double EvaluateDirect(const Point& q) const;
 
   KernelParams params_;
   Rect domain_;
   int grid_size_;
   double radius_;
-  std::vector<double> counts_;  // grid_size^2 bin counts, row-major
+  // Occupied cells only, CSR-style: row cy's cells are col_[row_start_[cy]
+  // .. row_start_[cy+1]), sorted by cx, with their counts alongside. A wide
+  // truncation radius makes Evaluate's window cover most of the grid, and a
+  // dense row-major scan would walk tens of thousands of empty cells per
+  // pixel; iterating only occupied cells (in the same row-major order, so
+  // the kernel sum is bit-identical) makes the cost proportional to the
+  // data, not the grid.
+  std::vector<int> row_start_;   // grid_size + 1 entries
+  std::vector<int> col_;         // cx per occupied cell
+  std::vector<double> counts_;   // bin count per occupied cell
+  // Density at every cell center, row-major; empty unless
+  // Options::precompute. Queries bilinearly interpolate this table.
+  std::vector<double> table_;
 };
 
 }  // namespace kdv

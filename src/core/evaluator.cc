@@ -71,6 +71,7 @@ EvalResult KdeEvaluator::RefineEps(const Point& q, double eps,
 
   EvalResult result;
   StopPoller poller(control);
+  KDV_FAILPOINT_STALL("refine.stall", control);
   while (stream.upper() > (1.0 + eps) * stream.lower()) {
     if (poller.ShouldStop()) {
       result.interrupted = true;
@@ -113,6 +114,7 @@ TauResult KdeEvaluator::RefineTau(const Point& q, double tau,
       scratch != nullptr ? *scratch : local.emplace(tree_, params_, bounds_);
   stream.Reset(q);
   StopPoller poller(control);
+  KDV_FAILPOINT_STALL("refine.stall", control);
   TauResult result;
   while (stream.lower() < tau && stream.upper() > tau) {
     if (poller.ShouldStop()) {

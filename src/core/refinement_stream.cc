@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include <utility>
+
 #include "core/leaf_kernel.h"
 #include "util/check.h"
 #include "util/failpoint.h"
+#include "util/mem_budget.h"
 
 namespace kdv {
 
@@ -35,6 +38,62 @@ RefinementStream::RefinementStream(const KdTree* tree,
                                    const NodeBounds* bounds, const Point& q)
     : RefinementStream(tree, params, bounds) {
   Reset(q);
+}
+
+RefinementStream::RefinementStream(RefinementStream&& other) noexcept
+    : tree_(other.tree_),
+      params_(other.params_),
+      bounds_(other.bounds_),
+      q_(other.q_),
+      heap_(std::move(other.heap_)),
+      lb_(other.lb_),
+      ub_(other.ub_),
+      best_lb_(other.best_lb_),
+      best_ub_(other.best_ub_),
+      poisoned_(other.poisoned_),
+      iterations_(other.iterations_),
+      points_scanned_(other.points_scanned_),
+      charged_bytes_(other.charged_bytes_) {
+  // The charge follows the heap storage; the moved-from stream owns neither.
+  other.charged_bytes_ = 0;
+}
+
+RefinementStream& RefinementStream::operator=(
+    RefinementStream&& other) noexcept {
+  if (this == &other) return *this;
+  if (charged_bytes_ > 0) {
+    MemBudget::Global().Release(MemSource::kRefinementScratch, charged_bytes_);
+  }
+  tree_ = other.tree_;
+  params_ = other.params_;
+  bounds_ = other.bounds_;
+  q_ = other.q_;
+  heap_ = std::move(other.heap_);
+  lb_ = other.lb_;
+  ub_ = other.ub_;
+  best_lb_ = other.best_lb_;
+  best_ub_ = other.best_ub_;
+  poisoned_ = other.poisoned_;
+  iterations_ = other.iterations_;
+  points_scanned_ = other.points_scanned_;
+  charged_bytes_ = other.charged_bytes_;
+  other.charged_bytes_ = 0;
+  return *this;
+}
+
+RefinementStream::~RefinementStream() {
+  if (charged_bytes_ > 0) {
+    MemBudget::Global().Release(MemSource::kRefinementScratch, charged_bytes_);
+  }
+}
+
+void RefinementStream::SyncCharge() {
+  const uint64_t cap = heap_.capacity() * sizeof(QueueEntry);
+  if (cap > charged_bytes_) {
+    MemBudget::Global().Charge(MemSource::kRefinementScratch,
+                               cap - charged_bytes_);
+    charged_bytes_ = cap;
+  }
 }
 
 void RefinementStream::Reset(const Point& q) {
@@ -73,6 +132,7 @@ void RefinementStream::Reset(const Point& q) {
 void RefinementStream::Push(const QueueEntry& entry) {
   heap_.push_back(entry);
   std::push_heap(heap_.begin(), heap_.end(), GapLess());
+  SyncCharge();
 }
 
 RefinementStream::QueueEntry RefinementStream::Pop() {

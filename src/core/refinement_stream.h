@@ -44,6 +44,16 @@ class RefinementStream {
   RefinementStream(const KdTree* tree, const KernelParams& params,
                    const NodeBounds* bounds, const Point& q);
 
+  // Movable but not copyable: each stream self-accounts its queue storage
+  // against MemBudget::Global() (source kRefinementScratch), and the charge
+  // must follow exactly one owner. Charged on capacity growth, released on
+  // destruction; clear()-style resets keep both capacity and charge.
+  RefinementStream(RefinementStream&& other) noexcept;
+  RefinementStream& operator=(RefinementStream&& other) noexcept;
+  RefinementStream(const RefinementStream&) = delete;
+  RefinementStream& operator=(const RefinementStream&) = delete;
+  ~RefinementStream();
+
   // Re-primes the stream for query q, discarding all prior state but keeping
   // the queue's heap storage. Equivalent to constructing a fresh stream.
   void Reset(const Point& q);
@@ -86,6 +96,10 @@ class RefinementStream {
 
   void Push(const QueueEntry& entry);
   QueueEntry Pop();
+  // Charges any heap-capacity growth since the last sync to the global
+  // memory budget. Capacity never shrinks while the stream lives, so the
+  // delta is one-directional until the destructor releases it all.
+  void SyncCharge();
 
   double LeafSum(const KdTree::Node& node) const;
   // Freezes the stream after a numeric fault, discarding pending work.
@@ -110,6 +124,8 @@ class RefinementStream {
   bool poisoned_ = false;
   uint64_t iterations_ = 0;
   uint64_t points_scanned_ = 0;
+  // Bytes of heap_ capacity currently charged to the global MemBudget.
+  uint64_t charged_bytes_ = 0;
 };
 
 }  // namespace kdv

@@ -41,8 +41,11 @@
 #include "sampling/zorder.h"
 #include "serve/health.h"
 #include "serve/recovery_manager.h"
+#include "serve/overload_governor.h"
 #include "serve/render_service.h"
 #include "serve/resilient_renderer.h"
+#include "serve/scrubber.h"
+#include "serve/watchdog.h"
 #include "stats/density_stats.h"
 #include "stats/pca.h"
 #include "util/atomic_file.h"
@@ -53,6 +56,7 @@
 #include "util/failpoint.h"
 #include "util/crc32.h"
 #include "util/csv.h"
+#include "util/mem_budget.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/thread_pool.h"

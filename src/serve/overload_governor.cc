@@ -1,0 +1,200 @@
+#include "serve/overload_governor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kdv {
+
+namespace {
+
+// Transition-log cap: enough for any test or serve-sim run; a pathological
+// flapping governor (which the hysteresis exists to prevent) must not grow
+// memory without bound.
+constexpr size_t kMaxTransitions = 1024;
+
+}  // namespace
+
+const char* OverloadGovernor::LevelName(Level level) {
+  switch (level) {
+    case Level::kNormal:
+      return "normal";
+    case Level::kProgressive:
+      return "progressive";
+    case Level::kCoarse:
+      return "coarse";
+  }
+  return "unknown";
+}
+
+OverloadGovernor::OverloadGovernor(Options options)
+    : options_(std::move(options)), clock_(options_.clock) {}
+
+double OverloadGovernor::Now() const {
+  return clock_ ? clock_() : fallback_clock_.ElapsedSeconds();
+}
+
+void OverloadGovernor::RecordQueueWait(double seconds) {
+  if (!options_.enabled || seconds < 0.0) return;
+  const double now = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!have_queue_sample_) {
+    queue_wait_ewma_ = seconds;
+    have_queue_sample_ = true;
+  } else {
+    const double a = std::clamp(options_.ewma_alpha, 1e-3, 1.0);
+    queue_wait_ewma_ = a * seconds + (1.0 - a) * queue_wait_ewma_;
+  }
+  queue_wait_touched_ = now;
+}
+
+void OverloadGovernor::RecordInFlight(size_t in_flight) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  in_flight_ = in_flight;
+}
+
+double OverloadGovernor::CombinedPressureLocked() const {
+  double pressure = 0.0;
+  if (options_.queue_wait_saturation_seconds > 0.0) {
+    pressure = std::max(
+        pressure, queue_wait_ewma_ / options_.queue_wait_saturation_seconds);
+  }
+  if (options_.in_flight_capacity > 0) {
+    // Capped: a full in-flight table is admission control's to shed (see
+    // Options::in_flight_pressure_cap).
+    pressure = std::max(
+        pressure,
+        std::min(static_cast<double>(in_flight_) /
+                     static_cast<double>(options_.in_flight_capacity),
+                 options_.in_flight_pressure_cap));
+  }
+  if (options_.memory_budget_bytes > 0) {
+    pressure = std::max(
+        pressure,
+        static_cast<double>(MemBudget::Global().used_bytes()) /
+            static_cast<double>(options_.memory_budget_bytes));
+  }
+  return pressure;
+}
+
+double OverloadGovernor::EnterThreshold(Level level) const {
+  switch (level) {
+    case Level::kProgressive:
+      return options_.enter_progressive;
+    case Level::kCoarse:
+      return options_.enter_coarse;
+    case Level::kNormal:
+      break;
+  }
+  return 0.0;
+}
+
+OverloadGovernor::Decision OverloadGovernor::Assess() {
+  Decision decision;
+  if (!options_.enabled) return decision;
+
+  const double now = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++assessments_;
+  // Age the queue-wait EWMA. Samples only arrive when admitted requests
+  // dequeue, so during a full shed the signal receives none — without decay
+  // it would freeze at its burst peak and keep the governor shedding long
+  // after the queue has drained (a self-sustaining outage).
+  if (have_queue_sample_ &&
+      options_.queue_wait_decay_halflife_seconds > 0.0) {
+    const double dt = now - queue_wait_touched_;
+    if (dt > 0.0) {
+      queue_wait_ewma_ *=
+          std::exp2(-dt / options_.queue_wait_decay_halflife_seconds);
+      queue_wait_touched_ = now;
+    }
+  }
+  const double pressure = CombinedPressureLocked();
+  last_pressure_ = pressure;
+
+  // Escalate immediately to whatever level the pressure demands.
+  Level target = Level::kNormal;
+  if (pressure >= options_.enter_coarse) {
+    target = Level::kCoarse;
+  } else if (pressure >= options_.enter_progressive) {
+    target = Level::kProgressive;
+  }
+  if (static_cast<int>(target) > static_cast<int>(level_)) {
+    transitions_.push_back({now, level_, target, pressure});
+    level_ = target;
+    calm_since_ = -1.0;
+  } else if (level_ != Level::kNormal) {
+    // De-escalate hysteretically: pressure must stay clear of the current
+    // level's entry threshold (by exit_margin) for recover_hold_seconds,
+    // then step down exactly one level and restart the hold. One step at a
+    // time keeps a recovering service from slamming back to full cost while
+    // the backlog is still draining.
+    const double exit_below = EnterThreshold(level_) - options_.exit_margin;
+    if (pressure < exit_below) {
+      if (calm_since_ < 0.0) calm_since_ = now;
+      if (now - calm_since_ >= options_.recover_hold_seconds) {
+        const Level stepped =
+            static_cast<Level>(static_cast<int>(level_) - 1);
+        transitions_.push_back({now, level_, stepped, pressure});
+        level_ = stepped;
+        calm_since_ = -1.0;
+      }
+    } else {
+      calm_since_ = -1.0;
+    }
+  }
+  if (static_cast<int>(level_) > static_cast<int>(max_level_)) {
+    max_level_ = level_;
+  }
+
+  decision.level = level_;
+  decision.pressure = pressure;
+  decision.shed = pressure >= options_.shed_ceiling;
+  if (options_.eps_max_multiplier > 1.0 &&
+      level_ != Level::kNormal &&
+      pressure > options_.enter_progressive) {
+    // Linear ramp: ×1 at the brownout entry, ×eps_max_multiplier at the
+    // shed ceiling (clamped beyond).
+    const double span =
+        options_.shed_ceiling - options_.enter_progressive;
+    const double t = span > 0.0
+                         ? std::clamp((pressure - options_.enter_progressive) /
+                                          span,
+                                      0.0, 1.0)
+                         : 1.0;
+    decision.eps_multiplier = 1.0 + t * (options_.eps_max_multiplier - 1.0);
+  }
+
+  if (decision.shed) {
+    ++sheds_;
+  } else if (decision.level != Level::kNormal) {
+    ++activations_;
+  }
+  if (transitions_.size() > kMaxTransitions) {
+    transitions_.erase(transitions_.begin(),
+                       transitions_.begin() +
+                           (transitions_.size() - kMaxTransitions));
+  }
+  return decision;
+}
+
+OverloadGovernor::Stats OverloadGovernor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.assessments = assessments_;
+  stats.activations = activations_;
+  stats.sheds = sheds_;
+  stats.level = level_;
+  stats.max_level = max_level_;
+  stats.pressure = last_pressure_;
+  stats.queue_wait_ewma = queue_wait_ewma_;
+  return stats;
+}
+
+std::vector<OverloadGovernor::Transition> OverloadGovernor::transitions()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transitions_;
+}
+
+}  // namespace kdv

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/mem_budget.h"
+
 namespace kdv {
 
 // ---------------------------------------------------------------------------
@@ -83,6 +85,19 @@ uint64_t CircuitBreaker::trips() const {
   return trips_;
 }
 
+bool IsRetryableRenderFault(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInternal:
+      return true;  // transient certified-path fault (e.g. injected)
+    default:
+      // Deliberately exhaustive by exclusion: kResourceExhausted is shed
+      // work (retrying amplifies overload), kCancelled/kDeadlineExceeded
+      // mean someone already gave up on this request, kUnavailable is the
+      // breaker doing its job, and data/argument errors won't get better.
+      return false;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // RenderService
 // ---------------------------------------------------------------------------
@@ -96,12 +111,30 @@ struct RenderService::Job {
   std::unique_ptr<Deadline> deadline;  // null: no budget
   bool pre_expired = false;            // budget was 0 at admission
   Timer timer;
+  // Admission→completion memory accounting for the governor's pressure
+  // signal: the queued-job bookkeeping and the output frame this request
+  // will materialize.
+  ScopedMemCharge mem_charge;
 };
 
 RenderService::RenderService(const KdeEvaluator* evaluator, Options options)
     : RenderService(std::move(options)) {
   SwapEvaluator(evaluator);
 }
+
+namespace {
+
+// The governor normalizes its in-flight signal by the service's actual
+// admission cap unless the caller pinned a capacity explicitly.
+OverloadGovernor::Options ResolveGovernorOptions(
+    OverloadGovernor::Options governor, size_t max_in_flight) {
+  if (governor.in_flight_capacity == 0) {
+    governor.in_flight_capacity = max_in_flight;
+  }
+  return governor;
+}
+
+}  // namespace
 
 RenderService::RenderService(Options options)
     : options_(options),
@@ -111,6 +144,15 @@ RenderService::RenderService(Options options)
                                static_cast<size_t>(
                                    std::max(1, options.num_threads))),
       breaker_(options.breaker, options.breaker_clock),
+      governor_(ResolveGovernorOptions(options.governor, max_in_flight_)),
+      watchdog_(options.watchdog,
+                [this](const StallReport& report) {
+                  // Repeated stalls must shed the certified path the same
+                  // way repeated faults do; one stall is one breaker fault.
+                  (void)report;
+                  counters_.faults.fetch_add(1, std::memory_order_relaxed);
+                  breaker_.RecordFault();
+                }),
       pool_({options.num_threads, options.max_queue}),
       backoff_(options.backoff, options.backoff_seed) {
   KDV_CHECK(options.max_attempts >= 1);
@@ -158,11 +200,23 @@ std::shared_ptr<const RenderService::Epoch> RenderService::CurrentEpoch()
 
 ServiceHealth RenderService::Health() const {
   const ServiceHealth recorded = health_.load(std::memory_order_acquire);
-  if (recorded == ServiceHealth::kServing &&
-      breaker_.state() == CircuitBreaker::State::kOpen) {
-    return ServiceHealth::kDegraded;
+  if (recorded == ServiceHealth::kServing) {
+    if (breaker_.state() == CircuitBreaker::State::kOpen) {
+      return ServiceHealth::kDegraded;
+    }
+    // An active brownout is a degraded service by definition: requests are
+    // being served below the quality they asked for.
+    if (options_.governor.enabled &&
+        governor_.stats().level != OverloadGovernor::Level::kNormal) {
+      return ServiceHealth::kDegraded;
+    }
   }
   return recorded;
+}
+
+const KdeEvaluator* RenderService::CurrentEvaluator() const {
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  return epoch != nullptr ? epoch->evaluator : nullptr;
 }
 
 void RenderService::SetHealth(ServiceHealth health) {
@@ -200,9 +254,30 @@ StatusOr<std::future<ServeOutcome>> RenderService::Submit(
         std::to_string(max_in_flight_) + ")");
   }
 
+  // Brownout ceiling: below it the governor degrades instead of rejecting
+  // (at execution time); at or above it even a coarse render is load the
+  // service cannot spare.
+  if (options_.governor.enabled) {
+    governor_.RecordInFlight(in_flight_.load(std::memory_order_relaxed));
+    const OverloadGovernor::Decision decision = governor_.Assess();
+    if (decision.shed) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      counters_.brownout_shed.fetch_add(1, std::memory_order_relaxed);
+      return ResourceExhaustedError(
+          "render service past overload ceiling (pressure " +
+          std::to_string(decision.pressure) + ")");
+    }
+  }
+
   auto job = std::make_shared<Job>();
   job->grid = &grid;
   job->request = request;
+  job->mem_charge = ScopedMemCharge(
+      &MemBudget::Global(), MemSource::kFrameBuffers,
+      sizeof(Job) + static_cast<uint64_t>(grid.width()) *
+                        static_cast<uint64_t>(grid.height()) *
+                        sizeof(double));
   if (request.budget_seconds == 0.0) {
     job->pre_expired = true;
   } else if (request.budget_seconds > 0.0) {
@@ -243,6 +318,24 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
   ropts.parallel.num_threads = options_.intra_frame_threads;
   ropts.parallel.tile_rows = options_.tile_rows;
   ropts.tile_pool = tile_pool_.get();
+
+  // Brownout: fold the observed queue wait into the pressure signal, then
+  // serve at the governor's level. Fail-fast requests are exempt — the
+  // client asked for certified-or-error, and silently lowering their tier
+  // would break that contract (they still pay the shed ceiling at Submit).
+  if (options_.governor.enabled) {
+    governor_.RecordQueueWait(outcome.queue_seconds);
+    governor_.RecordInFlight(in_flight_.load(std::memory_order_relaxed));
+    const OverloadGovernor::Decision decision = governor_.Assess();
+    if (request.degrade &&
+        decision.level != OverloadGovernor::Level::kNormal) {
+      ropts.max_tier = decision.level == OverloadGovernor::Level::kCoarse
+                           ? QualityTier::kCoarse
+                           : QualityTier::kProgressive;
+      ropts.eps = request.eps * decision.eps_multiplier;
+      counters_.brownout_applied.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 
   // Cancelled while queued: never touch the render path.
   if (request.cancel != nullptr && request.cancel->cancelled()) {
@@ -300,16 +393,50 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
     ropts.budget_seconds =
         job->deadline ? std::max(0.0, job->deadline->RemainingSeconds())
                       : -1.0;
+
+    // Watchdog: register this attempt and thread the kill token + heartbeat
+    // through the render. The handle is per-attempt so a retry restarts the
+    // overrun clock.
+    std::shared_ptr<WatchEntry> watch;
+    if (options_.watchdog.enabled) {
+      watch = watchdog_.Watch(
+          next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1,
+          ropts.budget_seconds);
+      ropts.force_cancel = &watch->kill;
+      ropts.heartbeat = &watch->heartbeat;
+    }
+
     RenderOutcome render = renderer.Render(grid, ropts);
 
-    // Breaker accounting: a kInternal status is a certified-path fault
-    // (real or injected); anything else — including degraded-by-deadline
-    // and cancelled renders — is evidence the path itself is healthy.
-    const bool fault = render.status.code() == StatusCode::kInternal;
+    bool watchdog_killed = false;
+    if (watch != nullptr) {
+      watchdog_.Unwatch(watch);
+      // Attribute the cancellation to the watchdog only if its kill is what
+      // actually stopped the render (the client's own token wins, and a
+      // render that raced the kill to completion is served normally).
+      watchdog_killed =
+          watch->WasKilled() && render.cancelled &&
+          !(request.cancel != nullptr && request.cancel->cancelled());
+      if (watchdog_killed) {
+        counters_.watchdog_kills.fetch_add(1, std::memory_order_relaxed);
+        render.cancelled = false;
+        render.deadline_expired = true;
+        render.status = DeadlineExceededError(
+            "render force-cancelled by watchdog (wedged past its deadline)");
+      }
+    }
+
+    // Breaker accounting: a retryable fault (kInternal — real or injected)
+    // counts against the certified path; anything else — including
+    // degraded-by-deadline and cancelled renders — is evidence the path
+    // itself is healthy. A watchdog kill records nothing here: the stall
+    // callback already charged the breaker, and the killed render must not
+    // immediately erase that fault with a "success".
+    const bool fault = IsRetryableRenderFault(render.status.code());
     if (fault) {
       counters_.faults.fetch_add(1, std::memory_order_relaxed);
       breaker_.RecordFault();
-    } else {
+    } else if (!watchdog_killed) {
       breaker_.RecordSuccess();
     }
 
@@ -398,6 +525,15 @@ ServiceStats RenderService::stats() const {
   s.swaps = swaps_.load(std::memory_order_relaxed);
   const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
   s.epoch = epoch != nullptr ? epoch->id : 0;
+  s.brownout_applied =
+      counters_.brownout_applied.load(std::memory_order_relaxed);
+  s.brownout_shed = counters_.brownout_shed.load(std::memory_order_relaxed);
+  s.watchdog_kills =
+      counters_.watchdog_kills.load(std::memory_order_relaxed);
+  const OverloadGovernor::Stats gov = governor_.stats();
+  s.governor_level = static_cast<int>(gov.level);
+  s.governor_max_level = static_cast<int>(gov.max_level);
+  s.governor_pressure = gov.pressure;
   return s;
 }
 

@@ -51,7 +51,9 @@
 #include <mutex>
 
 #include "serve/health.h"
+#include "serve/overload_governor.h"
 #include "serve/resilient_renderer.h"
+#include "serve/watchdog.h"
 #include "util/backoff.h"
 #include "util/cancel.h"
 #include "util/status.h"
@@ -105,6 +107,14 @@ class CircuitBreaker {
   uint64_t trips_ = 0;
 };
 
+// Classifies render-path faults a retry can plausibly fix. Only transient
+// internal faults (kInternal — e.g. an injected failpoint or a clamped
+// numeric fault) qualify. Everything else is definitively non-retryable:
+// retrying kResourceExhausted amplifies the very overload that shed the
+// work, kCancelled/kDeadlineExceeded mean the client (or watchdog) already
+// gave up, and kUnavailable means the breaker is open on purpose.
+bool IsRetryableRenderFault(StatusCode code);
+
 // Per-request options. The render knobs mirror ResilientRenderOptions;
 // budget_seconds is measured from Submit() (queue time included).
 struct ServeRequestOptions {
@@ -153,6 +163,14 @@ struct ServiceStats {
   uint64_t tier_flat = 0;
   uint64_t swaps = 0;  // SwapEvaluator() publications (initial one included)
   uint64_t epoch = 0;  // id of the currently published epoch (0: none yet)
+
+  // Runtime self-defense (zero unless the governor/watchdog are enabled).
+  uint64_t brownout_applied = 0;   // requests served below their asked tier
+  uint64_t brownout_shed = 0;      // submits rejected at the governor ceiling
+  uint64_t watchdog_kills = 0;     // renders force-cancelled by the watchdog
+  int governor_level = 0;          // current OverloadGovernor::Level
+  int governor_max_level = 0;      // worst level reached
+  double governor_pressure = 0.0;  // last combined pressure signal
 };
 
 class RenderService {
@@ -180,6 +198,21 @@ class RenderService {
     // fake clock instead of sleeping through cooldowns.
     std::function<void(double /*ms*/)> sleep_ms;
     CircuitBreaker::ClockFn breaker_clock;
+
+    // Runtime self-defense. Both default to disabled so the service's
+    // behavior is bit-for-bit the pre-governor one unless the operator
+    // opts in (kdvtool serve-sim --governor / --watchdog).
+    //
+    // When governor.enabled, every Submit() consults the brownout governor:
+    // past its hard ceiling the request is shed (kResourceExhausted), and
+    // at execution time degrade-mode requests are served at the governor's
+    // level (certified → progressive → coarse) with a relaxed ε. When
+    // governor.in_flight_capacity is 0 it is set to max_in_flight.
+    OverloadGovernor::Options governor;
+    // When watchdog.enabled, every render is registered with the watchdog,
+    // which force-cancels wedged renders (see serve/watchdog.h) and trips
+    // the circuit breaker through the same fault path as kInternal errors.
+    RenderWatchdog::Options watchdog;
   };
 
   // `evaluator` must outlive the service and is shared const-concurrently
@@ -226,6 +259,26 @@ class RenderService {
   ServiceStats stats() const;
   CircuitBreaker::State breaker_state() const { return breaker_.state(); }
   int num_threads() const { return pool_.num_threads(); }
+  size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  // The evaluator of the currently published epoch (null before the first
+  // SwapEvaluator). For the integrity scrubber's oracle checks; the caller
+  // must keep the evaluator alive across swaps (the service only borrows
+  // it).
+  const KdeEvaluator* CurrentEvaluator() const;
+
+  // Self-defense observability (serve-sim, tests).
+  OverloadGovernor::Stats governor_stats() const {
+    return governor_.stats();
+  }
+  std::vector<OverloadGovernor::Transition> governor_transitions() const {
+    return governor_.transitions();
+  }
+  std::vector<StallReport> watchdog_stall_reports() const {
+    return watchdog_.stall_reports();
+  }
 
  private:
   struct Job;
@@ -234,8 +287,9 @@ class RenderService {
   // every request that snapshotted it while it was current.
   struct Epoch {
     Epoch(const KdeEvaluator* evaluator, uint64_t id)
-        : renderer(evaluator), id(id) {}
+        : renderer(evaluator), evaluator(evaluator), id(id) {}
     ResilientRenderer renderer;
+    const KdeEvaluator* evaluator;
     uint64_t id;
   };
 
@@ -247,6 +301,10 @@ class RenderService {
   const Options options_;
   const size_t max_in_flight_;
   CircuitBreaker breaker_;
+  OverloadGovernor governor_;
+  // Declared after breaker_: the stall callback records breaker faults, so
+  // the breaker must outlive the monitor thread.
+  RenderWatchdog watchdog_;
   ThreadPool pool_;
   // Shared tile-helper pool for intra-frame parallelism; null when
   // intra_frame_threads resolves to 1. Declared after pool_ so it is
@@ -263,12 +321,14 @@ class RenderService {
   std::atomic<ServiceHealth> health_{ServiceHealth::kStarting};
 
   std::atomic<size_t> in_flight_{0};
+  std::atomic<uint64_t> next_request_id_{0};
 
   struct Counters {
     std::atomic<uint64_t> submitted{0}, admitted{0}, shed{0}, completed{0},
         served_ok{0}, cancelled{0}, deadline_expired{0}, degraded{0},
         retries{0}, faults{0}, unavailable{0}, tier_certified{0},
-        tier_progressive{0}, tier_coarse{0}, tier_flat{0};
+        tier_progressive{0}, tier_coarse{0}, tier_flat{0},
+        brownout_applied{0}, brownout_shed{0}, watchdog_kills{0};
   };
   mutable Counters counters_;
 };

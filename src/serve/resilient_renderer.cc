@@ -3,6 +3,7 @@
 #include "progressive/progressive.h"
 #include "util/check.h"
 #include "util/failpoint.h"
+#include "util/mem_budget.h"
 #include "util/timer.h"
 
 namespace kdv {
@@ -17,6 +18,23 @@ void RecordFault(RenderOutcome* outcome, const Status& status) {
 void Finalize(RenderOutcome* outcome) {
   outcome->pixels_scrubbed = ScrubNonFinite(&outcome->frame);
   outcome->numeric_faults += outcome->pixels_scrubbed;
+}
+
+// Either kill switch (client's or watchdog's) has fired.
+bool Cancelled(const ResilientRenderOptions& opts) {
+  if (opts.cancel != nullptr && opts.cancel->cancelled()) return true;
+  return opts.force_cancel != nullptr && opts.force_cancel->cancelled();
+}
+
+// A brownout cap below the certified tier strips the certificate: the frame
+// is still served, but must not claim an ε guarantee it was not allowed to
+// earn.
+void ClampTier(const ResilientRenderOptions& opts, RenderOutcome* outcome) {
+  if (opts.max_tier == QualityTier::kProgressive &&
+      outcome->tier == QualityTier::kCertified) {
+    outcome->tier = QualityTier::kProgressive;
+    outcome->certified_eps = -1.0;
+  }
 }
 
 }  // namespace
@@ -40,6 +58,28 @@ ResilientRenderer::ResilientRenderer(const KdeEvaluator* evaluator)
   KDV_CHECK(evaluator != nullptr);
 }
 
+std::shared_ptr<const GridKde> ResilientRenderer::CoarseKde(
+    const Rect& domain, const GridKde::Options& opts) const {
+  auto same_rect = [](const Rect& a, const Rect& b) {
+    if (a.dim() != b.dim()) return false;
+    for (int i = 0; i < a.dim(); ++i) {
+      if (a.lo(i) != b.lo(i) || a.hi(i) != b.hi(i)) return false;
+    }
+    return true;
+  };
+  std::lock_guard<std::mutex> lock(coarse_mu_);
+  if (coarse_cache_ == nullptr || !same_rect(coarse_domain_, domain) ||
+      coarse_opts_.grid_size != opts.grid_size ||
+      coarse_opts_.truncation != opts.truncation ||
+      coarse_opts_.precompute != opts.precompute) {
+    coarse_cache_ = std::make_shared<const GridKde>(
+        evaluator_->tree().points(), evaluator_->params(), domain, opts);
+    coarse_domain_ = domain;
+    coarse_opts_ = opts;
+  }
+  return coarse_cache_;
+}
+
 void ResilientRenderer::RenderCoarse(const PixelGrid& grid,
                                      const ResilientRenderOptions& opts,
                                      RenderOutcome* outcome) const {
@@ -50,9 +90,22 @@ void ResilientRenderer::RenderCoarse(const PixelGrid& grid,
   }
   // GridKde bins on a 2-d grid; higher-dimensional data has no coarse path.
   if (evaluator_->tree().dim() != 2) return;
-  GridKde approx(evaluator_->tree().points(), evaluator_->params(),
-                 grid.domain(), opts.coarse);
-  outcome->frame = approx.RenderFrame(grid);
+  // The serve tier renders the same coarse surface many times per epoch
+  // (brownouts, degradations, scrubber baselines); precompute makes every
+  // render after the first cache fill O(pixels) instead of O(data). The
+  // table build costs grid^2 cell evaluations vs pixels per direct frame
+  // (both O(occupied) per evaluation), so it pays for itself after
+  // ~grid^2/pixels frames — enabled only when that break-even is a handful
+  // of frames, so small frames against a fine grid never stall a brownout
+  // burst behind a table build they would not amortize.
+  GridKde::Options coarse_opts = opts.coarse;
+  const long pixels = static_cast<long>(grid.width()) * grid.height();
+  const long cells = static_cast<long>(coarse_opts.grid_size) *
+                     static_cast<long>(coarse_opts.grid_size);
+  coarse_opts.precompute = pixels * 8 >= cells;
+  std::shared_ptr<const GridKde> approx =
+      CoarseKde(grid.domain(), coarse_opts);
+  outcome->frame = approx->RenderFrame(grid);
   outcome->tier = QualityTier::kCoarse;
 }
 
@@ -60,7 +113,7 @@ RenderOutcome ResilientRenderer::RenderCoarseOnly(
     const PixelGrid& grid, const ResilientRenderOptions& opts) const {
   RenderOutcome outcome;
   outcome.frame = DensityFrame(grid.width(), grid.height());
-  if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+  if (Cancelled(opts)) {
     outcome.cancelled = true;
     RecordFault(&outcome, CancelledError("render cancelled before start"));
     Finalize(&outcome);
@@ -73,10 +126,16 @@ RenderOutcome ResilientRenderer::RenderCoarseOnly(
 
 RenderOutcome ResilientRenderer::Render(
     const PixelGrid& grid, const ResilientRenderOptions& opts) const {
+  // Browned out below the refinement tiers: the coarse path is the ladder.
+  if (opts.max_tier == QualityTier::kCoarse ||
+      opts.max_tier == QualityTier::kFlat) {
+    return RenderCoarseOnly(grid, opts);
+  }
+
   RenderOutcome outcome;
   outcome.frame = DensityFrame(grid.width(), grid.height());
 
-  if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+  if (Cancelled(opts)) {
     outcome.cancelled = true;
     RecordFault(&outcome, CancelledError("render cancelled before start"));
     Finalize(&outcome);
@@ -111,16 +170,27 @@ RenderOutcome ResilientRenderer::Render(
   QueryControl control;
   if (opts.budget_seconds > 0.0) control.deadline = &deadline;
   control.cancel = opts.cancel;
+  control.force_cancel = opts.force_cancel;
+  control.heartbeat = opts.heartbeat;
 
   // Parallel certified attempt: a tile-parallel εKDV frame on the same
   // deadline. A clean completion is a certificate; anything cut short falls
   // through to the serial progressive ladder below (sharing the deadline, so
-  // total budget is still honored).
+  // total budget is still honored). Skipped under a progressive brownout
+  // cap: the fan-out exists to win a certificate this render may not claim,
+  // and skipping it keeps the shared tile pool free for full-tier requests.
   BatchStats parallel_stats;
   const bool tried_parallel =
       opts.tile_pool != nullptr &&
+      opts.max_tier == QualityTier::kCertified &&
       ResolveRenderThreads(opts.parallel.num_threads) > 1;
   if (tried_parallel) {
+    // The tiled attempt materializes a second full frame alongside the
+    // outcome's; charge it for as long as both are alive.
+    ScopedMemCharge pframe_charge(
+        &MemBudget::Global(), MemSource::kFrameBuffers,
+        static_cast<uint64_t>(grid.width()) *
+            static_cast<uint64_t>(grid.height()) * sizeof(double));
     DensityFrame pframe =
         RenderEpsFrameParallel(*evaluator_, grid, opts.eps, opts.parallel,
                                opts.tile_pool, control, &parallel_stats);
@@ -201,6 +271,7 @@ RenderOutcome ResilientRenderer::Render(
     outcome.frame = std::move(prog.frame);
     outcome.tier = QualityTier::kCertified;
     outcome.certified_eps = opts.eps;
+    ClampTier(opts, &outcome);
     Finalize(&outcome);
     return outcome;
   }

@@ -23,7 +23,10 @@
 #ifndef QUADKDV_SERVE_RESILIENT_RENDERER_H_
 #define QUADKDV_SERVE_RESILIENT_RENDERER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 
 #include "approx/grid_kde.h"
 #include "core/evaluator.h"
@@ -61,6 +64,24 @@ struct ResilientRenderOptions {
 
   // Optional cooperative cancellation; may outlive the call.
   const CancelToken* cancel = nullptr;
+
+  // Second, service-owned kill switch (the render watchdog's). Checked at
+  // the same poll points as `cancel` and reported identically (kCancelled);
+  // kept separate so the watchdog can kill a request without sharing the
+  // client's token.
+  const CancelToken* force_cancel = nullptr;
+
+  // Liveness counter bumped on every cooperative poll inside the
+  // refinement loops; the watchdog reads it to tell "slow" from "wedged".
+  std::atomic<uint64_t>* heartbeat = nullptr;
+
+  // Best tier the render is allowed to claim/attempt — the brownout
+  // governor's lever. kCertified (default): full ladder. kProgressive: the
+  // parallel certified fan-out is skipped and a completed frame ships as
+  // kProgressive with no ε certificate (the refinement work still honors
+  // `eps`, which the governor raises alongside this cap). kCoarse or
+  // kFlat: straight to the GridKde fallback, as RenderCoarseOnly.
+  QualityTier max_tier = QualityTier::kCertified;
 
   // Options for the GridKde coarse fallback.
   GridKde::Options coarse;
@@ -101,12 +122,14 @@ struct RenderOutcome {
   bool ok() const { return status.ok(); }
 };
 
-// Thread safety: a ResilientRenderer holds only a const KdeEvaluator*, and
-// the evaluator, its KdTree, and its bound profiles are all immutable after
-// construction, so Render/RenderCoarseOnly may be called concurrently from
-// any number of threads on one shared instance (the property the concurrent
-// RenderService in serve/render_service.h relies on). The per-call GridKde
-// fallback builds its own local state.
+// Thread safety: the evaluator, its KdTree, and its bound profiles are all
+// immutable after construction, so Render/RenderCoarseOnly may be called
+// concurrently from any number of threads on one shared instance (the
+// property the concurrent RenderService in serve/render_service.h relies
+// on). The coarse-tier GridKde is built once per (domain, options) and
+// shared behind a mutex-guarded single-entry cache — a browned-out service
+// serves the coarse tier for every request, and rebinning the full point
+// set each time would make the "cheap" tier scale with dataset size.
 class ResilientRenderer {
  public:
   // `evaluator` must outlive the renderer.
@@ -131,7 +154,18 @@ class ResilientRenderer {
   void RenderCoarse(const PixelGrid& grid, const ResilientRenderOptions& opts,
                     RenderOutcome* outcome) const;
 
+  // Returns the cached GridKde for (domain, options), building it under the
+  // lock on a miss so concurrent coarse renders share one build instead of
+  // each paying for their own.
+  std::shared_ptr<const GridKde> CoarseKde(const Rect& domain,
+                                           const GridKde::Options& opts) const;
+
   const KdeEvaluator* evaluator_;
+
+  mutable std::mutex coarse_mu_;
+  mutable std::shared_ptr<const GridKde> coarse_cache_;
+  mutable Rect coarse_domain_;          // cache key: domain...
+  mutable GridKde::Options coarse_opts_;  // ...and fallback options
 };
 
 }  // namespace kdv

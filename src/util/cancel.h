@@ -50,6 +50,15 @@ enum class StopReason {
 struct QueryControl {
   const Deadline* deadline = nullptr;
   const CancelToken* cancel = nullptr;
+  // Second kill switch, owned by the render watchdog rather than the
+  // client. Kept separate from `cancel` so a client token and a watchdog
+  // token can coexist on one request without either side aliasing the
+  // other's flag; both stop the query as kCancel.
+  const CancelToken* force_cancel = nullptr;
+  // Liveness counter for the watchdog: bumped (relaxed) on every poll, so
+  // an external monitor can distinguish "slow but refining" from "wedged".
+  // Non-owning; may be null.
+  std::atomic<uint64_t>* heartbeat = nullptr;
   // Refinement iterations between CheckStop() polls inside one query.
   // Cancellation is checked on every poll; the steady_clock read for the
   // deadline is the cost being amortized.
@@ -58,14 +67,23 @@ struct QueryControl {
   // Cancellation wins over deadline expiry when both hold: an explicitly
   // abandoned request should not be reported as merely slow.
   StopReason CheckStop() const {
+    if (heartbeat != nullptr) {
+      heartbeat->fetch_add(1, std::memory_order_relaxed);
+    }
     if (cancel != nullptr && cancel->cancelled()) return StopReason::kCancel;
+    if (force_cancel != nullptr && force_cancel->cancelled()) {
+      return StopReason::kCancel;
+    }
     if (deadline != nullptr && deadline->Expired()) {
       return StopReason::kDeadline;
     }
     return StopReason::kNone;
   }
 
-  bool CanStop() const { return deadline != nullptr || cancel != nullptr; }
+  bool CanStop() const {
+    return deadline != nullptr || cancel != nullptr ||
+           force_cancel != nullptr || heartbeat != nullptr;
+  }
 };
 
 }  // namespace kdv

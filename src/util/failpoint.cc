@@ -87,6 +87,8 @@ const std::vector<std::string>& AllSites() {
       "io.fsync",            // data written, fsync reports failure
       "io.rename",           // temp complete+synced, rename never happens
       "journal.tail",        // journal append leaves a torn half-record
+      "refine.stall",        // wedge a refinement query (ignores deadline)
+      "scrub.corrupt",       // integrity scrubber sees a forced mismatch
   };
   return *sites;
 }
@@ -222,6 +224,26 @@ Status ConsumeStatus(const char* site) {
       return OkStatus();
     default:
       return OkStatus();
+  }
+}
+
+void StallWhileArmed(const char* site, const QueryControl* control) {
+  int delay_ms = 0;
+  if (ConsumeHit(site, &delay_ms) != Action::kDelay) return;
+  const auto wake = [control]() {
+    if (control == nullptr) return false;
+    if (control->cancel != nullptr && control->cancel->cancelled()) {
+      return true;
+    }
+    return control->force_cancel != nullptr &&
+           control->force_cancel->cancelled();
+  };
+  // The deadline is intentionally never consulted here: the site models a
+  // query wedged where the deadline poll is unreachable, which is exactly
+  // the gap the watchdog's force-cancel exists to cover.
+  for (int slept = 0; slept < delay_ms; ++slept) {
+    if (wake()) return;
+    SleepMs(1);
   }
 }
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace kdv {
@@ -84,6 +85,14 @@ Status ConsumeStatus(const char* site);
 // value was corrupted.
 bool CorruptInterval(const char* site, double* lower, double* upper);
 
+// Wedge injection for the render watchdog ("refine.stall"): when `site` is
+// armed with kDelay, blocks for the configured delay in ~1ms ticks while
+// deliberately IGNORING the client deadline — modeling a refinement loop
+// stuck somewhere the deadline is never polled — but waking promptly when
+// the request's cancel token or the watchdog's force-cancel token fires.
+// Other actions (error/nan) count a hit and do nothing.
+void StallWhileArmed(const char* site, const QueryControl* control);
+
 }  // namespace failpoint
 }  // namespace kdv
 
@@ -93,10 +102,13 @@ bool CorruptInterval(const char* site, double* lower, double* upper);
 #define KDV_FAILPOINT_STATUS(site) ::kdv::failpoint::ConsumeStatus(site)
 #define KDV_FAILPOINT_CORRUPT(site, lower, upper) \
   ::kdv::failpoint::CorruptInterval(site, &(lower), &(upper))
+#define KDV_FAILPOINT_STALL(site, control) \
+  ::kdv::failpoint::StallWhileArmed(site, control)
 #else
 #define KDV_FAILPOINT_HIT(site) ((void)0)
 #define KDV_FAILPOINT_STATUS(site) ::kdv::OkStatus()
 #define KDV_FAILPOINT_CORRUPT(site, lower, upper) ((void)0)
+#define KDV_FAILPOINT_STALL(site, control) ((void)0)
 #endif
 
 #endif  // QUADKDV_UTIL_FAILPOINT_H_

@@ -1,0 +1,70 @@
+#include "util/mem_budget.h"
+
+namespace kdv {
+
+const char* MemSourceName(MemSource source) {
+  switch (source) {
+    case MemSource::kRefinementScratch:
+      return "refinement_scratch";
+    case MemSource::kFrameBuffers:
+      return "frame_buffers";
+    case MemSource::kTaskQueue:
+      return "task_queue";
+  }
+  return "unknown";
+}
+
+MemBudget& MemBudget::Global() {
+  static MemBudget* budget = new MemBudget();  // never destroyed: charges
+  return *budget;                              // may outlive static dtors
+}
+
+void MemBudget::Charge(MemSource source, uint64_t bytes) {
+  if (bytes == 0) return;
+  per_source_[static_cast<int>(source)].fetch_add(bytes,
+                                                  std::memory_order_relaxed);
+  const uint64_t now =
+      total_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemBudget::Release(MemSource source, uint64_t bytes) {
+  if (bytes == 0) return;
+  // Clamp underflow instead of wrapping: a mismatched release must not turn
+  // the total into ~2^64 and pin the governor at maximum pressure forever.
+  std::atomic<uint64_t>& src = per_source_[static_cast<int>(source)];
+  uint64_t cur = src.load(std::memory_order_relaxed);
+  uint64_t take;
+  do {
+    take = cur < bytes ? cur : bytes;
+  } while (!src.compare_exchange_weak(cur, cur - take,
+                                      std::memory_order_relaxed));
+  cur = total_.load(std::memory_order_relaxed);
+  uint64_t dec;
+  do {
+    dec = cur < take ? cur : take;
+  } while (!total_.compare_exchange_weak(cur, cur - dec,
+                                         std::memory_order_relaxed));
+}
+
+uint64_t MemBudget::used_bytes() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+uint64_t MemBudget::used_bytes(MemSource source) const {
+  return per_source_[static_cast<int>(source)].load(std::memory_order_relaxed);
+}
+
+uint64_t MemBudget::peak_bytes() const {
+  return peak_.load(std::memory_order_relaxed);
+}
+
+void MemBudget::ResetPeak() {
+  peak_.store(total_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+}  // namespace kdv

@@ -1,0 +1,111 @@
+// Global memory-budget accountant for the serving path.
+//
+// The serve layer's overload governor needs a cheap, always-on estimate of
+// how much transient memory the render pipeline is holding: refinement
+// scratch heaps, per-request frame buffers, and queued task slots. Rather
+// than wrapping an allocator, the owners of those buffers charge and
+// release bytes against a process-wide MemBudget. The counters are relaxed
+// atomics — the governor consumes a smoothed pressure signal, not an exact
+// ledger, so a momentarily stale read is fine — but charges and releases
+// are required to balance exactly, which the unit tests assert.
+//
+// All methods are thread-safe. Charging is unconditional (this is an
+// accountant, not an allocator gate): callers never fail an allocation
+// here; the governor reads used_bytes() against its configured budget and
+// browns out / sheds at the admission boundary instead.
+#ifndef QUADKDV_UTIL_MEM_BUDGET_H_
+#define QUADKDV_UTIL_MEM_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace kdv {
+
+// What a charge is for. Per-source subtotals make the serve-sim JSON and
+// stall reports explain *where* the memory went, not just how much.
+enum class MemSource : int {
+  kRefinementScratch = 0,  // RefinementStream heap storage
+  kFrameBuffers = 1,       // DensityFrame pixel buffers held by requests
+  kTaskQueue = 2,          // queued/in-flight task bookkeeping
+};
+inline constexpr int kNumMemSources = 3;
+
+const char* MemSourceName(MemSource source);
+
+class MemBudget {
+ public:
+  MemBudget() = default;
+  MemBudget(const MemBudget&) = delete;
+  MemBudget& operator=(const MemBudget&) = delete;
+
+  // The process-wide accountant everything charges by default. Tests may
+  // construct private instances.
+  static MemBudget& Global();
+
+  void Charge(MemSource source, uint64_t bytes);
+  // Releasing more than was charged clamps to zero (and is a bug in the
+  // caller); the clamp keeps a one-sided accounting error from wedging the
+  // governor at permanently negative-as-huge-unsigned pressure.
+  void Release(MemSource source, uint64_t bytes);
+
+  uint64_t used_bytes() const;
+  uint64_t used_bytes(MemSource source) const;
+  // High-water mark of total used bytes since construction (or ResetPeak).
+  // Maintained with a CAS loop on Charge; monotone between resets.
+  uint64_t peak_bytes() const;
+  void ResetPeak();
+
+ private:
+  std::atomic<uint64_t> per_source_[kNumMemSources] = {};
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+// RAII charge against a budget: charges `bytes` on construction, releases
+// on destruction. Movable so owners (e.g. a render outcome in flight) can
+// hand the charge along with the buffer it accounts for.
+class ScopedMemCharge {
+ public:
+  ScopedMemCharge() = default;
+  ScopedMemCharge(MemBudget* budget, MemSource source, uint64_t bytes)
+      : budget_(budget), source_(source), bytes_(bytes) {
+    if (budget_ != nullptr && bytes_ > 0) budget_->Charge(source_, bytes_);
+  }
+  ScopedMemCharge(ScopedMemCharge&& other) noexcept
+      : budget_(other.budget_), source_(other.source_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  ScopedMemCharge& operator=(ScopedMemCharge&& other) noexcept {
+    if (this != &other) {
+      ReleaseNow();
+      budget_ = other.budget_;
+      source_ = other.source_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ScopedMemCharge(const ScopedMemCharge&) = delete;
+  ScopedMemCharge& operator=(const ScopedMemCharge&) = delete;
+  ~ScopedMemCharge() { ReleaseNow(); }
+
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  void ReleaseNow() {
+    if (budget_ != nullptr && bytes_ > 0) budget_->Release(source_, bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+
+  MemBudget* budget_ = nullptr;
+  MemSource source_ = MemSource::kRefinementScratch;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_UTIL_MEM_BUDGET_H_

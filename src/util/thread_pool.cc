@@ -2,7 +2,16 @@
 
 #include <utility>
 
+#include "util/mem_budget.h"
+
 namespace kdv {
+
+namespace {
+// Nominal accounting weight of one queued task (closure + queue slot): the
+// governor's memory signal should see a saturated queue as real usage even
+// though the closures themselves are small.
+constexpr uint64_t kTaskChargeBytes = 256;
+}  // namespace
 
 ThreadPool::ThreadPool(Options options)
     : max_queue_(options.max_queue) {
@@ -27,6 +36,7 @@ Status ThreadPool::TrySubmit(std::function<void()> task) {
                                     std::to_string(max_queue_) + " tasks)");
     }
     queue_.push_back(std::move(task));
+    MemBudget::Global().Charge(MemSource::kTaskQueue, kTaskChargeBytes);
   }
   work_cv_.notify_one();
   return OkStatus();
@@ -66,6 +76,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      MemBudget::Global().Release(MemSource::kTaskQueue, kTaskChargeBytes);
       ++running_;
     }
     task();

@@ -1,0 +1,42 @@
+// Fuzz target: the CSV ingestion path (util/csv.h) — both the single-line
+// double parser and the whole-file reader with its ragged-row / malformed
+// accounting. CSV is the one format fed by end users rather than by our own
+// writer, so it sees the most hostile bytes.
+#include <string>
+#include <vector>
+
+#include "fuzz_driver.h"
+#include "util/csv.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // Line parser, both finiteness policies. NUL bytes, overlong fields, and
+  // strtod extensions (hex floats, inf/nan) must all come back as `false`,
+  // never as a crash or an accepted non-finite value.
+  std::vector<double> fields;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find('\n', start);
+    const std::string line =
+        text.substr(start, end == std::string::npos ? end : end - start);
+    (void)kdv::ParseCsvDoubles(line, &fields);
+    (void)kdv::ParseCsvDoubles(line, &fields, /*allow_nonfinite=*/true);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+
+  // Whole-file reader: skips bad rows, never mixes ragged rows in.
+  static kdv_fuzz::ScratchFile scratch("csv");
+  if (!scratch.Write(data, size)) return 0;
+  std::vector<std::vector<double>> rows;
+  kdv::CsvReadStats stats;
+  if (kdv::ReadCsvFile(scratch.path(), &rows, &stats).ok() && !rows.empty()) {
+    // Invariant: every kept row has the first kept row's column count.
+    const size_t width = rows.front().size();
+    for (const std::vector<double>& row : rows) {
+      if (row.size() != width) __builtin_trap();
+    }
+  }
+  return 0;
+}

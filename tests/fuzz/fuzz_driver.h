@@ -1,0 +1,51 @@
+// Shared declarations for the fuzz harnesses (tests/fuzz/).
+//
+// Every target defines the libFuzzer entry point:
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// Under Clang with -DKDV_FUZZ=ON the targets link against libFuzzer
+// (-fsanitize=fuzzer,address) and fuzz for real. The container/CI toolchain
+// is GCC, which has no libFuzzer — there the same entry point is driven by
+// standalone_driver.cc: it replays any corpus files given on the command
+// line, plus a deterministic built-in smoke corpus, so the harness itself
+// is compiled and exercised on every toolchain.
+//
+// Contract for targets: never crash, never leak, never allocate
+// unboundedly, whatever the bytes. Rejections must come back as Status
+// errors (or `false`), not aborts — these are the parsers that face
+// on-disk state written by previous (possibly crashed) versions of the
+// process.
+#ifndef QUADKDV_TESTS_FUZZ_FUZZ_DRIVER_H_
+#define QUADKDV_TESTS_FUZZ_FUZZ_DRIVER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace kdv_fuzz {
+
+// A scratch file reused across iterations (the loaders under test are
+// path-based). One static instance per target; the path is stable so the
+// filesystem is not churned with one file per input.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const char* tag);
+  ~ScratchFile();
+
+  // Overwrites the scratch file with `size` bytes. False on I/O failure
+  // (callers skip the iteration rather than abort).
+  bool Write(const uint8_t* data, size_t size);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace kdv_fuzz
+
+#endif  // QUADKDV_TESTS_FUZZ_FUZZ_DRIVER_H_

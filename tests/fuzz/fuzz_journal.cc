@@ -1,0 +1,66 @@
+// Fuzz target: the journal segment reader (index/journal.h). Replay() is
+// the crash-recovery path: it must distinguish torn tails (repairable) from
+// mid-file corruption (DataLoss) on arbitrary bytes, truncate only at
+// record boundaries, and never over-allocate from a hostile length field.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "fuzz_driver.h"
+#include "index/journal.h"
+#include "util/status.h"
+
+namespace {
+
+// One journal directory per process, holding exactly the fuzzed segment.
+const std::string& JournalDir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("TMPDIR");
+    std::string root = env != nullptr && env[0] != '\0' ? env : "/tmp";
+    std::string d = root + "/kdv-fuzz-journal-" +
+                    std::to_string(static_cast<long>(::getpid()));
+    ::mkdir(d.c_str(), 0755);
+    return d;
+  }();
+  return dir;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string segment =
+      JournalDir() + "/" + kdv::Journal::SegmentFileName(1);
+  {
+    std::FILE* f = std::fopen(segment.c_str(), "wb");
+    if (f == nullptr) return 0;
+    if (size > 0 && std::fwrite(data, 1, size, f) != size) {
+      std::fclose(f);
+      return 0;
+    }
+    std::fclose(f);
+  }
+
+  kdv::StatusOr<std::unique_ptr<kdv::Journal>> journal =
+      kdv::Journal::Open(JournalDir(), /*floor=*/1);
+  if (!journal.ok()) return 0;
+
+  kdv::JournalReplayStats stats;
+  kdv::Status replayed = (*journal)->Replay(
+      [](kdv::JournalOp, const kdv::PointSet& batch) {
+        // Frame validation guarantees applied batches are non-empty.
+        if (batch.empty()) __builtin_trap();
+        return kdv::OkStatus();
+      },
+      &stats);
+  // Either every surviving record applied, or the damage was classified as
+  // DataLoss. Any other outcome is a contract break worth crashing on.
+  if (!replayed.ok() &&
+      replayed.code() != kdv::StatusCode::kDataLoss) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fuzz target: the manifest loader (index/manifest.h). The manifest is the
+// atomic commit point of every checkpoint — a half-written or rotted one
+// must come back as NotFound/DataLoss for the recovery manager to act on,
+// never crash the process that is trying to recover.
+#include "fuzz_driver.h"
+#include "index/manifest.h"
+#include "util/status.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static kdv_fuzz::ScratchFile scratch("manifest");
+  if (!scratch.Write(data, size)) return 0;
+  kdv::StatusOr<kdv::Manifest> loaded = kdv::LoadManifest(scratch.path());
+  if (loaded.ok()) {
+    // An accepted manifest names a non-empty index file (the CRC frame
+    // covered the name).
+    if (loaded->index_file.empty()) __builtin_trap();
+  }
+  return 0;
+}

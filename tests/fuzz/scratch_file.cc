@@ -1,0 +1,32 @@
+#include "fuzz_driver.h"
+
+#include <cstdlib>
+#include <unistd.h>
+
+namespace kdv_fuzz {
+
+namespace {
+
+std::string TempDirRoot() {
+  const char* env = std::getenv("TMPDIR");
+  return env != nullptr && env[0] != '\0' ? env : "/tmp";
+}
+
+}  // namespace
+
+ScratchFile::ScratchFile(const char* tag) {
+  path_ = TempDirRoot() + "/kdv-fuzz-" + tag + "-" +
+          std::to_string(static_cast<long>(::getpid())) + ".bin";
+}
+
+ScratchFile::~ScratchFile() { std::remove(path_.c_str()); }
+
+bool ScratchFile::Write(const uint8_t* data, size_t size) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t wrote = size > 0 ? std::fwrite(data, 1, size, f) : 0;
+  const bool ok = std::fclose(f) == 0 && wrote == size;
+  return ok;
+}
+
+}  // namespace kdv_fuzz

@@ -25,7 +25,9 @@
 #include "core/kdv_runner.h"
 #include "data/datasets.h"
 #include "util/failpoint.h"
+#include "util/mem_budget.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 #include "workbench/workbench.h"
 
 namespace kdv {
@@ -541,6 +543,130 @@ TEST_F(RenderServiceTest, HotSwapUnderLoadDropsNoAdmittedRequest) {
 }
 
 // ---------------------------------------------------------------------------
+// Runtime self-defense: brownout health transitions, watchdog benignity
+// ---------------------------------------------------------------------------
+
+TEST_F(RenderServiceTest, BrownoutDegradesThenHealthRecoversHysteretically) {
+  RenderService::Options options;
+  options.num_threads = 2;
+  options.max_queue = 64;
+  options.governor.enabled = true;
+  // The memory signal is the deterministic pressure lever: the test pins it
+  // with a ScopedMemCharge instead of racing real queue waits.
+  options.governor.memory_budget_bytes = 1 << 20;
+  options.governor.recover_hold_seconds = 0.0;  // stepwise but immediate
+  RenderService service(&evaluator_, options);
+  EXPECT_EQ(service.Health(), ServiceHealth::kServing);
+
+  ServeRequestOptions request;
+  {
+    // 85% of budget: inside the brownout band (>= enter_coarse 0.80) but
+    // below the shed ceiling — everything is still served, just cheaper.
+    ScopedMemCharge pressure(&MemBudget::Global(), MemSource::kFrameBuffers,
+                             (1u << 20) * 85 / 100);
+    std::vector<std::future<ServeOutcome>> tickets;
+    for (int i = 0; i < 8; ++i) {
+      StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, request);
+      ASSERT_TRUE(t.ok());
+      tickets.push_back(*std::move(t));
+    }
+    for (std::future<ServeOutcome>& t : tickets) {
+      ServeOutcome outcome = t.get();
+      EXPECT_TRUE(outcome.ok());
+      EXPECT_EQ(outcome.render.tier, QualityTier::kCoarse);  // browned out
+      ExpectFinite(outcome.render.frame);
+    }
+    EXPECT_EQ(service.Health(), ServiceHealth::kDegraded);
+    ServiceStats mid = service.stats();
+    EXPECT_EQ(mid.brownout_applied, 8u);
+    EXPECT_EQ(mid.shed, 0u);  // the band degrades; it does not reject
+    EXPECT_EQ(mid.governor_level, 2);
+
+    // Fail-fast requests keep their certified-or-error contract even in a
+    // brownout: their tier is never silently lowered.
+    ServeRequestOptions fail_fast;
+    fail_fast.degrade = false;
+    StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, fail_fast);
+    ASSERT_TRUE(t.ok());
+    ServeOutcome certified = t->get();
+    EXPECT_TRUE(certified.ok());
+    EXPECT_EQ(certified.render.tier, QualityTier::kCertified);
+
+    {
+      // Past the hard ceiling the governor finally sheds, synchronously.
+      ScopedMemCharge overload(&MemBudget::Global(), MemSource::kFrameBuffers,
+                               (1u << 20) * 30 / 100);
+      StatusOr<std::future<ServeOutcome>> rejected =
+          service.Submit(grid_, request);
+      ASSERT_FALSE(rejected.ok());
+      EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+      EXPECT_GE(service.stats().brownout_shed, 1u);
+    }
+  }
+
+  // Pressure gone: recovery walks the ladder one step per assessment
+  // (coarse -> progressive -> normal), so a short trickle of healthy
+  // requests returns the service to kServing.
+  for (int i = 0; i < 8 && service.Health() != ServiceHealth::kServing; ++i) {
+    StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, request);
+    ASSERT_TRUE(t.ok());
+    ServeOutcome outcome = t->get();
+    EXPECT_TRUE(outcome.ok());
+  }
+  EXPECT_EQ(service.Health(), ServiceHealth::kServing);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.governor_level, 0);
+  EXPECT_EQ(stats.governor_max_level, 2);
+  EXPECT_GE(stats.tier_certified, 1u);
+
+  // The transition log is contiguous and de-escalates strictly one level at
+  // a time — the monotone-brownout property the overload-chaos CI job
+  // asserts on serve-sim output.
+  std::vector<OverloadGovernor::Transition> transitions =
+      service.governor_transitions();
+  ASSERT_GE(transitions.size(), 3u);
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    if (i > 0) {
+      EXPECT_EQ(transitions[i].from, transitions[i - 1].to);
+      EXPECT_GE(transitions[i].at_seconds, transitions[i - 1].at_seconds);
+    }
+    const int delta = static_cast<int>(transitions[i].to) -
+                      static_cast<int>(transitions[i].from);
+    if (delta < 0) {
+      EXPECT_EQ(delta, -1);
+    }
+  }
+  service.Stop();
+}
+
+TEST_F(RenderServiceTest, WatchdogLeavesHealthyRendersAlone) {
+  RenderService::Options options;
+  options.num_threads = 2;
+  options.max_queue = 32;
+  options.watchdog.enabled = true;
+  options.watchdog.poll_interval_seconds = 0.002;
+  options.watchdog.no_progress_seconds = 0.5;
+  RenderService service(&evaluator_, options);
+  ServeRequestOptions request;
+  request.budget_seconds = 30.0;
+
+  std::vector<std::future<ServeOutcome>> tickets;
+  for (int i = 0; i < 16; ++i) {
+    StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, request);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*std::move(t));
+  }
+  for (std::future<ServeOutcome>& t : tickets) {
+    ServeOutcome outcome = t.get();
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.render.tier, QualityTier::kCertified);
+  }
+  service.Stop();
+  EXPECT_EQ(service.stats().watchdog_kills, 0u);
+  EXPECT_TRUE(service.watchdog_stall_reports().empty());
+}
+
+// ---------------------------------------------------------------------------
 // Failpoint-driven paths (retry, breaker, chaos sweep): -DKDV_FAILPOINTS=ON
 // ---------------------------------------------------------------------------
 
@@ -673,6 +799,77 @@ TEST_F(ServiceChaosTest, BreakerTripsServesCoarseDirectlyAndRecovers) {
     EXPECT_FALSE(outcome.breaker_open);
   }
   EXPECT_EQ(service.breaker_state(), CircuitBreaker::State::kClosed);
+  service.Stop();
+}
+
+TEST_F(ServiceChaosTest, WatchdogKillsWedgedRenderAndBreakerRecovers) {
+  // Wedge the first certified render where it never polls its deadline:
+  // refine.stall parks it until a force-cancel arrives, which only the
+  // watchdog can deliver. Single-shot, so later renders are healthy.
+  ASSERT_TRUE(failpoint::Arm("refine.stall", failpoint::Action::kDelay,
+                             /*delay_ms=*/10000, /*max_hits=*/1)
+                  .ok());
+  auto fake_now = std::make_shared<std::atomic<double>>(0.0);
+  RenderService::Options options;
+  options.num_threads = 1;
+  options.max_attempts = 1;
+  options.breaker.failure_threshold = 1;  // one stall trips it
+  options.breaker.cooldown_seconds = 60.0;
+  options.breaker_clock = [fake_now] { return fake_now->load(); };
+  options.watchdog.enabled = true;
+  options.watchdog.poll_interval_seconds = 0.005;
+  options.watchdog.deadline_multiple = 2.0;
+  options.watchdog.no_progress_seconds = 0.0;  // isolate the overrun criterion
+  RenderService service(&evaluator_, options);
+
+  ServeRequestOptions request;
+  request.budget_seconds = 0.2;
+  Timer wall;
+  StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, request);
+  ASSERT_TRUE(t.ok());
+  ServeOutcome outcome = t->get();
+
+  // The watchdog, not the 10s stall, bounded the request: the kill lands
+  // within deadline_multiple x budget plus monitor latency.
+  EXPECT_LT(wall.ElapsedSeconds(), 5.0);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(std::string(outcome.status.message()).find("watchdog"),
+            std::string::npos);
+  ExpectFinite(outcome.render.frame);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.watchdog_kills, 1u);
+  EXPECT_EQ(stats.cancelled, 0u);  // not misattributed to the client
+  std::vector<StallReport> reports = service.watchdog_stall_reports();
+  ASSERT_GE(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].no_progress);  // overrun, not heartbeat silence
+
+  // The stall tripped the breaker: degraded but still serving coarse.
+  EXPECT_EQ(service.breaker_state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(service.Health(), ServiceHealth::kDegraded);
+  {
+    StatusOr<std::future<ServeOutcome>> shorted =
+        service.Submit(grid_, request);
+    ASSERT_TRUE(shorted.ok());
+    ServeOutcome o = shorted->get();
+    EXPECT_TRUE(o.ok());
+    EXPECT_TRUE(o.breaker_open);
+    EXPECT_EQ(o.render.tier, QualityTier::kCoarse);
+  }
+
+  // Cooldown elapses on the fake clock; the stall was single-shot, so the
+  // half-open probe renders certified and closes the breaker again.
+  fake_now->store(120.0);
+  {
+    StatusOr<std::future<ServeOutcome>> probe = service.Submit(grid_, request);
+    ASSERT_TRUE(probe.ok());
+    ServeOutcome o = probe->get();
+    EXPECT_TRUE(o.ok());
+    EXPECT_EQ(o.render.tier, QualityTier::kCertified);
+    EXPECT_FALSE(o.breaker_open);
+  }
+  EXPECT_EQ(service.breaker_state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(service.Health(), ServiceHealth::kServing);
   service.Stop();
 }
 

@@ -11,7 +11,10 @@
 //   serve-sim   closed-loop load generator against the concurrent
 //               RenderService (throughput, latency percentiles, shed/
 //               degraded/retried counts; --json for machine-readable;
-//               --swap-after N hot-swaps the evaluator mid-run)
+//               --swap-after N hot-swaps the evaluator mid-run;
+//               --governor/--watchdog/--scrub arm the runtime
+//               self-defense layer: brownout under overload, wedged-
+//               render kills, online integrity scrubbing)
 //   recover     recover a crash-consistent state directory (or --bootstrap
 //               one from points); prints the recovery report
 //   checkpoint  fold the update journal into a fresh index generation
@@ -80,7 +83,15 @@ int Usage() {
       "                 --tile-rows R --eps E --on-deadline degrade|fail\n"
       "                 --failpoints \"site=action;...\" --json\n"
       "                 --swap-after N (hot-swap the evaluator after N\n"
-      "                 completed requests)]\n"
+      "                 completed requests)\n"
+      "                 --governor (brownout under overload; tuning:\n"
+      "                 --mem-budget-mb MB --queue-wait-sat-ms MS)\n"
+      "                 --watchdog (force-cancel wedged renders; tuning:\n"
+      "                 --watchdog-multiple X --no-progress-ms MS)\n"
+      "                 --scrub (online integrity scrubber; tuning:\n"
+      "                 --scrub-interval-ms MS --scrub-samples N\n"
+      "                 --scrub-index FILE.kdv); exits 1 on any scrubber\n"
+      "                 mismatch]\n"
       "  recover:      --state DIR [--csv FILE.csv (rebuild fallback)]\n"
       "                [--bootstrap (initialize DIR from --in/--dataset)]\n"
       "  checkpoint:   --state DIR [--csv FILE.csv]\n");
@@ -879,6 +890,43 @@ int CmdServeSim(const Flags& flags) {
     return 2;
   }
 
+  // Runtime self-defense knobs (all opt-in).
+  const bool use_governor = flags.GetBool("governor", false);
+  const double mem_budget_mb = GetValidatedDouble(flags, "mem-budget-mb", 0.0);
+  const double queue_wait_sat_ms =
+      GetValidatedDouble(flags, "queue-wait-sat-ms", 500.0);
+  if (std::isnan(mem_budget_mb) || mem_budget_mb < 0.0 ||
+      std::isnan(queue_wait_sat_ms) || queue_wait_sat_ms <= 0.0) {
+    std::fprintf(stderr,
+                 "kdvtool serve-sim: bad --mem-budget-mb / "
+                 "--queue-wait-sat-ms\n");
+    return 2;
+  }
+  const bool use_watchdog = flags.GetBool("watchdog", false);
+  const double watchdog_multiple =
+      GetValidatedDouble(flags, "watchdog-multiple", 2.0);
+  const double no_progress_ms =
+      GetValidatedDouble(flags, "no-progress-ms", 1000.0);
+  if (std::isnan(watchdog_multiple) || watchdog_multiple <= 0.0 ||
+      std::isnan(no_progress_ms)) {
+    std::fprintf(stderr,
+                 "kdvtool serve-sim: bad --watchdog-multiple / "
+                 "--no-progress-ms\n");
+    return 2;
+  }
+  const bool use_scrub = flags.GetBool("scrub", false);
+  const double scrub_interval_ms =
+      GetValidatedDouble(flags, "scrub-interval-ms", 5.0);
+  const int scrub_samples = GetValidatedInt(flags, "scrub-samples", 2);
+  const std::string scrub_index = flags.GetString("scrub-index", "");
+  if (std::isnan(scrub_interval_ms) || scrub_interval_ms <= 0.0 ||
+      scrub_samples < 0) {
+    std::fprintf(stderr,
+                 "kdvtool serve-sim: bad --scrub-interval-ms / "
+                 "--scrub-samples\n");
+    return 2;
+  }
+
   std::string fp_spec = flags.GetString("failpoints", "");
   if (!fp_spec.empty()) {
     Status fp = failpoint::ConfigureFromSpec(fp_spec);
@@ -906,6 +954,17 @@ int CmdServeSim(const Flags& flags) {
   options.max_attempts = flags.GetInt("max-attempts", 3);
   options.intra_frame_threads = frame_threads;
   options.tile_rows = tile_rows;
+  if (use_governor) {
+    options.governor.enabled = true;
+    options.governor.queue_wait_saturation_seconds = queue_wait_sat_ms / 1e3;
+    options.governor.memory_budget_bytes =
+        static_cast<uint64_t>(mem_budget_mb * 1024.0 * 1024.0);
+  }
+  if (use_watchdog) {
+    options.watchdog.enabled = true;
+    options.watchdog.deadline_multiple = watchdog_multiple;
+    options.watchdog.no_progress_seconds = no_progress_ms / 1e3;
+  }
 
   // Start cold so the readiness transition is observable, then publish the
   // first epoch the way a recovery-managed deployment would.
@@ -913,6 +972,46 @@ int CmdServeSim(const Flags& flags) {
   const std::string health_at_start = ServiceHealthName(service.Health());
   service.SwapEvaluator(&evaluator);
   const std::string health_serving = ServiceHealthName(service.Health());
+
+  // Online integrity scrubber: re-verifies the serving state while the load
+  // runs. On a confirmed mismatch the corruption handler quarantines the
+  // on-disk index (if one is being swept), hot-swaps the known-good spare
+  // evaluator as a new epoch, and returns the service to kServing — all
+  // without dropping in-flight requests (they finish on their own epoch).
+  const size_t in_flight_cap = options.max_in_flight > 0
+                                   ? options.max_in_flight
+                                   : options.max_queue +
+                                         static_cast<size_t>(threads);
+  std::unique_ptr<IntegrityScrubber> scrubber;
+  if (use_scrub) {
+    IntegrityScrubber::Options sopts;
+    sopts.enabled = true;
+    sopts.interval_seconds = scrub_interval_ms / 1e3;
+    sopts.pixel_samples_per_tick = scrub_samples;
+    sopts.index_path = scrub_index;
+    sopts.defer = [&service, in_flight_cap] {
+      // Yield to the serving path while it is saturated; scrub in the gaps.
+      return service.in_flight() >= in_flight_cap;
+    };
+    scrubber = std::make_unique<IntegrityScrubber>(
+        sopts, [&service] { return service.CurrentEvaluator(); },
+        [&service, &next_evaluator, &scrub_index](const std::string& reason) {
+          std::fprintf(stderr, "kdvtool serve-sim: scrubber: %s\n",
+                       reason.c_str());
+          service.SetHealth(ServiceHealth::kRecovering);
+          if (!scrub_index.empty() && !LoadKdTree(scrub_index).ok()) {
+            const std::string jail = scrub_index + ".quarantine";
+            if (std::rename(scrub_index.c_str(), jail.c_str()) == 0) {
+              std::fprintf(stderr, "kdvtool serve-sim: quarantined %s\n",
+                           jail.c_str());
+            }
+          }
+          service.SwapEvaluator(&next_evaluator);
+          service.SetHealth(ServiceHealth::kServing);
+          return OkStatus();
+        });
+    scrubber->Start();
+  }
 
   ServeRequestOptions request;
   request.eps = eps;
@@ -994,12 +1093,19 @@ int CmdServeSim(const Flags& flags) {
   for (std::thread& t : swarm) t.join();
   clients_done.store(true, std::memory_order_release);
   if (swapper.joinable()) swapper.join();
+  if (scrubber != nullptr) scrubber->Stop();
   service.Stop();
   const std::string health_final = ServiceHealthName(service.Health());
   const double wall_seconds = wall.ElapsedSeconds();
   if (!fp_spec.empty()) failpoint::Reset();
 
   ServiceStats stats = service.stats();
+  OverloadGovernor::Stats gov = service.governor_stats();
+  std::vector<OverloadGovernor::Transition> gov_transitions =
+      service.governor_transitions();
+  std::vector<StallReport> stalls = service.watchdog_stall_reports();
+  IntegrityScrubber::Stats scrub{};
+  if (scrubber != nullptr) scrub = scrubber->stats();
   std::sort(latencies_ms.begin(), latencies_ms.end());
   const double rps =
       wall_seconds > 0.0
@@ -1008,6 +1114,35 @@ int CmdServeSim(const Flags& flags) {
   const double p50 = Percentile(latencies_ms, 0.50);
   const double p95 = Percentile(latencies_ms, 0.95);
   const double p99 = Percentile(latencies_ms, 0.99);
+
+  // Self-defense JSON fragments (arrays are easier to assemble than to
+  // printf in one shot).
+  std::string transitions_json = "[";
+  for (size_t i = 0; i < gov_transitions.size(); ++i) {
+    char item[160];
+    std::snprintf(item, sizeof(item),
+                  "%s{\"at_s\":%.6f,\"from\":\"%s\",\"to\":\"%s\","
+                  "\"pressure\":%.4f}",
+                  i == 0 ? "" : ",", gov_transitions[i].at_seconds,
+                  OverloadGovernor::LevelName(gov_transitions[i].from),
+                  OverloadGovernor::LevelName(gov_transitions[i].to),
+                  gov_transitions[i].pressure);
+    transitions_json += item;
+  }
+  transitions_json += "]";
+  std::string stalls_json = "[";
+  for (size_t i = 0; i < stalls.size(); ++i) {
+    char item[160];
+    std::snprintf(item, sizeof(item),
+                  "%s{\"request_id\":%llu,\"elapsed_s\":%.4f,"
+                  "\"budget_s\":%.4f,\"no_progress\":%s}",
+                  i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(stalls[i].request_id),
+                  stalls[i].elapsed_seconds, stalls[i].budget_seconds,
+                  stalls[i].no_progress ? "true" : "false");
+    stalls_json += item;
+  }
+  stalls_json += "]";
 
   if (flags.GetBool("json", false)) {
     std::printf(
@@ -1023,7 +1158,15 @@ int CmdServeSim(const Flags& flags) {
         "\"epochs\":{\"swaps\":%llu,\"current\":%llu},"
         "\"health\":{\"at_start\":\"%s\",\"serving\":\"%s\","
         "\"final\":\"%s\"},"
-        "\"invariants\":{\"bad_rejections\":%llu,\"nonfinite_pixels\":%llu}"
+        "\"invariants\":{\"bad_rejections\":%llu,\"nonfinite_pixels\":%llu},"
+        "\"governor\":{\"enabled\":%s,\"activations\":%llu,"
+        "\"brownout_applied\":%llu,\"brownout_shed\":%llu,"
+        "\"level\":\"%s\",\"max_level\":\"%s\",\"pressure\":%.4f,"
+        "\"transitions\":%s},"
+        "\"watchdog\":{\"enabled\":%s,\"kills\":%llu,\"stalls\":%s},"
+        "\"scrubber\":{\"enabled\":%s,\"ticks\":%llu,\"deferred\":%llu,"
+        "\"crc_slices\":%llu,\"crc_passes\":%llu,\"pixel_checks\":%llu,"
+        "\"mismatches\":%llu,\"recoveries\":%llu,\"rebaselines\":%llu}"
         "}\n",
         threads, clients, requests, budget_ms, wall_seconds, rps, p50, p95,
         p99, static_cast<unsigned long long>(stats.submitted),
@@ -1047,7 +1190,24 @@ int CmdServeSim(const Flags& flags) {
         health_at_start.c_str(), health_serving.c_str(),
         health_final.c_str(),
         static_cast<unsigned long long>(bad_rejections.load()),
-        static_cast<unsigned long long>(nonfinite_pixels.load()));
+        static_cast<unsigned long long>(nonfinite_pixels.load()),
+        use_governor ? "true" : "false",
+        static_cast<unsigned long long>(gov.activations),
+        static_cast<unsigned long long>(stats.brownout_applied),
+        static_cast<unsigned long long>(stats.brownout_shed),
+        OverloadGovernor::LevelName(gov.level),
+        OverloadGovernor::LevelName(gov.max_level), gov.pressure,
+        transitions_json.c_str(), use_watchdog ? "true" : "false",
+        static_cast<unsigned long long>(stats.watchdog_kills),
+        stalls_json.c_str(), use_scrub ? "true" : "false",
+        static_cast<unsigned long long>(scrub.ticks),
+        static_cast<unsigned long long>(scrub.deferred),
+        static_cast<unsigned long long>(scrub.crc_slices),
+        static_cast<unsigned long long>(scrub.crc_passes),
+        static_cast<unsigned long long>(scrub.pixel_checks),
+        static_cast<unsigned long long>(scrub.mismatches),
+        static_cast<unsigned long long>(scrub.recoveries),
+        static_cast<unsigned long long>(scrub.rebaselines));
   } else {
     std::printf("serve-sim: %d workers, %d clients, %ld requests, %dx%d "
                 "frames, budget %gms\n",
@@ -1083,6 +1243,32 @@ int CmdServeSim(const Flags& flags) {
                 health_final.c_str(),
                 static_cast<unsigned long long>(stats.epoch),
                 static_cast<unsigned long long>(stats.swaps));
+    if (use_governor) {
+      std::printf("  governor: level %s (max %s), pressure %.3f, "
+                  "browned_out %llu, shed %llu, %zu transition(s)\n",
+                  OverloadGovernor::LevelName(gov.level),
+                  OverloadGovernor::LevelName(gov.max_level), gov.pressure,
+                  static_cast<unsigned long long>(stats.brownout_applied),
+                  static_cast<unsigned long long>(stats.brownout_shed),
+                  gov_transitions.size());
+    }
+    if (use_watchdog) {
+      std::printf("  watchdog: %llu kill(s), %zu stall report(s)\n",
+                  static_cast<unsigned long long>(stats.watchdog_kills),
+                  stalls.size());
+    }
+    if (use_scrub) {
+      std::printf("  scrubber: %llu tick(s) (%llu deferred), %llu CRC "
+                  "slice(s)/%llu pass(es), %llu pixel check(s), %llu "
+                  "mismatch(es), %llu recover(ies)\n",
+                  static_cast<unsigned long long>(scrub.ticks),
+                  static_cast<unsigned long long>(scrub.deferred),
+                  static_cast<unsigned long long>(scrub.crc_slices),
+                  static_cast<unsigned long long>(scrub.crc_passes),
+                  static_cast<unsigned long long>(scrub.pixel_checks),
+                  static_cast<unsigned long long>(scrub.mismatches),
+                  static_cast<unsigned long long>(scrub.recoveries));
+    }
   }
 
   if (bad_rejections.load() > 0) {
@@ -1095,6 +1281,17 @@ int CmdServeSim(const Flags& flags) {
   if (nonfinite_pixels.load() > 0) {
     std::fprintf(stderr, "kdvtool serve-sim: %llu non-finite pixels served\n",
                  static_cast<unsigned long long>(nonfinite_pixels.load()));
+    return 1;
+  }
+  if (scrub.mismatches > 0) {
+    // The run is still reported in full above; the exit code is the alarm a
+    // deployment script keys off (the scrubber found live-state corruption,
+    // even if it then recovered).
+    std::fprintf(stderr,
+                 "kdvtool serve-sim: scrubber found %llu integrity "
+                 "mismatch(es) (%llu recovered)\n",
+                 static_cast<unsigned long long>(scrub.mismatches),
+                 static_cast<unsigned long long>(scrub.recoveries));
     return 1;
   }
   return 0;
