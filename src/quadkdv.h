@@ -46,6 +46,10 @@
 #include "serve/resilient_renderer.h"
 #include "serve/scrubber.h"
 #include "serve/watchdog.h"
+#include "sim/fault_schedule.h"
+#include "sim/sim_clock.h"
+#include "sim/sim_env.h"
+#include "sim/sim_executor.h"
 #include "stats/density_stats.h"
 #include "stats/pca.h"
 #include "util/atomic_file.h"

@@ -27,11 +27,10 @@ const char* OverloadGovernor::LevelName(Level level) {
 }
 
 OverloadGovernor::OverloadGovernor(Options options)
-    : options_(std::move(options)), clock_(options_.clock) {}
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : CurrentClock()) {}
 
-double OverloadGovernor::Now() const {
-  return clock_ ? clock_() : fallback_clock_.ElapsedSeconds();
-}
+double OverloadGovernor::Now() const { return clock_->NowSeconds(); }
 
 void OverloadGovernor::RecordQueueWait(double seconds) {
   if (!options_.enabled || seconds < 0.0) return;

@@ -94,8 +94,9 @@ class OverloadGovernor {
     // ceiling. 1.0 disables relaxation.
     double eps_max_multiplier = 4.0;
 
-    // Test seam: monotonic seconds. Null uses a steady_clock timer.
-    std::function<double()> clock;
+    // Monotonic time source; null uses CurrentClock() (resolved once, at
+    // construction). The render service passes its own clock through here.
+    const Clock* clock = nullptr;
   };
 
   // One admission/execution decision.
@@ -152,8 +153,7 @@ class OverloadGovernor {
   double EnterThreshold(Level level) const;
 
   const Options options_;
-  const std::function<double()> clock_;
-  Timer fallback_clock_;
+  const Clock* const clock_;
 
   mutable std::mutex mu_;
   double queue_wait_ewma_ = 0.0;

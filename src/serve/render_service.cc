@@ -13,14 +13,42 @@ namespace kdv {
 // CircuitBreaker
 // ---------------------------------------------------------------------------
 
-CircuitBreaker::CircuitBreaker(Options options, ClockFn clock)
-    : options_(options), clock_(std::move(clock)) {
+namespace {
+
+// Transition-log cap, mirroring the governor's: observability must not grow
+// memory without bound under a pathologically flapping breaker.
+constexpr size_t kMaxBreakerTransitions = 1024;
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(Options options, const Clock* clock)
+    : options_(options), clock_(clock != nullptr ? clock : CurrentClock()) {
   KDV_CHECK(options.failure_threshold >= 1);
   KDV_CHECK(options.cooldown_seconds >= 0.0);
 }
 
-double CircuitBreaker::Now() const {
-  return clock_ ? clock_() : fallback_clock_.ElapsedSeconds();
+double CircuitBreaker::Now() const { return clock_->NowSeconds(); }
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::RecordTransitionLocked(double now, State from,
+                                            State to) {
+  transitions_.push_back({now, from, to});
+  if (transitions_.size() > kMaxBreakerTransitions) {
+    transitions_.erase(transitions_.begin(),
+                       transitions_.begin() + (transitions_.size() -
+                                               kMaxBreakerTransitions));
+  }
 }
 
 bool CircuitBreaker::AllowCertified() {
@@ -30,6 +58,7 @@ bool CircuitBreaker::AllowCertified() {
       return true;
     case State::kOpen:
       if (Now() - opened_at_ >= options_.cooldown_seconds) {
+        RecordTransitionLocked(Now(), State::kOpen, State::kHalfOpen);
         state_ = State::kHalfOpen;
         probe_in_flight_ = true;
         return true;
@@ -51,6 +80,7 @@ void CircuitBreaker::RecordSuccess() {
   std::lock_guard<std::mutex> lock(mu_);
   consecutive_faults_ = 0;
   if (state_ == State::kHalfOpen) {
+    RecordTransitionLocked(Now(), State::kHalfOpen, State::kClosed);
     state_ = State::kClosed;
     probe_in_flight_ = false;
   }
@@ -61,12 +91,14 @@ void CircuitBreaker::RecordFault() {
   ++consecutive_faults_;
   if (state_ == State::kHalfOpen) {
     // The probe failed: reopen and restart the cooldown.
+    RecordTransitionLocked(Now(), State::kHalfOpen, State::kOpen);
     state_ = State::kOpen;
     opened_at_ = Now();
     probe_in_flight_ = false;
     ++trips_;
   } else if (state_ == State::kClosed &&
              consecutive_faults_ >= options_.failure_threshold) {
+    RecordTransitionLocked(Now(), State::kClosed, State::kOpen);
     state_ = State::kOpen;
     opened_at_ = Now();
     ++trips_;
@@ -83,6 +115,11 @@ CircuitBreaker::State CircuitBreaker::state() const {
 uint64_t CircuitBreaker::trips() const {
   std::lock_guard<std::mutex> lock(mu_);
   return trips_;
+}
+
+std::vector<CircuitBreaker::Transition> CircuitBreaker::transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transitions_;
 }
 
 bool IsRetryableRenderFault(StatusCode code) {
@@ -125,27 +162,42 @@ RenderService::RenderService(const KdeEvaluator* evaluator, Options options)
 namespace {
 
 // The governor normalizes its in-flight signal by the service's actual
-// admission cap unless the caller pinned a capacity explicitly.
+// admission cap unless the caller pinned a capacity explicitly, and
+// inherits the service clock unless it carries its own.
 OverloadGovernor::Options ResolveGovernorOptions(
-    OverloadGovernor::Options governor, size_t max_in_flight) {
+    OverloadGovernor::Options governor, size_t max_in_flight,
+    Clock* clock) {
   if (governor.in_flight_capacity == 0) {
     governor.in_flight_capacity = max_in_flight;
   }
+  if (governor.clock == nullptr) {
+    governor.clock = clock;
+  }
   return governor;
+}
+
+RenderWatchdog::Options ResolveWatchdogOptions(RenderWatchdog::Options wd,
+                                               Clock* clock) {
+  if (wd.clock == nullptr) {
+    wd.clock = clock;
+  }
+  return wd;
 }
 
 }  // namespace
 
 RenderService::RenderService(Options options)
     : options_(options),
+      clock_(options.clock != nullptr ? options.clock : CurrentClock()),
       max_in_flight_(options.max_in_flight > 0
                          ? options.max_in_flight
                          : options.max_queue +
                                static_cast<size_t>(
                                    std::max(1, options.num_threads))),
-      breaker_(options.breaker, options.breaker_clock),
-      governor_(ResolveGovernorOptions(options.governor, max_in_flight_)),
-      watchdog_(options.watchdog,
+      breaker_(options.breaker, clock_),
+      governor_(
+          ResolveGovernorOptions(options.governor, max_in_flight_, clock_)),
+      watchdog_(ResolveWatchdogOptions(options.watchdog, clock_),
                 [this](const StallReport& report) {
                   // Repeated stalls must shed the certified path the same
                   // way repeated faults do; one stall is one breaker fault.
@@ -153,26 +205,46 @@ RenderService::RenderService(Options options)
                   counters_.faults.fetch_add(1, std::memory_order_relaxed);
                   breaker_.RecordFault();
                 }),
-      pool_({options.num_threads, options.max_queue}),
       backoff_(options.backoff, options.backoff_seed) {
   KDV_CHECK(options.max_attempts >= 1);
-  const int frame_threads = ResolveRenderThreads(options.intra_frame_threads);
-  if (frame_threads > 1) {
-    // One shared helper pool for all in-flight frames. Each frame submits at
-    // most frame_threads - 1 helper tasks; size the queue for every request
-    // worker doing so at once (rejected helpers are shed to the worker, so
-    // this is a throughput knob, not a correctness one).
-    ThreadPool::Options popts;
-    popts.num_threads = frame_threads - 1;
-    popts.max_queue = static_cast<size_t>(std::max(1, options.num_threads)) *
-                      static_cast<size_t>(frame_threads);
-    tile_pool_ = std::make_unique<ThreadPool>(popts);
+  if (options.executor != nullptr) {
+    pool_ = options.executor;
+  } else {
+    owned_pool_ =
+        std::make_unique<ThreadPool>(ThreadPool::Options{
+            options.num_threads, options.max_queue});
+    pool_ = owned_pool_.get();
+  }
+  if (options.tile_executor != nullptr) {
+    tile_pool_ = options.tile_executor;
+  } else {
+    const int frame_threads =
+        ResolveRenderThreads(options.intra_frame_threads);
+    if (frame_threads > 1) {
+      // One shared helper pool for all in-flight frames. Each frame submits
+      // at most frame_threads - 1 helper tasks; size the queue for every
+      // request worker doing so at once (rejected helpers are shed to the
+      // worker, so this is a throughput knob, not a correctness one).
+      ThreadPool::Options popts;
+      popts.num_threads = frame_threads - 1;
+      popts.max_queue =
+          static_cast<size_t>(std::max(1, options.num_threads)) *
+          static_cast<size_t>(frame_threads);
+      owned_tile_pool_ = std::make_unique<ThreadPool>(popts);
+      tile_pool_ = owned_tile_pool_.get();
+    }
   }
 }
 
 RenderService::~RenderService() { Stop(); }
 
-void RenderService::Stop() { pool_.Stop(); }
+void RenderService::Stop() {
+  // Wake any worker parked in a retry-backoff sleep before draining, so
+  // Stop() latency is bounded by real render work, not by pending backoff
+  // delays. The waker is one-shot; Stop is terminal, so that is enough.
+  stop_waker_.Set();
+  pool_->Stop();
+}
 
 void RenderService::SwapEvaluator(const KdeEvaluator* evaluator) {
   KDV_CHECK(evaluator != nullptr);
@@ -225,11 +297,7 @@ void RenderService::SetHealth(ServiceHealth health) {
 
 void RenderService::SleepMs(double ms) {
   if (ms <= 0.0) return;
-  if (options_.sleep_ms) {
-    options_.sleep_ms(ms);
-    return;
-  }
-  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  clock_->WaitFor(ms / 1000.0, &stop_waker_);
 }
 
 StatusOr<std::future<ServeOutcome>> RenderService::Submit(
@@ -273,6 +341,7 @@ StatusOr<std::future<ServeOutcome>> RenderService::Submit(
   auto job = std::make_shared<Job>();
   job->grid = &grid;
   job->request = request;
+  job->timer = Timer(clock_);
   job->mem_charge = ScopedMemCharge(
       &MemBudget::Global(), MemSource::kFrameBuffers,
       sizeof(Job) + static_cast<uint64_t>(grid.width()) *
@@ -281,11 +350,11 @@ StatusOr<std::future<ServeOutcome>> RenderService::Submit(
   if (request.budget_seconds == 0.0) {
     job->pre_expired = true;
   } else if (request.budget_seconds > 0.0) {
-    job->deadline = std::make_unique<Deadline>(request.budget_seconds);
+    job->deadline = std::make_unique<Deadline>(request.budget_seconds, clock_);
   }
   std::future<ServeOutcome> future = job->promise.get_future();
 
-  Status admitted = pool_.TrySubmit([this, job] { Execute(job); });
+  Status admitted = pool_->TrySubmit([this, job] { Execute(job); });
   if (!admitted.ok()) {
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     if (admitted.code() == StatusCode::kResourceExhausted) {
@@ -309,6 +378,7 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
   // evaluator even if SwapEvaluator publishes a successor mid-request.
   const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
   const ResilientRenderer& renderer = epoch->renderer;
+  outcome.epoch = epoch->id;
 
   ResilientRenderOptions ropts;
   ropts.eps = request.eps;
@@ -317,7 +387,7 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
   ropts.coarse = request.coarse;
   ropts.parallel.num_threads = options_.intra_frame_threads;
   ropts.parallel.tile_rows = options_.tile_rows;
-  ropts.tile_pool = tile_pool_.get();
+  ropts.tile_pool = tile_pool_;
 
   // Brownout: fold the observed queue wait into the pressure signal, then
   // serve at the governor's level. Fail-fast requests are exempt — the
@@ -411,6 +481,12 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
     bool watchdog_killed = false;
     if (watch != nullptr) {
       watchdog_.Unwatch(watch);
+      // The entry dies with this iteration; ropts outlives it. Drop the
+      // borrowed kill token and heartbeat now, or a later attempt that
+      // skips Watch() — the breaker-open coarse fallback — would render
+      // against freed memory.
+      ropts.force_cancel = nullptr;
+      ropts.heartbeat = nullptr;
       // Attribute the cancellation to the watchdog only if its kill is what
       // actually stopped the render (the client's own token wins, and a
       // render that raced the kill to completion is served normally).

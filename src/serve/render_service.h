@@ -73,9 +73,9 @@ class CircuitBreaker {
   };
   enum class State { kClosed, kOpen, kHalfOpen };
 
-  // `clock` returns monotonic seconds; null uses a steady_clock timer.
-  using ClockFn = std::function<double()>;
-  explicit CircuitBreaker(Options options, ClockFn clock = nullptr);
+  // `clock` provides monotonic seconds; null uses CurrentClock() (resolved
+  // once, at construction).
+  explicit CircuitBreaker(Options options, const Clock* clock = nullptr);
 
   // True if this request may attempt the certified path. While open, flips
   // to half-open once the cooldown has elapsed and admits exactly one
@@ -92,12 +92,26 @@ class CircuitBreaker {
   State state() const;
   uint64_t trips() const;  // times the breaker transitioned closed/half-open -> open
 
+  // One recorded state change, for observability and for the simulator's
+  // state-machine legality checker. Legal edges: Closed→Open,
+  // Open→HalfOpen, HalfOpen→Open, HalfOpen→Closed.
+  struct Transition {
+    double at_seconds = 0.0;  // breaker clock
+    State from = State::kClosed;
+    State to = State::kClosed;
+  };
+  // State-change log, oldest first, capped at an internal bound (the cap
+  // drops the oldest entries).
+  std::vector<Transition> transitions() const;
+
+  static const char* StateName(State state);
+
  private:
   double Now() const;
+  void RecordTransitionLocked(double now, State from, State to);
 
   const Options options_;
-  const ClockFn clock_;
-  const Timer fallback_clock_;
+  const Clock* const clock_;
 
   mutable std::mutex mu_;
   State state_ = State::kClosed;
@@ -105,6 +119,7 @@ class CircuitBreaker {
   bool probe_in_flight_ = false;
   double opened_at_ = 0.0;
   uint64_t trips_ = 0;
+  std::vector<Transition> transitions_;
 };
 
 // Classifies render-path faults a retry can plausibly fix. Only transient
@@ -139,6 +154,11 @@ struct ServeOutcome {
   double total_seconds = 0.0;  // admission -> completion
   int attempts = 0;            // certified-path attempts (0 if short-circuited)
   bool breaker_open = false;   // served/failed without the certified path
+  // Id of the evaluator epoch the render executed against (0 if the request
+  // never reached execution). Lets an external oracle — the simulator's
+  // ε-invariant checker — verify the frame against the evaluator it was
+  // actually rendered with, even across hot-swaps.
+  uint64_t epoch = 0;
 
   bool ok() const { return status.ok(); }
 };
@@ -192,12 +212,22 @@ class RenderService {
     BackoffPolicy backoff;
     uint64_t backoff_seed = 0x5EEDBACC0FFull;
     CircuitBreaker::Options breaker;
-    // Test seams: how to sleep between retries (null uses
-    // std::this_thread::sleep_for) and the breaker's monotonic clock (null
-    // uses a steady_clock timer) — deterministic breaker tests advance a
-    // fake clock instead of sleeping through cooldowns.
-    std::function<void(double /*ms*/)> sleep_ms;
-    CircuitBreaker::ClockFn breaker_clock;
+    // The service's time source: breaker cooldowns, queue/total latencies,
+    // retry backoff sleeps. Null uses CurrentClock() (resolved once, at
+    // construction) — under the simulator that is the virtual clock, and
+    // tests install a ManualClock to step through cooldowns without
+    // sleeping. Also handed to the governor and watchdog unless they carry
+    // their own clock.
+    Clock* clock = nullptr;
+    // Execution substrates, borrowed (must outlive the service). `executor`
+    // runs request jobs; null makes the service own a ThreadPool of
+    // num_threads/max_queue. `tile_executor` serves the intra-frame tile
+    // fan-out; null falls back to an owned helper pool when
+    // intra_frame_threads resolves above 1. The simulator injects its
+    // SimExecutor through these so every task the service runs is
+    // cooperatively scheduled.
+    Executor* executor = nullptr;
+    Executor* tile_executor = nullptr;
 
     // Runtime self-defense. Both default to disabled so the service's
     // behavior is bit-for-bit the pre-governor one unless the operator
@@ -258,7 +288,10 @@ class RenderService {
 
   ServiceStats stats() const;
   CircuitBreaker::State breaker_state() const { return breaker_.state(); }
-  int num_threads() const { return pool_.num_threads(); }
+  std::vector<CircuitBreaker::Transition> breaker_transitions() const {
+    return breaker_.transitions();
+  }
+  int num_threads() const { return pool_->num_threads(); }
   size_t in_flight() const {
     return in_flight_.load(std::memory_order_relaxed);
   }
@@ -279,6 +312,10 @@ class RenderService {
   std::vector<StallReport> watchdog_stall_reports() const {
     return watchdog_.stall_reports();
   }
+  // Runs one watchdog sweep synchronously. The simulator's entry point:
+  // with watchdog.start_monitor = false no monitor thread exists, and the
+  // sim driver calls this at deterministic points of virtual time instead.
+  int WatchdogSweepOnce() { return watchdog_.SweepOnce(); }
 
  private:
   struct Job;
@@ -299,18 +336,25 @@ class RenderService {
   void SleepMs(double ms);
 
   const Options options_;
+  Clock* const clock_;  // never null (Options::clock or CurrentClock)
   const size_t max_in_flight_;
   CircuitBreaker breaker_;
   OverloadGovernor governor_;
   // Declared after breaker_: the stall callback records breaker faults, so
   // the breaker must outlive the monitor thread.
   RenderWatchdog watchdog_;
-  ThreadPool pool_;
-  // Shared tile-helper pool for intra-frame parallelism; null when
-  // intra_frame_threads resolves to 1. Declared after pool_ so it is
-  // destroyed first — but only after ~RenderService has drained pool_, so no
-  // frame can still be fanning out tiles.
-  std::unique_ptr<ThreadPool> tile_pool_;
+  // Request executor: Options::executor if injected, else owned_pool_.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  Executor* pool_;
+  // Shared tile-helper substrate for intra-frame parallelism; null when
+  // intra_frame_threads resolves to 1 and no tile_executor was injected.
+  // The owned pool is destroyed only after ~RenderService has drained
+  // pool_, so no frame can still be fanning out tiles.
+  std::unique_ptr<ThreadPool> owned_tile_pool_;
+  Executor* tile_pool_ = nullptr;
+  // Set by Stop(): cuts short any in-progress retry-backoff sleep so drain
+  // latency is bounded by the running render, not by pending backoff.
+  Waker stop_waker_;
 
   std::mutex backoff_mu_;  // guards backoff_ (shared RNG stream)
   Backoff backoff_;

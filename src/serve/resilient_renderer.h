@@ -95,7 +95,7 @@ struct ResilientRenderOptions {
   // to a fully painted frame instead of one with unclaimed-tile holes.
   // The pool is borrowed, never owned, and must outlive the call.
   RenderOptions parallel;
-  ThreadPool* tile_pool = nullptr;
+  Executor* tile_pool = nullptr;
 };
 
 struct RenderOutcome {

@@ -32,6 +32,7 @@ IntegrityScrubber::IntegrityScrubber(Options options, EvaluatorFn evaluator,
     : options_(std::move(options)),
       evaluator_(std::move(evaluator)),
       on_corruption_(std::move(on_corruption)),
+      clock_(options_.clock != nullptr ? options_.clock : CurrentClock()),
       rng_state_(options_.seed != 0 ? options_.seed : 0x5C12BBE2u) {}
 
 IntegrityScrubber::~IntegrityScrubber() { Stop(); }
@@ -225,17 +226,18 @@ void IntegrityScrubber::Start() {
 }
 
 void IntegrityScrubber::Loop() {
-  const auto period = std::chrono::duration<double>(
-      std::max(options_.interval_seconds, 1e-4));
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stopping_) {
-    cv_.wait_for(lock, period, [this] { return stopping_; });
-    if (stopping_) break;
-    lock.unlock();
+  const double period = std::max(options_.interval_seconds, 1e-4);
+  for (;;) {
+    // The stop waker cuts the wait short, so Stop() latency is one
+    // in-progress tick at most, never a scrub interval.
+    clock_->WaitFor(period, &stop_waker_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
     // Verdicts are recorded in stats_ / the corruption callback; the tick's
     // status is the test-visible channel and intentionally unused here.
     (void)RunTick();
-    lock.lock();
   }
 }
 
@@ -249,7 +251,7 @@ void IntegrityScrubber::Stop() {
       running_ = false;
     }
   }
-  cv_.notify_all();
+  stop_waker_.Set();
   if (joinee.joinable()) joinee.join();
 }
 

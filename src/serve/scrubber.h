@@ -34,7 +34,6 @@
 #ifndef QUADKDV_SERVE_SCRUBBER_H_
 #define QUADKDV_SERVE_SCRUBBER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -42,6 +41,7 @@
 #include <thread>
 
 #include "core/evaluator.h"
+#include "util/clock.h"
 #include "util/status.h"
 
 namespace kdv {
@@ -69,6 +69,9 @@ class IntegrityScrubber {
     // Low-priority gate: when set and returning true, the tick is skipped
     // (e.g. "the service has requests in flight"). May be null.
     std::function<bool()> defer;
+    // Time source for the background loop's cadence; null uses
+    // CurrentClock() (resolved once, at construction).
+    Clock* clock = nullptr;
   };
 
   struct Stats {
@@ -120,9 +123,11 @@ class IntegrityScrubber {
   const Options options_;
   const EvaluatorFn evaluator_;
   const CorruptionFn on_corruption_;
+  Clock* const clock_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  // Set by Stop(): ends the loop's inter-tick wait immediately.
+  Waker stop_waker_;
   bool stopping_ = false;
   bool running_ = false;
   std::thread thread_;

@@ -10,7 +10,9 @@ constexpr size_t kMaxReports = 1024;
 }  // namespace
 
 RenderWatchdog::RenderWatchdog(Options options, StallFn on_stall)
-    : options_(options), on_stall_(std::move(on_stall)) {}
+    : options_(options),
+      on_stall_(std::move(on_stall)),
+      clock_(options.clock != nullptr ? options.clock : CurrentClock()) {}
 
 RenderWatchdog::~RenderWatchdog() { Stop(); }
 
@@ -19,6 +21,7 @@ std::shared_ptr<WatchEntry> RenderWatchdog::Watch(uint64_t request_id,
   auto entry = std::make_shared<WatchEntry>();
   entry->request_id = request_id;
   entry->budget_seconds = budget_seconds;
+  entry->started = Timer(clock_);
   if (!options_.enabled) return entry;  // inert handle: never monitored
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) return entry;
@@ -97,21 +100,22 @@ int RenderWatchdog::SweepOnce() {
 }
 
 void RenderWatchdog::EnsureMonitorLocked() {
-  if (monitor_running_ || stopping_) return;
+  if (monitor_running_ || stopping_ || !options_.start_monitor) return;
   monitor_running_ = true;
   monitor_ = std::thread([this] { MonitorLoop(); });
 }
 
 void RenderWatchdog::MonitorLoop() {
-  const auto period = std::chrono::duration<double>(
-      std::max(options_.poll_interval_seconds, 1e-4));
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stopping_) {
-    cv_.wait_for(lock, period, [this] { return stopping_; });
-    if (stopping_) break;
-    lock.unlock();
+  const double period = std::max(options_.poll_interval_seconds, 1e-4);
+  for (;;) {
+    // The stop waker cuts the wait short, so Stop() never blocks for a
+    // poll period — only for at most one in-progress sweep.
+    clock_->WaitFor(period, &stop_waker_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
     SweepOnce();
-    lock.lock();
   }
 }
 
@@ -125,7 +129,7 @@ void RenderWatchdog::Stop() {
       monitor_running_ = false;
     }
   }
-  cv_.notify_all();
+  stop_waker_.Set();
   if (joinee.joinable()) joinee.join();
 }
 

@@ -34,7 +34,6 @@
 #define QUADKDV_SERVE_WATCHDOG_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -89,6 +88,13 @@ class RenderWatchdog {
     // No-progress criterion: kill when the heartbeat has been static this
     // long (and the render has run at least this long); <= 0 disables it.
     double no_progress_seconds = 1.0;
+    // Monotonic time source; null uses CurrentClock() (resolved once, at
+    // construction). The render service passes its own clock through here.
+    Clock* clock = nullptr;
+    // When false, no monitor thread is ever spawned and the owner drives
+    // SweepOnce() itself — the simulator's mode, where sweeps must happen
+    // at deterministic points of virtual time rather than on a real thread.
+    bool start_monitor = true;
   };
 
   // `on_stall` is invoked (on the monitor thread) for every kill, after the
@@ -128,9 +134,12 @@ class RenderWatchdog {
 
   const Options options_;
   const StallFn on_stall_;
+  Clock* const clock_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  // Set by Stop(): ends the monitor's inter-sweep wait immediately, so
+  // shutdown latency is one sweep, not up to one poll period.
+  Waker stop_waker_;
   bool stopping_ = false;
   bool monitor_running_ = false;
   std::thread monitor_;

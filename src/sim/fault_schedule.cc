@@ -1,0 +1,212 @@
+#include "sim/fault_schedule.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace kdv {
+
+namespace {
+
+const char* ActionName(failpoint::Action action) {
+  switch (action) {
+    case failpoint::Action::kError:
+      return "error";
+    case failpoint::Action::kNaN:
+      return "nan";
+    case failpoint::Action::kDelay:
+      return "delay";
+    case failpoint::Action::kOff:
+      return "off";
+  }
+  return "off";
+}
+
+uint64_t Mix(uint64_t x) {
+  // splitmix64 finalizer: decorrelates the seed stream from the executor's
+  // xorshift stream so schedules and schedules don't echo each other.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+struct SitePick {
+  const char* site;
+  failpoint::Action action;
+  int delay_ms;
+  int weight;
+};
+
+// The pool DeriveFaultSchedule draws from. Persistence faults dominate —
+// they are the ones whose mishandling loses data — with a sprinkle of
+// render faults (retry/breaker paths), wedges (watchdog path), and forced
+// scrub mismatches (quarantine → recover → swap path).
+const SitePick kPool[] = {
+    {"io.write", failpoint::Action::kError, 0, 4},
+    {"io.fsync", failpoint::Action::kError, 0, 4},
+    {"io.rename", failpoint::Action::kError, 0, 3},
+    {"journal.tail", failpoint::Action::kError, 0, 3},
+    {"serve.render", failpoint::Action::kError, 0, 3},
+    {"runner.eps", failpoint::Action::kError, 0, 2},
+    {"refine.step", failpoint::Action::kNaN, 0, 2},
+    {"serve.render", failpoint::Action::kDelay, 30, 2},
+    {"refine.stall", failpoint::Action::kDelay, 60, 1},
+    {"scrub.corrupt", failpoint::Action::kError, 0, 1},
+};
+
+}  // namespace
+
+std::string FaultSchedule::Spec() const {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    if (!out.empty()) out.push_back(';');
+    char buf[128];
+    if (e.action == failpoint::Action::kDelay) {
+      std::snprintf(buf, sizeof(buf), "%d:%s=delay(%d,%d)", e.at_op,
+                    e.site.c_str(), e.delay_ms, e.max_hits);
+    } else if (e.max_hits != 1) {
+      std::snprintf(buf, sizeof(buf), "%d:%s=%s(%d)", e.at_op,
+                    e.site.c_str(), ActionName(e.action), e.max_hits);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%d:%s=%s", e.at_op, e.site.c_str(),
+                    ActionName(e.action));
+    }
+    out += buf;
+  }
+  return out;
+}
+
+StatusOr<FaultSchedule> FaultSchedule::Parse(const std::string& spec) {
+  FaultSchedule schedule;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const size_t colon = entry.find(':');
+    const size_t eq = entry.find('=');
+    if (colon == std::string::npos || eq == std::string::npos || eq < colon) {
+      return InvalidArgumentError("malformed fault event '" + entry +
+                                  "' (want at_op:site=action[(args)])");
+    }
+    FaultEvent event;
+    const std::string at_op_text = entry.substr(0, colon);
+    char* at_op_end = nullptr;
+    const long at_op = std::strtol(at_op_text.c_str(), &at_op_end, 10);
+    if (at_op_text.empty() || *at_op_end != '\0' || at_op < 0) {
+      return InvalidArgumentError("bad at_op in fault event '" + entry +
+                                  "' (want a non-negative integer)");
+    }
+    event.at_op = static_cast<int>(at_op);
+    event.site = entry.substr(colon + 1, eq - colon - 1);
+    std::string action = entry.substr(eq + 1);
+
+    // Optional "(a)" or "(a,b)" argument list.
+    int args[2] = {0, 0};
+    int num_args = 0;
+    const size_t paren = action.find('(');
+    if (paren != std::string::npos) {
+      if (action.back() != ')') {
+        return InvalidArgumentError("unterminated args in '" + entry + "'");
+      }
+      std::string inner = action.substr(paren + 1,
+                                        action.size() - paren - 2);
+      action = action.substr(0, paren);
+      size_t p = 0;
+      while (p < inner.size() && num_args < 2) {
+        size_t comma = inner.find(',', p);
+        if (comma == std::string::npos) comma = inner.size();
+        args[num_args++] = std::atoi(inner.substr(p, comma - p).c_str());
+        p = comma + 1;
+      }
+    }
+    if (action == "error") {
+      event.action = failpoint::Action::kError;
+      event.max_hits = num_args >= 1 ? args[0] : 1;
+    } else if (action == "nan") {
+      event.action = failpoint::Action::kNaN;
+      event.max_hits = num_args >= 1 ? args[0] : 1;
+    } else if (action == "delay") {
+      event.action = failpoint::Action::kDelay;
+      event.delay_ms = num_args >= 1 ? args[0] : 10;
+      event.max_hits = num_args >= 2 ? args[1] : 1;
+    } else {
+      return InvalidArgumentError("unknown fault action '" + action + "'");
+    }
+
+    const std::vector<std::string>& sites = failpoint::AllSites();
+    if (std::find(sites.begin(), sites.end(), event.site) == sites.end()) {
+      return InvalidArgumentError("unknown failpoint site '" + event.site +
+                                  "'");
+    }
+    schedule.events.push_back(std::move(event));
+  }
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_op < b.at_op;
+                   });
+  return schedule;
+}
+
+FaultSchedule DeriveFaultSchedule(uint64_t seed, int num_ops) {
+  FaultSchedule schedule;
+  int total_weight = 0;
+  for (const SitePick& p : kPool) total_weight += p.weight;
+
+  uint64_t state = seed ^ 0xFAB175C4EDu;
+  const int num_events = num_ops / 40 + 1;
+  for (int i = 0; i < num_events; ++i) {
+    FaultEvent event;
+    event.at_op = static_cast<int>(Mix(state++) % static_cast<uint64_t>(
+                                       num_ops > 0 ? num_ops : 1));
+    int roll = static_cast<int>(Mix(state++) %
+                                static_cast<uint64_t>(total_weight));
+    const SitePick* pick = &kPool[0];
+    for (const SitePick& p : kPool) {
+      if (roll < p.weight) {
+        pick = &p;
+        break;
+      }
+      roll -= p.weight;
+    }
+    event.site = pick->site;
+    event.action = pick->action;
+    event.delay_ms = pick->delay_ms;
+    // Mostly single-shot faults; occasionally a short burst, which is what
+    // trips the circuit breaker.
+    event.max_hits = (Mix(state++) % 4 == 0) ? 3 : 1;
+    schedule.events.push_back(std::move(event));
+  }
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_op < b.at_op;
+                   });
+  return schedule;
+}
+
+FaultSchedule ShrinkSchedule(
+    const FaultSchedule& schedule,
+    const std::function<bool(const FaultSchedule&)>& still_fails) {
+  FaultSchedule current = schedule;
+  bool improved = true;
+  while (improved && current.events.size() > 1) {
+    improved = false;
+    for (size_t i = 0; i < current.events.size(); ++i) {
+      FaultSchedule candidate = current;
+      candidate.events.erase(candidate.events.begin() +
+                             static_cast<long>(i));
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        improved = true;
+        break;  // restart: indexes shifted
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace kdv

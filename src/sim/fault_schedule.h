@@ -1,0 +1,69 @@
+// Seeded fault schedules: which failpoints fire, when, derived from a seed.
+//
+// A simulation run (sim/sim_env.h) drives a fixed number of virtual
+// operations. A FaultSchedule maps operation indexes to failpoint
+// activations: "at op 37, arm io.fsync with error for 1 hit". Deriving the
+// schedule from the run's seed keeps the whole run a pure function of
+// (seed, config) — replaying the seed replays the faults — while the
+// textual Spec() round-trip lets a failing schedule be shrunk, printed as
+// a repro line, and re-run explicitly with `kdvtool sim --schedule`.
+//
+// Shrinking: when a seed fails, ShrinkSchedule() greedily drops events
+// and re-runs the caller's predicate, keeping each drop that still fails.
+// The result is a (locally) minimal schedule — usually one or two events —
+// which is what a human wants to read in a bug report.
+#ifndef QUADKDV_SIM_FAULT_SCHEDULE_H_
+#define QUADKDV_SIM_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace kdv {
+
+// One scheduled activation: at virtual operation `at_op`, arm `site` with
+// `action` for `max_hits` hits. Delay actions sleep `delay_ms` of virtual
+// time (the failpoint's sleep routes through the simulation clock).
+struct FaultEvent {
+  int at_op = 0;
+  std::string site;
+  failpoint::Action action = failpoint::Action::kError;
+  int delay_ms = 5;
+  int max_hits = 1;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;  // kept sorted by at_op
+
+  // Canonical textual form, one event per ';':
+  //   "37:io.fsync=error;52:refine.stall=delay(40,1)"
+  // delay carries (delay_ms,max_hits); error/nan carry (max_hits) only when
+  // it differs from 1. An empty schedule is "".
+  std::string Spec() const;
+
+  // Parses a Spec()-formatted string. Unknown sites, malformed entries, and
+  // unknown actions return InvalidArgument.
+  static StatusOr<FaultSchedule> Parse(const std::string& spec);
+};
+
+// Derives a schedule for a run of `num_ops` operations from `seed`. Roughly
+// one event per 40 ops, drawn from the persistence sites (io.write,
+// io.fsync, io.rename, journal.tail), the render sites (serve.render,
+// runner.eps, refine.step), the wedge site (refine.stall), and the
+// scrubber's forced mismatch (scrub.corrupt).
+FaultSchedule DeriveFaultSchedule(uint64_t seed, int num_ops);
+
+// Greedy delta-debugging: repeatedly removes events whose removal keeps
+// `still_fails(schedule)` true. The predicate must be deterministic (a
+// simulation re-run). Returns the shrunk schedule; at worst the input.
+FaultSchedule ShrinkSchedule(const FaultSchedule& schedule,
+                             const std::function<bool(const FaultSchedule&)>&
+                                 still_fails);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_SIM_FAULT_SCHEDULE_H_

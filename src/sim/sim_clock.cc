@@ -1,0 +1,31 @@
+#include "sim/sim_clock.h"
+
+#include "sim/sim_executor.h"
+
+namespace kdv {
+
+void SimClock::WaitFor(double seconds, Waker* waker) {
+  SimExecutor* executor = CurrentSimTaskExecutor();
+  if (executor != nullptr) {
+    // A simulated task is asking to sleep: yield to the scheduler. The
+    // executor parks the task and resumes it at (or after) the virtual
+    // deadline, or as soon as the waker fires.
+    executor->TaskWait(seconds, waker);
+    return;
+  }
+  // The driver (or a non-simulated thread) sleeping just moves time. A set
+  // waker means "don't wait at all" — same early-out as the other clocks.
+  if (waker != nullptr && waker->is_set()) return;
+  if (seconds > 0) AdvanceBy(seconds);
+}
+
+void SimClock::AdvanceTo(double t_seconds) {
+  double current = now_.load(std::memory_order_relaxed);
+  while (t_seconds > current &&
+         !now_.compare_exchange_weak(current, t_seconds,
+                                     std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace kdv

@@ -1,0 +1,63 @@
+// Virtual clock for deterministic whole-stack simulation.
+//
+// SimClock is the time authority of a simulation run (src/sim/sim_env.h):
+// NowSeconds() is a plain variable that moves only when the scheduler says
+// so, never because the OS scheduler got around to us. The simulator
+// installs it as the process default (ScopedClockOverride), so every Timer,
+// Deadline, breaker cooldown, backoff sleep, and failpoint delay in the
+// serve stack reads virtual time without knowing it.
+//
+// The interesting part is WaitFor. Who is calling decides what a wait
+// means:
+//
+//   * From a simulated task (a thread the SimExecutor is cooperatively
+//     scheduling): the wait is a *yield*. The call parks the task, hands
+//     control back to the scheduler, and returns only when the scheduler
+//     resumes the task — at or after the virtual deadline, or early when
+//     the Waker fires. This is how a retry-backoff sleep inside a pooled
+//     render job becomes a deterministic scheduling point instead of a
+//     real-time stall.
+//
+//   * From the driver thread (the single thread running the simulation
+//     loop): the driver IS the time authority, so the wait simply advances
+//     virtual time. Sleeping tasks whose deadlines the jump passes are not
+//     missed — the scheduler promotes any sleeper whose wake_at <= now on
+//     its next step.
+//
+// Thread safety: NowSeconds may be read from any thread; AdvanceTo is the
+// scheduler/driver's alone (the executor calls it while holding its own
+// scheduling lock, so concurrent advances never happen in practice).
+#ifndef QUADKDV_SIM_SIM_CLOCK_H_
+#define QUADKDV_SIM_SIM_CLOCK_H_
+
+#include <atomic>
+
+#include "util/clock.h"
+
+namespace kdv {
+
+class SimClock : public Clock {
+ public:
+  explicit SimClock(double start_seconds = 0.0) : now_(start_seconds) {}
+
+  double NowSeconds() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  // Yield (on a simulated task) or advance (on the driver); see above.
+  void WaitFor(double seconds, Waker* waker = nullptr) override;
+
+  bool IsSimulated() const override { return true; }
+
+  // Moves virtual time forward to `t_seconds`; a target in the past is a
+  // no-op (virtual time is monotone). Scheduler/driver only.
+  void AdvanceTo(double t_seconds);
+  void AdvanceBy(double dt_seconds) { AdvanceTo(NowSeconds() + dt_seconds); }
+
+ private:
+  std::atomic<double> now_;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_SIM_SIM_CLOCK_H_

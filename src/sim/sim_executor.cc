@@ -1,0 +1,263 @@
+#include "sim/sim_executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace kdv {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+thread_local SimExecutor* tls_executor = nullptr;
+}  // namespace
+
+SimExecutor* CurrentSimTaskExecutor() { return tls_executor; }
+
+// One admitted task. State transitions (all under mu_):
+//
+//   kQueued   --slot frees-->  kRunnable  --scheduler picks-->  kRunning
+//   kRunning  --TaskWait-->    kSleeping  --due / woken-->      kRunnable
+//   kRunning  --fn returns-->  kDone      --driver joins & erases
+//
+// The OS thread is spawned lazily on the first resume and parked in
+// TaskWait between resumes, so "one task at a time" is enforced by the
+// resume/yield handshake, not by trusting the OS scheduler.
+struct SimExecutor::Task {
+  enum State { kQueued, kRunnable, kRunning, kSleeping, kDone };
+
+  uint64_t id = 0;
+  std::function<void()> fn;
+  std::thread thread;
+  bool started = false;
+
+  State state = kQueued;
+  double wake_at = 0.0;       // kSleeping: due at this virtual time
+  bool wake_pending = false;  // a Waker fired while not (yet) sleeping
+  bool resume = false;        // driver -> task handshake flag
+  std::condition_variable resume_cv;
+};
+
+SimExecutor::SimExecutor(SimClock* clock, Options options)
+    : clock_(clock),
+      num_workers_(std::max(1, options.num_workers)),
+      max_queue_(options.max_queue),
+      rng_state_(options.seed != 0 ? options.seed : 0x9E3779B97F4A7C15ull) {
+  KDV_CHECK(clock_ != nullptr);
+}
+
+SimExecutor::~SimExecutor() { Stop(); }
+
+uint64_t SimExecutor::NextRandom() {
+  // xorshift64*: cheap, seedable, and good enough to diversify schedules.
+  uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+Status SimExecutor::TrySubmit(std::function<void()> task) {
+  KDV_CHECK(task != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    return UnavailableError("sim executor is stopped");
+  }
+  if (queued_.size() >= max_queue_) {
+    return ResourceExhaustedError("sim executor queue is full (" +
+                                  std::to_string(max_queue_) + " tasks)");
+  }
+  auto t = std::make_unique<Task>();
+  t->id = next_id_++;
+  t->fn = std::move(task);
+  queued_.push_back(std::move(t));
+  return OkStatus();
+}
+
+size_t SimExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_.size();
+}
+
+uint64_t SimExecutor::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+uint64_t SimExecutor::steps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steps_;
+}
+
+SimExecutor::Task* SimExecutor::PickLocked(bool allow_advance,
+                                           double advance_limit) {
+  for (;;) {
+    // Admit queued tasks to free worker slots, FIFO like ThreadPool.
+    while (static_cast<int>(active_.size()) < num_workers_ &&
+           !queued_.empty()) {
+      std::unique_ptr<Task> t = std::move(queued_.front());
+      queued_.pop_front();
+      t->state = Task::kRunnable;
+      active_.push_back(std::move(t));
+    }
+
+    const double now = clock_->NowSeconds();
+    std::vector<Task*> runnable;
+    double next_wake = kInfinity;
+    for (auto& t : active_) {
+      if (t->state == Task::kSleeping &&
+          (t->wake_pending || t->wake_at <= now)) {
+        t->state = Task::kRunnable;
+        t->wake_pending = false;
+      }
+      if (t->state == Task::kRunnable) {
+        runnable.push_back(t.get());
+      } else if (t->state == Task::kSleeping) {
+        next_wake = std::min(next_wake, t->wake_at);
+      }
+    }
+    if (!runnable.empty()) {
+      return runnable[NextRandom() % runnable.size()];
+    }
+    if (next_wake < kInfinity && allow_advance && next_wake <= advance_limit) {
+      clock_->AdvanceTo(next_wake);
+      continue;  // the due sleeper(s) promote on the next pass
+    }
+    return nullptr;
+  }
+}
+
+void SimExecutor::ResumeLocked(std::unique_lock<std::mutex>& lock,
+                               Task* task) {
+  ++steps_;
+  task->state = Task::kRunning;
+  if (!task->started) {
+    task->started = true;
+    task->thread = std::thread(&SimExecutor::TaskMain, this, task);
+  } else {
+    task->resume = true;
+    task->resume_cv.notify_one();
+  }
+  // The resumed task runs alone until it parks in TaskWait or finishes;
+  // either way it flips its state and signals sched_cv_.
+  sched_cv_.wait(lock, [task] { return task->state != Task::kRunning; });
+}
+
+bool SimExecutor::StepOnce(bool allow_advance, double advance_limit) {
+  std::unique_ptr<Task> finished;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Task* task = PickLocked(allow_advance, advance_limit);
+    if (task == nullptr) return false;
+    ResumeLocked(lock, task);
+    if (task->state == Task::kDone) {
+      for (auto it = active_.begin(); it != active_.end(); ++it) {
+        if (it->get() == task) {
+          finished = std::move(*it);
+          active_.erase(it);
+          break;
+        }
+      }
+      ++executed_;
+    }
+  }
+  // Join outside mu_: the task thread's final act takes mu_ to flip kDone.
+  if (finished != nullptr && finished->thread.joinable()) {
+    finished->thread.join();
+  }
+  return true;
+}
+
+bool SimExecutor::RunOneStep() { return StepOnce(true, kInfinity); }
+
+void SimExecutor::RunUntilIdle() {
+  while (RunOneStep()) {
+  }
+}
+
+void SimExecutor::AdvanceUntil(double target_seconds) {
+  while (StepOnce(true, target_seconds)) {
+  }
+  clock_->AdvanceTo(target_seconds);
+}
+
+void SimExecutor::RunReady() {
+  while (StepOnce(false, 0.0)) {
+  }
+}
+
+void SimExecutor::Stop() {
+  KDV_CHECK(tls_executor != this);  // Stop from a pooled task would deadlock
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  RunUntilIdle();
+}
+
+void SimExecutor::TaskMain(Task* task) {
+  tls_executor = this;
+  task->fn();
+  tls_executor = nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  task->state = Task::kDone;
+  sched_cv_.notify_all();
+}
+
+void SimExecutor::WakeTaskById(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& t : active_) {
+    if (t->id == id) {
+      t->wake_pending = true;
+      return;
+    }
+  }
+  // Not found: the task already completed — the one-shot hook outlived it.
+}
+
+void SimExecutor::TaskWait(double seconds, Waker* waker) {
+  Task* task = nullptr;
+  {
+    // Identify the calling task by matching the running state: exactly one
+    // task is kRunning at a time, and only it can be calling in.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& t : active_) {
+      if (t->state == Task::kRunning) {
+        task = t.get();
+        break;
+      }
+    }
+  }
+  KDV_CHECK(task != nullptr);
+  const uint64_t id = task->id;
+  if (waker != nullptr) {
+    // Register before parking. If the waker is already set the hook fires
+    // synchronously here, wake_pending goes up, and the sleep below
+    // collapses to an immediate reschedule — still a yield point, so the
+    // interleaving stays deterministic.
+    waker->SetNotifyHook([this, id] { WakeTaskById(id); });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const double now = clock_->NowSeconds();
+    task->wake_at = seconds > 0 ? now + seconds : now;
+    if (task->wake_pending) {
+      task->wake_at = now;
+      task->wake_pending = false;
+    }
+    task->state = Task::kSleeping;
+    task->resume = false;
+    sched_cv_.notify_all();  // hand control back to the driver
+    task->resume_cv.wait(lock, [task] { return task->resume; });
+    task->resume = false;
+  }
+  if (waker != nullptr) {
+    waker->SetNotifyHook(nullptr);  // clears the hook only if it never fired
+  }
+}
+
+}  // namespace kdv

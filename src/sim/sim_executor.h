@@ -1,0 +1,151 @@
+// Deterministic cooperative executor: the simulator's ThreadPool stand-in.
+//
+// SimExecutor implements the Executor contract (util/thread_pool.h) the
+// render service and the parallel frame renderers program against, but
+// replaces preemptive OS scheduling with FoundationDB-style cooperative
+// scheduling: every submitted task runs on its own real thread, yet *at
+// most one task executes at any instant*. The scheduler resumes one task,
+// waits until it either finishes or parks itself in SimClock::WaitFor (a
+// yield point), then consults a seeded PRNG to pick the next runnable
+// task. Because the only scheduling decisions are (a) which runnable task
+// runs next and (b) how far virtual time jumps — both pure functions of
+// the seed and the task set — an entire chaotic multi-"threaded" run
+// replays bit-identically from its seed.
+//
+// The worker-slot model mirrors ThreadPool: at most `num_workers` tasks
+// are active (admitted to a slot) concurrently in the simulated sense;
+// further admitted tasks wait FIFO in the queue, and TrySubmit sheds with
+// kResourceExhausted past max_queue exactly like the real pool, so the
+// service's admission control behaves identically under simulation.
+//
+// Yield points. A task yields only inside SimClock::WaitFor — which is
+// where every sleep in the serve stack already goes (retry backoff,
+// failpoint delays, watchdog stall loops). A task that blocks on a raw
+// condition_variable the scheduler cannot see would deadlock the
+// simulation; the serve stack has exactly one such construct (the parallel
+// renderer's tile completion latch), which is why the simulator leaves
+// Options::tile_executor unset and renders frames serially.
+//
+// Wakers. TaskWait registers a notify hook on the caller's Waker *before*
+// parking, so a Set() from any other task (or the driver) promotes the
+// sleeper back to runnable at the current virtual time. A Waker shared by
+// several concurrent sleepers keeps only the most recent hook; that is
+// fine because hooks are an accelerator, not a correctness mechanism —
+// every sleep also carries a finite wake_at the scheduler honors.
+//
+// Thread safety: TrySubmit and the stat accessors may be called from the
+// driver or from a running task. The scheduling surface (RunOneStep /
+// RunUntilIdle / AdvanceUntil / Stop) is the driver thread's alone.
+#ifndef QUADKDV_SIM_SIM_EXECUTOR_H_
+#define QUADKDV_SIM_SIM_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/sim_clock.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace kdv {
+
+class SimExecutor : public Executor {
+ public:
+  struct Options {
+    int num_workers = 2;    // simulated worker slots (clamped to >= 1)
+    size_t max_queue = 16;  // tasks waiting beyond the active ones
+    uint64_t seed = 1;      // scheduling PRNG seed (xorshift64*)
+  };
+
+  // `clock` is the run's virtual clock, borrowed; it must outlive the
+  // executor. The executor advances it when every active task is asleep.
+  SimExecutor(SimClock* clock, Options options);
+  ~SimExecutor() override;  // Stop()
+
+  SimExecutor(const SimExecutor&) = delete;
+  SimExecutor& operator=(const SimExecutor&) = delete;
+
+  // Executor contract — identical rejection behavior to ThreadPool:
+  // kUnavailable after Stop(), kResourceExhausted past max_queue. The task
+  // does not start running here; it runs when the scheduler picks it.
+  Status TrySubmit(std::function<void()> task) override;
+
+  // Drains every admitted task to completion (advancing virtual time as
+  // needed for sleepers), then rejects further submits. Driver thread
+  // only; must not be called from a simulated task. Idempotent.
+  void Stop() override;
+
+  int num_threads() const override { return num_workers_; }
+  size_t queue_depth() const override;
+  uint64_t tasks_executed() const override;
+
+  // --- Scheduling surface (driver thread only) ----------------------------
+
+  // Runs one task until its next yield point or completion. When nothing is
+  // runnable, advances virtual time to the earliest sleeper's deadline
+  // first. Returns false when no task exists to run (queue and slots both
+  // empty).
+  bool RunOneStep();
+
+  // RunOneStep until it returns false: every admitted task has completed.
+  void RunUntilIdle();
+
+  // Advances virtual time to `target_seconds`, executing every task step
+  // that becomes due on the way (the simulation's "let dt elapse" op).
+  // Steps that need no time advance run first; sleepers are woken in
+  // deadline order. On return the clock reads exactly `target_seconds`
+  // (or later, if it already did).
+  void AdvanceUntil(double target_seconds);
+
+  // Runs only steps that are due *now* — never advances the clock.
+  void RunReady();
+
+  // Total scheduling decisions taken (one per task resume). Event-log
+  // fodder: two runs of the same seed must agree on this.
+  uint64_t steps() const;
+
+  // --- Internal: SimClock::WaitFor routes simulated-task waits here ------
+  void TaskWait(double seconds, Waker* waker);
+
+ private:
+  struct Task;
+
+  // The running simulated task of the calling thread, or null when the
+  // caller is not a simulated task (the driver). SimClock uses this to
+  // route WaitFor.
+  friend SimExecutor* CurrentSimTaskExecutor();
+
+  Task* PickLocked(bool allow_advance, double advance_limit);
+  void ResumeLocked(std::unique_lock<std::mutex>& lock, Task* task);
+  bool StepOnce(bool allow_advance, double advance_limit);
+  void TaskMain(Task* task);
+  void WakeTaskById(uint64_t id);
+  uint64_t NextRandom();
+
+  SimClock* const clock_;
+  const int num_workers_;
+  const size_t max_queue_;
+
+  mutable std::mutex mu_;
+  std::condition_variable sched_cv_;  // driver waits for the running task
+  std::deque<std::unique_ptr<Task>> queued_;           // admitted, no slot yet
+  std::vector<std::unique_ptr<Task>> active_;          // hold a worker slot
+  bool stopping_ = false;
+  uint64_t next_id_ = 1;
+  uint64_t executed_ = 0;
+  uint64_t steps_ = 0;
+  uint64_t rng_state_;
+};
+
+// The SimExecutor scheduling the calling thread's simulated task, or null
+// when the caller is the driver (or any non-simulated thread).
+SimExecutor* CurrentSimTaskExecutor();
+
+}  // namespace kdv
+
+#endif  // QUADKDV_SIM_SIM_EXECUTOR_H_

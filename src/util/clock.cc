@@ -1,0 +1,118 @@
+#include "util/clock.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace kdv {
+
+void Waker::Set() {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (set_) return;
+    set_ = true;
+    hook = std::move(hook_);
+    hook_ = nullptr;
+  }
+  cv_.notify_all();
+  if (hook) hook();
+}
+
+bool Waker::is_set() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return set_;
+}
+
+bool Waker::BlockFor(double seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (set_ || seconds <= 0.0) return set_;
+  cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+               [this] { return set_; });
+  return set_;
+}
+
+void Waker::SetNotifyHook(std::function<void()> hook) {
+  bool already_set;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    already_set = set_;
+    hook_ = already_set ? nullptr : std::move(hook);
+  }
+  // Installed after the fact: honor the fire-once contract immediately.
+  if (already_set && hook) hook();
+}
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+double RealClock::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ProcessEpoch())
+      .count();
+}
+
+void RealClock::WaitFor(double seconds, Waker* waker) {
+  if (waker != nullptr) {
+    waker->BlockFor(seconds);
+    return;
+  }
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+double ManualClock::NowSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void ManualClock::WaitFor(double seconds, Waker* waker) {
+  if (waker != nullptr && waker->is_set()) return;
+  if (seconds <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ += seconds;
+}
+
+void ManualClock::Advance(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (seconds > 0.0) now_ += seconds;
+}
+
+void ManualClock::SetTime(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (seconds > now_) now_ = seconds;
+}
+
+namespace {
+
+RealClock& DefaultClock() {
+  static RealClock clock;
+  return clock;
+}
+
+std::atomic<Clock*>& CurrentClockSlot() {
+  static std::atomic<Clock*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+Clock* CurrentClock() {
+  Clock* clock = CurrentClockSlot().load(std::memory_order_acquire);
+  return clock != nullptr ? clock : &DefaultClock();
+}
+
+Clock* SetCurrentClock(Clock* clock) {
+  Clock* previous =
+      CurrentClockSlot().exchange(clock, std::memory_order_acq_rel);
+  return previous != nullptr ? previous : nullptr;
+}
+
+}  // namespace kdv

@@ -1,0 +1,152 @@
+// Unified clock abstraction: one time seam for the whole serving stack.
+//
+// Before this header existed, "what time is it" reached the serve layer
+// through three unrelated seams — `CircuitBreaker::ClockFn`, the raw
+// steady_clock inside `util/Timer`, and per-component `std::function`
+// clocks on the governor/watchdog/scrubber — each with its own
+// null-means-steady-clock fallback. Deterministic simulation (src/sim/)
+// needs every one of those reads to come from a single virtual clock, so
+// they are unified here:
+//
+//   * `Clock` is the interface: `NowSeconds()` (monotonic seconds) plus the
+//     waitable primitives `WaitFor()` / `SleepUntil()`.
+//   * `RealClock` reads std::chrono::steady_clock; waits park the calling
+//     thread (interruptibly, via a `Waker`).
+//   * `ManualClock` is the unit-test clock: tests advance it explicitly.
+//   * `SimClock` (src/sim/sim_clock.h) is the simulation's virtual clock:
+//     a wait from a simulated task is a cooperative yield to the scheduler,
+//     and time advances only when every task is blocked.
+//
+// `CurrentClock()` is the process-wide default used by `Timer`/`Deadline`
+// and every component whose injected clock is null. The simulator installs
+// its SimClock there (`ScopedClockOverride`) so even code that never heard
+// of dependency injection — deadline math deep in the refinement loops,
+// failpoint delays — runs on virtual time. Outside the simulator the
+// default is a process-lifetime RealClock.
+//
+// Thread safety: all Clock implementations here are safe to share across
+// threads. A Waker may be Set() from any thread, once; further Sets are
+// no-ops.
+#ifndef QUADKDV_UTIL_CLOCK_H_
+#define QUADKDV_UTIL_CLOCK_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+namespace kdv {
+
+// One-shot wake-up latch for interruptible waits. A sleeper passes a Waker
+// to Clock::WaitFor; anyone who wants the sleeper up early calls Set().
+// Once set, every current and future wait on it returns immediately —
+// exactly the semantics a stop flag needs (Stop() is terminal).
+class Waker {
+ public:
+  Waker() = default;
+  Waker(const Waker&) = delete;
+  Waker& operator=(const Waker&) = delete;
+
+  // Wakes all current and future waiters. Idempotent; callable from any
+  // thread. The notify hook (if any) runs outside the internal lock.
+  void Set();
+
+  bool is_set() const;
+
+  // Parks the calling thread until Set() or `seconds` elapse (real time).
+  // Returns is_set(). RealClock::WaitFor delegates here.
+  bool BlockFor(double seconds);
+
+  // Simulation integration: `hook` is invoked exactly once, on the first
+  // Set() after installation (or never). The simulator uses it to move a
+  // parked virtual task back to the runnable set. Passing nullptr clears
+  // an un-fired hook.
+  void SetNotifyHook(std::function<void()> hook);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool set_ = false;
+  std::function<void()> hook_;
+};
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic seconds. The epoch is arbitrary (process start for RealClock,
+  // simulation start for SimClock); only differences are meaningful.
+  virtual double NowSeconds() const = 0;
+
+  // Waits up to `seconds` (<= 0: still a scheduling point, but no delay).
+  // If `waker` is non-null the wait ends early when it is set; if it is
+  // already set the call returns immediately.
+  virtual void WaitFor(double seconds, Waker* waker = nullptr) = 0;
+
+  // Waits until NowSeconds() >= deadline_seconds (same early-out contract).
+  void SleepUntil(double deadline_seconds, Waker* waker = nullptr) {
+    WaitFor(deadline_seconds - NowSeconds(), waker);
+  }
+
+  // True for clocks whose time is simulated (SimClock). Lets diagnostics
+  // annotate whether a timestamp is wall time.
+  virtual bool IsSimulated() const { return false; }
+};
+
+// std::chrono::steady_clock, with the epoch pinned at first use so
+// NowSeconds() stays small and double-precision-friendly for
+// process-lifetime runs.
+class RealClock : public Clock {
+ public:
+  double NowSeconds() const override;
+  void WaitFor(double seconds, Waker* waker = nullptr) override;
+};
+
+// Test clock: time moves only when the test says so. NowSeconds is
+// thread-safe, so it can back a CircuitBreaker exercised from worker
+// threads while the test thread advances it.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(double start_seconds = 0.0) : now_(start_seconds) {}
+
+  double NowSeconds() const override;
+  // WaitFor on a manual clock advances it (a sleeper IS the clock's only
+  // driver in a single-threaded test); a set waker suppresses the advance.
+  void WaitFor(double seconds, Waker* waker = nullptr) override;
+
+  void Advance(double seconds);
+  void SetTime(double seconds);
+
+ private:
+  mutable std::mutex mu_;
+  double now_ = 0.0;
+};
+
+// Process-wide default clock. Never null: defaults to a process-lifetime
+// RealClock. Everything without an explicitly injected clock — Timer,
+// Deadline, failpoint delays, the components' null-clock fallbacks — reads
+// through this.
+Clock* CurrentClock();
+
+// Installs `clock` as the process default and returns the previous one.
+// Passing nullptr restores the RealClock. Intended for the simulator (and
+// tests); swapping clocks while unrelated threads are timing things is the
+// caller's hazard to manage.
+Clock* SetCurrentClock(Clock* clock);
+
+// RAII for SetCurrentClock.
+class ScopedClockOverride {
+ public:
+  explicit ScopedClockOverride(Clock* clock)
+      : previous_(SetCurrentClock(clock)) {}
+  ~ScopedClockOverride() { SetCurrentClock(previous_); }
+
+  ScopedClockOverride(const ScopedClockOverride&) = delete;
+  ScopedClockOverride& operator=(const ScopedClockOverride&) = delete;
+
+ private:
+  Clock* previous_;
+};
+
+}  // namespace kdv
+
+#endif  // QUADKDV_UTIL_CLOCK_H_

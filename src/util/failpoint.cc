@@ -10,6 +10,8 @@
 #include <mutex>
 #include <thread>
 
+#include "util/clock.h"
+
 namespace kdv {
 namespace failpoint {
 
@@ -64,8 +66,11 @@ Action ConsumeHit(const char* site, int* delay_ms) {
   return action;
 }
 
+// Injected delays go through the clock seam: under the simulator they spend
+// virtual time (and are cooperative yield points), so a delay(MS) failpoint
+// interacts with watchdogs and deadlines deterministically.
 void SleepMs(int ms) {
-  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  if (ms > 0) CurrentClock()->WaitFor(ms / 1000.0);
 }
 
 }  // namespace

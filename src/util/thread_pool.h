@@ -33,7 +33,35 @@
 
 namespace kdv {
 
-class ThreadPool {
+// Task-submission surface shared by ThreadPool (real threads) and the
+// simulator's SimExecutor (cooperatively scheduled virtual tasks, see
+// src/sim/sim_executor.h). Everything above the substrate — the render
+// service, the parallel frame renderers — programs against this interface,
+// which is what lets the whole serve pipeline run deterministically under
+// simulation without code changes.
+//
+// Contract (identical for every implementation):
+//   * TrySubmit enqueues or rejects — kResourceExhausted when the queue is
+//     full, kUnavailable after Stop(); it never runs the task inline. An
+//     admitted task runs exactly once, even across Stop().
+//   * Stop() rejects further submits, runs every admitted task to
+//     completion, and is idempotent. Must not be called from a pooled task.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual Status TrySubmit(std::function<void()> task) = 0;
+  virtual void Stop() = 0;
+
+  // Worker-slot count (degree of parallelism admitted tasks may assume).
+  virtual int num_threads() const = 0;
+  // Tasks currently waiting in the queue (excludes running ones).
+  virtual size_t queue_depth() const = 0;
+  // Tasks completed since construction.
+  virtual uint64_t tasks_executed() const = 0;
+};
+
+class ThreadPool : public Executor {
  public:
   struct Options {
     int num_threads = 4;    // clamped to >= 1
@@ -41,7 +69,7 @@ class ThreadPool {
   };
 
   explicit ThreadPool(Options options);
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -50,19 +78,21 @@ class ThreadPool {
   //   kResourceExhausted — the queue already holds max_queue tasks
   //   kUnavailable       — Stop() has been called
   // An admitted task is guaranteed to run exactly once, even across Stop().
-  Status TrySubmit(std::function<void()> task);
+  Status TrySubmit(std::function<void()> task) override;
 
   // Graceful drain: rejects new submits, finishes every admitted task
   // (queued and in-flight), joins the workers. Idempotent.
-  void Stop();
+  void Stop() override;
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  int num_threads() const override {
+    return static_cast<int>(workers_.size());
+  }
 
   // Tasks currently waiting in the queue (excludes running ones).
-  size_t queue_depth() const;
+  size_t queue_depth() const override;
 
   // Tasks completed since construction.
-  uint64_t tasks_executed() const;
+  uint64_t tasks_executed() const override;
 
  private:
   void WorkerLoop();

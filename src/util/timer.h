@@ -1,29 +1,36 @@
-// Wall-clock timing utilities: a stopwatch and an anytime deadline.
+// Timing utilities: a stopwatch and an anytime deadline.
+//
+// Both read through the clock seam (util/clock.h): the backing Clock is
+// captured from CurrentClock() at construction, so a Timer or Deadline
+// created while the simulator's virtual clock is installed measures virtual
+// time — which is how deadline math deep inside the refinement loops runs
+// deterministically under simulation without any plumbing changes.
 #ifndef QUADKDV_UTIL_TIMER_H_
 #define QUADKDV_UTIL_TIMER_H_
 
-#include <chrono>
+#include "util/clock.h"
 
 namespace kdv {
 
 // Monotonic stopwatch. Starts running on construction.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : clock_(CurrentClock()), start_(clock_->NowSeconds()) {}
+  explicit Timer(const Clock* clock)
+      : clock_(clock != nullptr ? clock : CurrentClock()),
+        start_(clock_->NowSeconds()) {}
 
   // Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = clock_->NowSeconds(); }
 
   // Elapsed time since construction / last Reset, in seconds.
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double ElapsedSeconds() const { return clock_->NowSeconds() - start_; }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  const Clock* clock_;
+  double start_;
 };
 
 // A deadline for anytime algorithms (progressive visualization). A
@@ -32,6 +39,8 @@ class Deadline {
  public:
   // Budget in seconds from now; <= 0 means never expires.
   explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+  Deadline(double budget_seconds, const Clock* clock)
+      : timer_(clock), budget_(budget_seconds) {}
 
   bool Expired() const {
     return budget_ > 0.0 && timer_.ElapsedSeconds() >= budget_;

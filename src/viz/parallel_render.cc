@@ -142,7 +142,7 @@ void MergeTileStats(const std::vector<BatchStats>& tiles, BatchStats* stats) {
 
 template <typename Value, typename EvalPixel>
 void RenderFrameTiled(const KdeEvaluator& evaluator, const PixelGrid& grid,
-                      const RenderOptions& options, ThreadPool* pool,
+                      const RenderOptions& options, Executor* pool,
                       const QueryControl& control, BatchStats* stats,
                       const char* failpoint_site, std::vector<Value>* values,
                       const EvalPixel& eval) {
@@ -194,7 +194,7 @@ int ResolveRenderThreads(int num_threads) {
 DensityFrame RenderEpsFrameParallel(const KdeEvaluator& evaluator,
                                     const PixelGrid& grid, double eps,
                                     const RenderOptions& options,
-                                    ThreadPool* pool,
+                                    Executor* pool,
                                     const QueryControl& control,
                                     BatchStats* stats) {
   DensityFrame frame(grid.width(), grid.height());
@@ -215,7 +215,7 @@ DensityFrame RenderEpsFrameParallel(const KdeEvaluator& evaluator,
 BinaryFrame RenderTauFrameParallel(const KdeEvaluator& evaluator,
                                    const PixelGrid& grid, double tau,
                                    const RenderOptions& options,
-                                   ThreadPool* pool,
+                                   Executor* pool,
                                    const QueryControl& control,
                                    BatchStats* stats) {
   BinaryFrame frame(grid.width(), grid.height());
@@ -236,7 +236,7 @@ BinaryFrame RenderTauFrameParallel(const KdeEvaluator& evaluator,
 DensityFrame RenderExactFrameParallel(const KdeEvaluator& evaluator,
                                       const PixelGrid& grid,
                                       const RenderOptions& options,
-                                      ThreadPool* pool,
+                                      Executor* pool,
                                       const QueryControl& control,
                                       BatchStats* stats) {
   DensityFrame frame(grid.width(), grid.height());

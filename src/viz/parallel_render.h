@@ -39,7 +39,7 @@ namespace kdv {
 struct RenderOptions {
   // Worker threads per frame, including the calling thread. 0 means
   // hardware_concurrency; 1 renders serially in the caller. Values above 1
-  // only take effect when a ThreadPool is supplied.
+  // only take effect when an Executor is supplied.
   int num_threads = 1;
   // Grid rows per work item. Small tiles balance load (refinement cost
   // varies wildly across a frame: pixels near dense clusters converge fast,
@@ -61,7 +61,7 @@ int ResolveRenderThreads(int num_threads);
 DensityFrame RenderEpsFrameParallel(const KdeEvaluator& evaluator,
                                     const PixelGrid& grid, double eps,
                                     const RenderOptions& options,
-                                    ThreadPool* pool,
+                                    Executor* pool,
                                     const QueryControl& control,
                                     BatchStats* stats);
 
@@ -69,7 +69,7 @@ DensityFrame RenderEpsFrameParallel(const KdeEvaluator& evaluator,
 BinaryFrame RenderTauFrameParallel(const KdeEvaluator& evaluator,
                                    const PixelGrid& grid, double tau,
                                    const RenderOptions& options,
-                                   ThreadPool* pool,
+                                   Executor* pool,
                                    const QueryControl& control,
                                    BatchStats* stats);
 
@@ -77,7 +77,7 @@ BinaryFrame RenderTauFrameParallel(const KdeEvaluator& evaluator,
 DensityFrame RenderExactFrameParallel(const KdeEvaluator& evaluator,
                                       const PixelGrid& grid,
                                       const RenderOptions& options,
-                                      ThreadPool* pool,
+                                      Executor* pool,
                                       const QueryControl& control,
                                       BatchStats* stats);
 

@@ -111,17 +111,17 @@ TEST(RetryClassificationTest, OnlyInternalFaultsAreRetryable) {
 // OverloadGovernor
 // ---------------------------------------------------------------------------
 
-OverloadGovernor::Options GovernorOptions(double* now) {
+OverloadGovernor::Options GovernorOptions(ManualClock* clock) {
   OverloadGovernor::Options options;
   options.enabled = true;
   options.in_flight_capacity = 10;
   options.recover_hold_seconds = 0.5;
-  options.clock = [now] { return *now; };
+  options.clock = clock;
   return options;
 }
 
 TEST(OverloadGovernorTest, EscalatesImmediatelyAsPressureRises) {
-  double now = 0.0;
+  ManualClock now;
   OverloadGovernor governor(GovernorOptions(&now));
 
   governor.RecordInFlight(2);  // pressure 0.2
@@ -155,7 +155,7 @@ TEST(OverloadGovernorTest, EscalatesImmediatelyAsPressureRises) {
   d = governor.Assess();
   EXPECT_TRUE(d.shed);
   EXPECT_LE(d.eps_multiplier,
-            GovernorOptions(&now).eps_max_multiplier + 1e-12);
+            OverloadGovernor::Options().eps_max_multiplier + 1e-12);
 
   OverloadGovernor::Stats stats = governor.stats();
   EXPECT_EQ(stats.max_level, OverloadGovernor::Level::kCoarse);
@@ -164,7 +164,7 @@ TEST(OverloadGovernorTest, EscalatesImmediatelyAsPressureRises) {
 }
 
 TEST(OverloadGovernorTest, DeEscalatesOneLevelAtATimeAfterTheHold) {
-  double now = 0.0;
+  ManualClock now;
   OverloadGovernor governor(GovernorOptions(&now));
 
   governor.RecordInFlight(9);
@@ -174,16 +174,16 @@ TEST(OverloadGovernorTest, DeEscalatesOneLevelAtATimeAfterTheHold) {
   // level must not move until recover_hold_seconds have elapsed.
   governor.RecordInFlight(0);
   EXPECT_EQ(governor.Assess().level, OverloadGovernor::Level::kCoarse);
-  now = 0.4;  // hold is 0.5
+  now.SetTime(0.4);  // hold is 0.5
   EXPECT_EQ(governor.Assess().level, OverloadGovernor::Level::kCoarse);
-  now = 0.6;
+  now.SetTime(0.6);
   EXPECT_EQ(governor.Assess().level, OverloadGovernor::Level::kProgressive);
   // One step only; the next hold starts at the next calm assessment (0.9).
-  now = 0.9;
+  now.SetTime(0.9);
   EXPECT_EQ(governor.Assess().level, OverloadGovernor::Level::kProgressive);
-  now = 1.2;
+  now.SetTime(1.2);
   EXPECT_EQ(governor.Assess().level, OverloadGovernor::Level::kProgressive);
-  now = 1.5;
+  now.SetTime(1.5);
   EXPECT_EQ(governor.Assess().level, OverloadGovernor::Level::kNormal);
 
   // Transition log: every step is exactly one level, escalations included.
@@ -204,27 +204,27 @@ TEST(OverloadGovernorTest, DeEscalatesOneLevelAtATimeAfterTheHold) {
 }
 
 TEST(OverloadGovernorTest, PressureSpikeDuringTheHoldResetsIt) {
-  double now = 0.0;
+  ManualClock now;
   OverloadGovernor governor(GovernorOptions(&now));
   governor.RecordInFlight(9);
   ASSERT_EQ(governor.Assess().level, OverloadGovernor::Level::kCoarse);
 
   governor.RecordInFlight(0);
   governor.Assess();  // hold starts at t=0
-  now = 0.3;
+  now.SetTime(0.3);
   governor.RecordInFlight(7);  // 0.7: above coarse's exit threshold (0.65)
   governor.Assess();           // resets the hold
   governor.RecordInFlight(0);
-  now = 0.7;  // a fresh hold starts here, not at the original t=0
+  now.SetTime(0.7);  // a fresh hold starts here, not at the original t=0
   EXPECT_EQ(governor.Assess().level, OverloadGovernor::Level::kCoarse);
-  now = 1.0;  // 0.3s into the fresh hold: still not enough
+  now.SetTime(1.0);  // 0.3s into the fresh hold: still not enough
   EXPECT_EQ(governor.Assess().level, OverloadGovernor::Level::kCoarse);
-  now = 1.2;
+  now.SetTime(1.2);
   EXPECT_EQ(governor.Assess().level, OverloadGovernor::Level::kProgressive);
 }
 
 TEST(OverloadGovernorTest, StaleQueueWaitSignalDecaysInsteadOfSheddingForever) {
-  double now = 0.0;
+  ManualClock now;
   OverloadGovernor::Options options = GovernorOptions(&now);
   options.queue_wait_saturation_seconds = 0.1;
   options.queue_wait_decay_halflife_seconds = 1.0;
@@ -237,9 +237,9 @@ TEST(OverloadGovernorTest, StaleQueueWaitSignalDecaysInsteadOfSheddingForever) {
   OverloadGovernor::Decision d = governor.Assess();
   EXPECT_TRUE(d.shed);
 
-  now = 1.0;  // one half-life: pressure 2.0, still shedding
+  now.SetTime(1.0);  // one half-life: pressure 2.0, still shedding
   EXPECT_TRUE(governor.Assess().shed);
-  now = 3.0;  // three half-lives: pressure 0.5, below every threshold
+  now.SetTime(3.0);  // three half-lives: pressure 0.5, below every threshold
   d = governor.Assess();
   EXPECT_FALSE(d.shed);
   EXPECT_LT(d.pressure, options.enter_progressive);
@@ -247,16 +247,16 @@ TEST(OverloadGovernorTest, StaleQueueWaitSignalDecaysInsteadOfSheddingForever) {
   // The level itself still unwinds hysteretically: coarse until the hold
   // elapses, then one step per hold.
   EXPECT_EQ(d.level, OverloadGovernor::Level::kCoarse);
-  now = 3.6;  // hold (0.5s) elapsed since the calm assessment at t=3.0
+  now.SetTime(3.6);  // hold (0.5s) elapsed since the calm assessment at t=3.0
   EXPECT_EQ(governor.Assess().level, OverloadGovernor::Level::kProgressive);
-  now = 4.0;  // next hold starts here...
+  now.SetTime(4.0);  // next hold starts here...
   EXPECT_EQ(governor.Assess().level, OverloadGovernor::Level::kProgressive);
-  now = 4.6;  // ...and completes: back to the full certified ladder
+  now.SetTime(4.6);  // ...and completes: back to the full certified ladder
   EXPECT_EQ(governor.Assess().level, OverloadGovernor::Level::kNormal);
 }
 
 TEST(OverloadGovernorTest, MemoryPressureAloneCanTriggerBrownout) {
-  double now = 0.0;
+  ManualClock now;
   OverloadGovernor::Options options = GovernorOptions(&now);
   options.memory_budget_bytes = 1000;
   OverloadGovernor governor(options);

@@ -139,10 +139,10 @@ TEST(BackoffTest, SequenceGrowsToCapAndJitterStaysInBand) {
 
 class BreakerTest : public ::testing::Test {
  protected:
-  double now_ = 0.0;
+  ManualClock clock_;
   CircuitBreaker::Options opts_{/*failure_threshold=*/3,
                                 /*cooldown_seconds=*/1.0};
-  CircuitBreaker breaker_{opts_, [this] { return now_; }};
+  CircuitBreaker breaker_{opts_, &clock_};
 };
 
 TEST_F(BreakerTest, TripsAfterConsecutiveFaultsOnly) {
@@ -162,9 +162,9 @@ TEST_F(BreakerTest, TripsAfterConsecutiveFaultsOnly) {
 TEST_F(BreakerTest, HalfOpenProbeRecoversAfterCooldown) {
   for (int i = 0; i < 3; ++i) breaker_.RecordFault();
   ASSERT_EQ(breaker_.state(), CircuitBreaker::State::kOpen);
-  now_ = 0.5;
+  clock_.SetTime(0.5);
   EXPECT_FALSE(breaker_.AllowCertified());  // still cooling down
-  now_ = 1.5;
+  clock_.SetTime(1.5);
   EXPECT_TRUE(breaker_.AllowCertified());  // the half-open probe
   EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kHalfOpen);
   EXPECT_FALSE(breaker_.AllowCertified());  // only one probe at a time
@@ -175,14 +175,14 @@ TEST_F(BreakerTest, HalfOpenProbeRecoversAfterCooldown) {
 
 TEST_F(BreakerTest, FailedProbeReopensAndRestartsCooldown) {
   for (int i = 0; i < 3; ++i) breaker_.RecordFault();
-  now_ = 1.5;
+  clock_.SetTime(1.5);
   ASSERT_TRUE(breaker_.AllowCertified());
   breaker_.RecordFault();  // probe failed
   EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kOpen);
   EXPECT_EQ(breaker_.trips(), 2u);
-  now_ = 2.0;  // cooldown restarted at 1.5
+  clock_.SetTime(2.0);  // cooldown restarted at 1.5
   EXPECT_FALSE(breaker_.AllowCertified());
-  now_ = 2.6;
+  clock_.SetTime(2.6);
   EXPECT_TRUE(breaker_.AllowCertified());
 }
 
@@ -689,8 +689,8 @@ TEST_F(ServiceChaosTest, TransientFaultIsRetriedWithBackoffAndRecovers) {
   RenderService::Options options;
   options.num_threads = 1;
   options.max_attempts = 3;
-  std::vector<double> slept;
-  options.sleep_ms = [&slept](double ms) { slept.push_back(ms); };
+  ManualClock clock;  // backoff sleeps advance it; nothing else does
+  options.clock = &clock;
   RenderService service(&evaluator_, options);
 
   StatusOr<std::future<ServeOutcome>> t =
@@ -702,8 +702,9 @@ TEST_F(ServiceChaosTest, TransientFaultIsRetriedWithBackoffAndRecovers) {
   EXPECT_TRUE(outcome.ok());  // second attempt succeeded
   EXPECT_EQ(outcome.attempts, 2);
   EXPECT_EQ(outcome.render.tier, QualityTier::kCertified);
-  ASSERT_EQ(slept.size(), 1u);
-  EXPECT_GT(slept[0], 0.0);
+  // Exactly one backoff sleep ran, and it went through the clock seam:
+  // the manual clock only moves when the service's retry path waits on it.
+  EXPECT_GT(clock.NowSeconds(), 0.0);
   ServiceStats stats = service.stats();
   EXPECT_EQ(stats.retries, 1u);
   EXPECT_EQ(stats.faults, 1u);
@@ -717,7 +718,8 @@ TEST_F(ServiceChaosTest, PersistentFaultExhaustsRetriesAndShipsDegraded) {
   options.num_threads = 1;
   options.max_attempts = 3;
   options.breaker.failure_threshold = 100;  // keep the breaker out of this
-  options.sleep_ms = [](double) {};
+  ManualClock clock;  // retry backoff burns virtual time, not wall time
+  options.clock = &clock;
   RenderService service(&evaluator_, options);
 
   StatusOr<std::future<ServeOutcome>> t =
@@ -737,15 +739,15 @@ TEST_F(ServiceChaosTest, PersistentFaultExhaustsRetriesAndShipsDegraded) {
 TEST_F(ServiceChaosTest, BreakerTripsServesCoarseDirectlyAndRecovers) {
   ASSERT_TRUE(
       failpoint::Arm("serve.render", failpoint::Action::kError).ok());
-  // Fake breaker clock: the cooldown elapses when the test says so, not
+  // Manual service clock: the cooldown elapses when the test says so, not
   // when wall time passes (TSAN slows everything down unpredictably).
-  auto fake_now = std::make_shared<std::atomic<double>>(0.0);
+  ManualClock clock;
   RenderService::Options options;
   options.num_threads = 1;
   options.max_attempts = 1;  // one fault per request: deterministic count
   options.breaker.failure_threshold = 3;
   options.breaker.cooldown_seconds = 60.0;
-  options.breaker_clock = [fake_now] { return fake_now->load(); };
+  options.clock = &clock;
   RenderService service(&evaluator_, options);
   ServeRequestOptions request;
 
@@ -789,7 +791,7 @@ TEST_F(ServiceChaosTest, BreakerTripsServesCoarseDirectlyAndRecovers) {
   // Heal the path and let the cooldown elapse: the half-open probe
   // recovers.
   failpoint::Reset();
-  fake_now->store(120.0);
+  clock.SetTime(120.0);
   {
     StatusOr<std::future<ServeOutcome>> t = service.Submit(grid_, request);
     ASSERT_TRUE(t.ok());
@@ -809,13 +811,16 @@ TEST_F(ServiceChaosTest, WatchdogKillsWedgedRenderAndBreakerRecovers) {
   ASSERT_TRUE(failpoint::Arm("refine.stall", failpoint::Action::kDelay,
                              /*delay_ms=*/10000, /*max_hits=*/1)
                   .ok());
-  auto fake_now = std::make_shared<std::atomic<double>>(0.0);
+  ManualClock clock;  // service/breaker time: advanced by the test only
   RenderService::Options options;
   options.num_threads = 1;
   options.max_attempts = 1;
   options.breaker.failure_threshold = 1;  // one stall trips it
   options.breaker.cooldown_seconds = 60.0;
-  options.breaker_clock = [fake_now] { return fake_now->load(); };
+  options.clock = &clock;
+  // The watchdog must see real elapsed time: the injected stall wedges the
+  // render in wall-clock terms, and only a real-time monitor can catch it.
+  options.watchdog.clock = CurrentClock();
   options.watchdog.enabled = true;
   options.watchdog.poll_interval_seconds = 0.005;
   options.watchdog.deadline_multiple = 2.0;
@@ -859,7 +864,7 @@ TEST_F(ServiceChaosTest, WatchdogKillsWedgedRenderAndBreakerRecovers) {
 
   // Cooldown elapses on the fake clock; the stall was single-shot, so the
   // half-open probe renders certified and closes the breaker again.
-  fake_now->store(120.0);
+  clock.SetTime(120.0);
   {
     StatusOr<std::future<ServeOutcome>> probe = service.Submit(grid_, request);
     ASSERT_TRUE(probe.ok());
@@ -890,7 +895,8 @@ TEST_F(ServiceChaosTest, ConcurrentFailpointCancellationDeadlineSweep) {
   options.max_attempts = 2;
   options.breaker.failure_threshold = 4;
   options.breaker.cooldown_seconds = 0.01;
-  options.sleep_ms = [](double) {};  // retries must not slow the sweep
+  options.backoff.initial_ms = 0.01;  // retries must not slow the sweep
+  options.backoff.max_ms = 0.1;
   RenderService service(&evaluator_, options);
 
   std::atomic<uint64_t> wrong_rejection{0};

@@ -15,6 +15,11 @@
 //               --governor/--watchdog/--scrub arm the runtime
 //               self-defense layer: brownout under overload, wedged-
 //               render kills, online integrity scrubbing)
+//   sim         deterministic whole-stack simulation: virtual time, a
+//               cooperative scheduler, and seed-derived fault schedules
+//               drive the full serve+persistence stack under invariant
+//               checkers; failures shrink to a one-line repro
+//               (--seed, --seeds N, --until-failure, --replay S)
 //   recover     recover a crash-consistent state directory (or --bootstrap
 //               one from points); prints the recovery report
 //   checkpoint  fold the update journal into a fresh index generation
@@ -35,6 +40,7 @@
 //   kdvtool progressive --in crime.csv --budget 0.5 --out partial.ppm
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -60,7 +66,7 @@ int Usage() {
       stderr,
       "usage: kdvtool "
       "<generate|info|index|render|hotspot|progressive|classify|regress"
-      "|serve-sim|recover|checkpoint|version> [flags]\n"
+      "|serve-sim|sim|recover|checkpoint|version> [flags]\n"
       "  common flags: --in FILE.csv | --dataset el_nino|crime|home|hep\n"
       "                --scale S --kernel NAME --method quad|karl|akde|exact\n"
       "                --width W --height H --out FILE\n"
@@ -92,6 +98,19 @@ int Usage() {
       "                 --scrub-interval-ms MS --scrub-samples N\n"
       "                 --scrub-index FILE.kdv); exits 1 on any scrubber\n"
       "                 mismatch]\n"
+      "                [--seed S (client backoff jitter base, stamped into\n"
+      "                 the JSON report with the build id)]\n"
+      "  sim:          deterministic simulation of the whole serve stack\n"
+      "                --seed S | --seeds N (sweep S..S+N-1)\n"
+      "                | --until-failure (sweep until an invariant breaks)\n"
+      "                | --replay S (run S twice; byte-identical event\n"
+      "                logs or exit 1)\n"
+      "                [--schedule \"at_op:site=action;...\" (replaces the\n"
+      "                 seed-derived fault schedule; repro lines use this)\n"
+      "                 --ops N --workers N --queue N --n N\n"
+      "                 --state-root DIR --faults=0 --plant-bug --json]\n"
+      "                failing runs shrink their schedule and print a\n"
+      "                one-line repro; exit 1\n"
       "  recover:      --state DIR [--csv FILE.csv (rebuild fallback)]\n"
       "                [--bootstrap (initialize DIR from --in/--dataset)]\n"
       "  checkpoint:   --state DIR [--csv FILE.csv]\n");
@@ -135,6 +154,24 @@ int GetValidatedInt(const Flags& flags, const std::string& name,
     return std::numeric_limits<int>::min();
   }
   return static_cast<int>(v);
+}
+
+// Strict uint64 accessor for seed flags. Seeds span the full 64-bit space,
+// which Flags::GetInt would truncate; malformed text fails parsing so the
+// caller can reject it by name instead of silently simulating the default.
+bool GetSeedFlag(const Flags& flags, const std::string& name,
+                 uint64_t default_value, uint64_t* out) {
+  *out = default_value;
+  if (!flags.Has(name)) return true;
+  const std::string raw = flags.GetString(name, "");
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(raw.c_str(), &end, 0);
+  if (raw.empty() || end == raw.c_str() || *end != '\0' || errno == ERANGE) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
 }
 
 // Parses --threads (0 = hardware concurrency) and --tile-rows for the
@@ -890,6 +927,15 @@ int CmdServeSim(const Flags& flags) {
     return 2;
   }
 
+  // Base seed for the client swarm's shed-backoff jitter (client c derives
+  // seed + c). Stamped into the JSON report alongside the build id so a
+  // captured run names everything needed to reproduce it.
+  uint64_t swarm_seed = 0xC11E47ull;
+  if (!GetSeedFlag(flags, "seed", swarm_seed, &swarm_seed)) {
+    std::fprintf(stderr, "kdvtool serve-sim: bad --seed\n");
+    return 2;
+  }
+
   // Runtime self-defense knobs (all opt-in).
   const bool use_governor = flags.GetBool("governor", false);
   const double mem_budget_mb = GetValidatedDouble(flags, "mem-budget-mb", 0.0);
@@ -1040,7 +1086,7 @@ int CmdServeSim(const Flags& flags) {
       std::vector<double> local;
       Backoff shed_backoff({/*initial_ms=*/0.2, /*multiplier=*/2.0,
                             /*max_ms=*/5.0, /*jitter=*/0.5},
-                           /*seed=*/0xC11E47ull + static_cast<uint64_t>(c));
+                           /*seed=*/swarm_seed + static_cast<uint64_t>(c));
       for (;;) {
         if (next.fetch_add(1) >= requests) break;
         Timer lat;
@@ -1146,7 +1192,8 @@ int CmdServeSim(const Flags& flags) {
 
   if (flags.GetBool("json", false)) {
     std::printf(
-        "{\"threads\":%d,\"clients\":%d,\"requests\":%ld,"
+        "{\"seed\":%llu,\"build\":\"%s\","
+        "\"threads\":%d,\"clients\":%d,\"requests\":%ld,"
         "\"budget_ms\":%g,\"wall_seconds\":%.6f,\"throughput_rps\":%.3f,"
         "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f},"
         "\"counts\":{\"submitted\":%llu,\"admitted\":%llu,\"shed\":%llu,"
@@ -1168,6 +1215,7 @@ int CmdServeSim(const Flags& flags) {
         "\"crc_slices\":%llu,\"crc_passes\":%llu,\"pixel_checks\":%llu,"
         "\"mismatches\":%llu,\"recoveries\":%llu,\"rebaselines\":%llu}"
         "}\n",
+        static_cast<unsigned long long>(swarm_seed), BuildStamp().c_str(),
         threads, clients, requests, budget_ms, wall_seconds, rps, p50, p95,
         p99, static_cast<unsigned long long>(stats.submitted),
         static_cast<unsigned long long>(stats.admitted),
@@ -1297,6 +1345,195 @@ int CmdServeSim(const Flags& flags) {
   return 0;
 }
 
+// ---- sim: deterministic whole-stack simulation -----------------------------
+
+// Machine-readable one-object report for a single simulated run.
+void PrintSimJson(const SimReport& report) {
+  std::string failure = report.failure;
+  for (char& c : failure) {
+    if (c == '"' || c == '\\') c = '\'';  // keep the JSON well-formed
+  }
+  std::printf(
+      "{\"seed\":%llu,\"failed\":%s,\"failure\":\"%s\","
+      "\"event_hash\":\"%08x\",\"events\":%zu,\"schedule\":\"%s\","
+      "\"counts\":{\"ops\":%llu,\"submits\":%llu,\"admitted\":%llu,"
+      "\"completions\":%llu,\"certified\":%llu,\"degraded\":%llu,"
+      "\"journal_appends\":%llu,\"checkpoints\":%llu,\"swaps\":%llu,"
+      "\"crashes\":%llu,\"faults_armed\":%llu},"
+      "\"virtual_seconds\":%.6f,\"build\":\"%s\"}\n",
+      static_cast<unsigned long long>(report.seed),
+      report.failed ? "true" : "false", failure.c_str(), report.event_hash,
+      report.events.size(), report.schedule.Spec().c_str(),
+      static_cast<unsigned long long>(report.ops),
+      static_cast<unsigned long long>(report.submits),
+      static_cast<unsigned long long>(report.admitted),
+      static_cast<unsigned long long>(report.completions),
+      static_cast<unsigned long long>(report.certified),
+      static_cast<unsigned long long>(report.degraded),
+      static_cast<unsigned long long>(report.journal_appends),
+      static_cast<unsigned long long>(report.checkpoints),
+      static_cast<unsigned long long>(report.swaps),
+      static_cast<unsigned long long>(report.crashes),
+      static_cast<unsigned long long>(report.faults_armed),
+      report.virtual_seconds, BuildStamp().c_str());
+}
+
+// Shrinks the failing run's fault schedule and prints a shell-ready repro
+// line. Always exits 1: the caller invokes this only for a failed report.
+int ReportSimFailure(SimOptions options, const SimReport& failing) {
+  options.seed = failing.seed;
+  std::fprintf(stderr, "kdvtool sim: seed %llu FAILED: %s\n",
+               static_cast<unsigned long long>(failing.seed),
+               failing.failure.c_str());
+  std::fprintf(stderr,
+               "kdvtool sim: shrinking fault schedule (%zu event(s))...\n",
+               failing.schedule.events.size());
+  SimReport minimal = MinimizeFailure(options, failing);
+  std::fprintf(stderr, "kdvtool sim: minimal schedule has %zu event(s): %s\n",
+               minimal.schedule.events.size(),
+               minimal.failure.empty() ? failing.failure.c_str()
+                                       : minimal.failure.c_str());
+  std::fprintf(stderr, "repro: %s\n", minimal.ReproLine().c_str());
+  return 1;
+}
+
+int CmdSim(const Flags& flags) {
+  SimOptions options;
+  if (!GetSeedFlag(flags, "seed", options.seed, &options.seed)) {
+    std::fprintf(stderr, "kdvtool sim: bad --seed\n");
+    return 2;
+  }
+  const bool replay = flags.Has("replay");
+  if (replay && !GetSeedFlag(flags, "replay", options.seed, &options.seed)) {
+    std::fprintf(stderr, "kdvtool sim: bad --replay\n");
+    return 2;
+  }
+  options.num_ops = GetValidatedInt(flags, "ops", options.num_ops);
+  options.num_workers = GetValidatedInt(flags, "workers", options.num_workers);
+  const int queue =
+      GetValidatedInt(flags, "queue", static_cast<int>(options.max_queue));
+  options.dataset_n = GetValidatedInt(flags, "n", options.dataset_n);
+  if (options.num_ops < 1 || options.num_workers < 1 || queue < 1 ||
+      options.dataset_n < 8) {
+    std::fprintf(stderr,
+                 "kdvtool sim: --ops/--workers/--queue must be integers >= 1 "
+                 "and --n an integer >= 8\n");
+    return 2;
+  }
+  options.max_queue = static_cast<size_t>(queue);
+  options.state_root = flags.GetString("state-root", "");
+  options.faults_enabled = flags.GetBool("faults", true);
+  options.plant_bug = flags.GetBool("plant-bug", false);
+
+  // --schedule replaces the seed-derived fault schedule (how a minimized
+  // repro line re-enters the simulator).
+  FaultSchedule explicit_schedule;
+  if (flags.Has("schedule")) {
+    StatusOr<FaultSchedule> parsed =
+        FaultSchedule::Parse(flags.GetString("schedule", ""));
+    if (!parsed.ok()) {
+      PrintStatus(parsed.status());
+      return 2;
+    }
+    explicit_schedule = std::move(parsed).value();
+    options.schedule_override = &explicit_schedule;
+  }
+
+  const bool json = flags.GetBool("json", false);
+  const int sweep = GetValidatedInt(flags, "seeds", 1);
+  const bool until_failure = flags.GetBool("until-failure", false);
+  if (sweep < 1) {
+    std::fprintf(stderr, "kdvtool sim: --seeds must be an integer >= 1\n");
+    return 2;
+  }
+
+  if (replay) {
+    // The replay contract: two runs of the same (seed, config) must produce
+    // byte-identical event logs. Divergence means nondeterminism leaked in
+    // somewhere, which is itself a bug — report it before any invariant
+    // verdict, because a diverging sim cannot be debugged from its seed.
+    SimReport first = RunSimulation(options);
+    SimReport second = RunSimulation(options);
+    const bool identical = first.event_hash == second.event_hash &&
+                           first.events == second.events;
+    if (json) {
+      PrintSimJson(first);
+    } else {
+      std::printf("sim replay: seed %llu, hash %08x vs %08x -> %s\n",
+                  static_cast<unsigned long long>(first.seed),
+                  first.event_hash, second.event_hash,
+                  identical ? "IDENTICAL" : "DIVERGED");
+      std::printf("  %s\n", first.Summary().c_str());
+    }
+    if (!identical) {
+      const size_t n = std::min(first.events.size(), second.events.size());
+      size_t diverge = n;
+      for (size_t i = 0; i < n; ++i) {
+        if (first.events[i] != second.events[i]) {
+          diverge = i;
+          break;
+        }
+      }
+      std::fprintf(stderr,
+                   "kdvtool sim: replay diverged at event %zu of %zu/%zu\n",
+                   diverge, first.events.size(), second.events.size());
+      if (diverge < first.events.size()) {
+        std::fprintf(stderr, "  run 1: %s\n", first.events[diverge].c_str());
+      }
+      if (diverge < second.events.size()) {
+        std::fprintf(stderr, "  run 2: %s\n", second.events[diverge].c_str());
+      }
+      return 1;
+    }
+    if (first.failed) return ReportSimFailure(options, first);
+    return 0;
+  }
+
+  // Seed sweep. --seeds N walks seed..seed+N-1; --until-failure keeps
+  // walking until an invariant breaks (Ctrl-C is the other exit).
+  const uint64_t base = options.seed;
+  const uint64_t count = until_failure ? 0 : static_cast<uint64_t>(sweep);
+  uint64_t passed = 0;
+  for (uint64_t i = 0; count == 0 || i < count; ++i) {
+    options.seed = base + i;
+    SimReport report = RunSimulation(options);
+    if (report.failed) {
+      if (json) {
+        PrintSimJson(report);
+      } else {
+        std::printf("%s\n", report.Summary().c_str());
+      }
+      return ReportSimFailure(options, report);
+    }
+    ++passed;
+    if (count == 1) {
+      if (json) {
+        PrintSimJson(report);
+      } else {
+        std::printf("%s\n", report.Summary().c_str());
+      }
+      return 0;
+    }
+    if (!json && passed % 25 == 0) {
+      std::printf("sim sweep: %llu seed(s) passed (last %llu)\n",
+                  static_cast<unsigned long long>(passed),
+                  static_cast<unsigned long long>(options.seed));
+    }
+  }
+  if (json) {
+    std::printf("{\"seeds\":%llu,\"base_seed\":%llu,\"failed\":false,"
+                "\"build\":\"%s\"}\n",
+                static_cast<unsigned long long>(passed),
+                static_cast<unsigned long long>(base), BuildStamp().c_str());
+  } else {
+    std::printf("sim sweep: all %llu seed(s) passed (%llu..%llu)\n",
+                static_cast<unsigned long long>(passed),
+                static_cast<unsigned long long>(base),
+                static_cast<unsigned long long>(base + passed - 1));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1329,6 +1566,7 @@ int main(int argc, char** argv) {
   if (cmd == "classify") return CmdClassify(flags);
   if (cmd == "regress") return CmdRegress(flags);
   if (cmd == "serve-sim") return CmdServeSim(flags);
+  if (cmd == "sim") return CmdSim(flags);
   if (cmd == "recover") return CmdRecover(flags);
   if (cmd == "checkpoint") return CmdCheckpoint(flags);
   return Usage();
