@@ -37,6 +37,12 @@ int RequestsPerSweep() {
   return 200;
 }
 
+std::string BenchDir() {
+  const char* env = std::getenv("KDV_BENCH_DIR");
+  if (env != nullptr && env[0] != '\0') return env;
+  return ".";
+}
+
 // Nearest-rank percentile of an ascending-sorted sample.
 double Percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
@@ -54,6 +60,7 @@ struct SweepResult {
   double p99_ms = 0.0;
   uint64_t browned = 0;  // requests served below their asked tier
   uint64_t shed = 0;     // submits rejected (admission or governor ceiling)
+  uint64_t cache_hits = 0;  // tile-frontier cache hits (tile-shared sweeps)
 };
 
 // `oversubscribe` multiplies the closed-loop client count per worker (2 is
@@ -66,10 +73,11 @@ struct SweepResult {
 SweepResult RunSweep(const kdv::KdeEvaluator& evaluator,
                      const kdv::PixelGrid& grid, int threads, int requests,
                      int oversubscribe, bool governor,
-                     double certified_seconds) {
+                     double certified_seconds, bool tile_shared = false) {
   RenderService::Options options;
   options.num_threads = threads;
   options.max_queue = static_cast<size_t>(2 * threads);
+  options.tile_shared = tile_shared;
   if (governor) {
     options.governor.enabled = true;
     options.governor.queue_wait_saturation_seconds =
@@ -132,6 +140,7 @@ SweepResult RunSweep(const kdv::KdeEvaluator& evaluator,
   result.p99_ms = Percentile(latencies_ms, 0.99);
   result.browned = stats.brownout_applied;
   result.shed = stats.shed;
+  result.cache_hits = stats.frontier_cache_hits;
   return result;
 }
 
@@ -173,6 +182,23 @@ int main() {
                 static_cast<unsigned long long>(r.shed_retries));
   }
 
+  // Tile-shared sweeps: same saturated closed loop with shared-traversal
+  // tile refinement and the epoch-keyed frontier cache on. Repeated renders
+  // of the same viewport reuse the cached frontiers, so req/sec should rise
+  // and cache hits should approach the request count minus the cold frames.
+  std::printf("\n%8s %10s %12s %10s %10s %12s  (tile-shared)\n", "threads",
+              "requests", "req/sec", "p50(ms)", "p99(ms)", "cache-hit");
+  std::vector<SweepResult> shared_results;
+  for (int threads : thread_counts) {
+    SweepResult r = RunSweep(evaluator, grid, threads, requests,
+                             /*oversubscribe=*/2, /*governor=*/false,
+                             certified_seconds, /*tile_shared=*/true);
+    shared_results.push_back(r);
+    std::printf("%8d %10d %12.1f %10.2f %10.2f %12llu\n", r.threads,
+                r.requests, r.rps, r.p50_ms, r.p99_ms,
+                static_cast<unsigned long long>(r.cache_hits));
+  }
+
   // Overload sweeps: 4x oversubscribed, admission control alone vs the
   // brownout governor. The interesting deltas: with the governor armed,
   // browned-out (degraded-tier) serving replaces shed-retry churn, so
@@ -198,7 +224,7 @@ int main() {
 
   // Stream to a temp and publish atomically: a crashed or interrupted bench
   // never leaves a truncated BENCH_serve.json for CI to parse.
-  const std::string json_path = "BENCH_serve.json";
+  const std::string json_path = BenchDir() + "/BENCH_serve.json";
   const std::string json_temp = kdv::TempPathFor(json_path);
   std::FILE* json = std::fopen(json_temp.c_str(), "w");
   if (json == nullptr) {
@@ -206,6 +232,9 @@ int main() {
     return 1;
   }
   std::fprintf(json, "{\"bench\":\"serve_throughput\",");
+  std::fprintf(json, "\"build\":\"%s\",\"simd\":\"%s\",",
+               kdv::BuildStamp().c_str(),
+               SimdLevelName(ActiveSimdLevel()));
   std::fprintf(json, "\"dataset\":\"crime\",\"scale\":%.6g,",
                kdv_bench::BenchScale());
   std::fprintf(json, "\"width\":%d,\"height\":%d,\"eps\":0.05,",
@@ -221,6 +250,19 @@ int main() {
                  i == 0 ? "" : ",", r.threads, r.requests, r.wall_seconds,
                  r.rps, r.p50_ms, r.p99_ms,
                  static_cast<unsigned long long>(r.shed_retries));
+  }
+  std::fprintf(json, "],\"tile_shared_sweeps\":[");
+  for (size_t i = 0; i < shared_results.size(); ++i) {
+    const SweepResult& r = shared_results[i];
+    std::fprintf(json,
+                 "%s{\"threads\":%d,\"requests\":%d,"
+                 "\"wall_seconds\":%.6f,\"requests_per_sec\":%.3f,"
+                 "\"latency_p50_ms\":%.4f,\"latency_p99_ms\":%.4f,"
+                 "\"shed_retries\":%llu,\"frontier_cache_hits\":%llu}",
+                 i == 0 ? "" : ",", r.threads, r.requests, r.wall_seconds,
+                 r.rps, r.p50_ms, r.p99_ms,
+                 static_cast<unsigned long long>(r.shed_retries),
+                 static_cast<unsigned long long>(r.cache_hits));
   }
   std::fprintf(json, "],\"overload_sweeps\":[");
   for (size_t i = 0; i < overload_results.size(); ++i) {
@@ -245,6 +287,6 @@ int main() {
                  published.ToString().c_str());
     return 1;
   }
-  std::printf("\nwrote BENCH_serve.json\n");
+  std::printf("\nwrote %s\n", json_path.c_str());
   return 0;
 }

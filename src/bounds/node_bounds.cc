@@ -15,7 +15,38 @@ constexpr double kPi = 3.14159265358979323846;
 // trivial bounds are already (near-)exact.
 constexpr double kDegenerateInterval = 1e-12;
 
+// Extremizes a linear term coeff * s over s in [lo, hi] by coefficient sign.
+// Region bounds treat each aggregate moment independently over its range,
+// which is conservative (hence sound) even though the moments are correlated.
+double MaxTerm(double coeff, double lo, double hi) {
+  return coeff >= 0.0 ? coeff * hi : coeff * lo;
+}
+double MinTerm(double coeff, double lo, double hi) {
+  return coeff >= 0.0 ? coeff * lo : coeff * hi;
+}
+
+// Range of S2(q) = sum_i dist(q, p_i)^4 over a query rect, derived from the
+// S1 range and the extremal squared distances d ∈ [dmin2, dmax2]:
+//   S2 >= S1^2/n      (Cauchy-Schwarz)
+//   S2 >= dmin2 * S1  (r_i^2 >= dmin2 * r_i termwise)
+//   S2 <= dmax2 * S1  (r_i^2 <= dmax2 * r_i termwise)
+void SumQuarticRange(double n, double s1_min, double s1_max, double dmin2,
+                     double dmax2, double* s2_min, double* s2_max) {
+  *s2_min = std::max(s1_min * s1_min / n, dmin2 * s1_min);
+  *s2_max = dmax2 * s1_max;
+  if (*s2_max < *s2_min) *s2_max = *s2_min;
+}
+
 }  // namespace
+
+// Base implementation: min/max-distance bounds at the rect-to-rect extremal
+// distances — the region analogue of TrivialBounds, valid for every
+// monotone-decreasing profile (covers MinMaxDistBounds exactly).
+BoundPair NodeBounds::EvaluateRegion(const NodeStats& stats,
+                                     const Rect& query_rect) const {
+  XInterval xi = RegionProfileInterval(params_, stats.mbr(), query_rect);
+  return TrivialBounds(params_, static_cast<double>(stats.count()), xi);
+}
 
 // ---------------------------------------------------------------------------
 // MinMaxDistBounds
@@ -58,6 +89,34 @@ BoundPair KarlLinearBounds::Evaluate(const NodeStats& stats,
   double t = GaussianTangentPoint(params_.gamma, s1, n, xi.x_min, xi.x_max);
   LinearCoeffs lower = ExpTangentLower(t);
   b.lower = w * (lower.m * sum_x + lower.k * n);
+
+  return Finalize(b, n, xi);
+}
+
+BoundPair KarlLinearBounds::EvaluateRegion(const NodeStats& stats,
+                                           const Rect& query_rect) const {
+  const double n = static_cast<double>(stats.count());
+  XInterval xi = RegionProfileInterval(params_, stats.mbr(), query_rect);
+  if (xi.x_max - xi.x_min < kDegenerateInterval) {
+    return TrivialBounds(params_, n, xi);
+  }
+
+  double s1_min = 0.0, s1_max = 0.0;
+  stats.SumSquaredDistancesRange(query_rect, &s1_min, &s1_max);
+  const double sx_min = params_.gamma * s1_min;
+  const double sx_max = params_.gamma * s1_max;
+  const double w = params_.weight;
+
+  BoundPair b;
+  LinearCoeffs upper = ExpChordUpper(xi.x_min, xi.x_max);
+  b.upper = w * (MaxTerm(upper.m, sx_min, sx_max) + upper.k * n);
+
+  // Tangent at the mid-range mean argument; any tangent point yields a valid
+  // global lower bound on exp(-x) by convexity.
+  double t = GaussianTangentPoint(params_.gamma, 0.5 * (s1_min + s1_max), n,
+                                  xi.x_min, xi.x_max);
+  LinearCoeffs lower = ExpTangentLower(t);
+  b.lower = w * (MinTerm(lower.m, sx_min, sx_max) + lower.k * n);
 
   return Finalize(b, n, xi);
 }
@@ -105,6 +164,45 @@ BoundPair QuadGaussianBounds::Evaluate(const NodeStats& stats,
   return Finalize(b, n, xi);
 }
 
+BoundPair QuadGaussianBounds::EvaluateRegion(const NodeStats& stats,
+                                             const Rect& query_rect) const {
+  const double n = static_cast<double>(stats.count());
+  const Rect& mbr = stats.mbr();
+  XInterval xi = RegionProfileInterval(params_, mbr, query_rect);
+  if (xi.x_max - xi.x_min < kDegenerateInterval) {
+    return TrivialBounds(params_, n, xi);
+  }
+
+  double s1_min = 0.0, s1_max = 0.0;
+  stats.SumSquaredDistancesRange(query_rect, &s1_min, &s1_max);
+  double s2_min = 0.0, s2_max = 0.0;
+  SumQuarticRange(n, s1_min, s1_max, mbr.MinSquaredDistance(query_rect),
+                  mbr.MaxSquaredDistance(query_rect), &s2_min, &s2_max);
+
+  const double g = params_.gamma;
+  const double sx_min = g * s1_min, sx_max = g * s1_max;
+  const double sxsq_min = g * g * s2_min, sxsq_max = g * g * s2_max;
+  const double w = params_.weight;
+
+  BoundPair b;
+  QuadraticCoeffs upper = ExpQuadUpper(xi.x_min, xi.x_max);
+  b.upper = w * (MaxTerm(upper.a, sxsq_min, sxsq_max) +
+                 MaxTerm(upper.b, sx_min, sx_max) + upper.c * n);
+
+  double t = GaussianTangentPoint(g, 0.5 * (s1_min + s1_max), n, xi.x_min,
+                                  xi.x_max);
+  if (xi.x_max - t < kDegenerateInterval) {
+    LinearCoeffs lower = ExpTangentLower(t);
+    b.lower = w * (MinTerm(lower.m, sx_min, sx_max) + lower.k * n);
+  } else {
+    QuadraticCoeffs lower = ExpQuadLower(t, xi.x_max);
+    b.lower = w * (MinTerm(lower.a, sxsq_min, sxsq_max) +
+                   MinTerm(lower.b, sx_min, sx_max) + lower.c * n);
+  }
+
+  return Finalize(b, n, xi);
+}
+
 // ---------------------------------------------------------------------------
 // QuadDistanceKernelBounds
 // ---------------------------------------------------------------------------
@@ -137,6 +235,71 @@ BoundPair QuadDistanceKernelBounds::Evaluate(const NodeStats& stats,
     default:
       KDV_CHECK_MSG(false, "unreachable kernel type");
   }
+}
+
+BoundPair QuadDistanceKernelBounds::EvaluateRegion(
+    const NodeStats& stats, const Rect& query_rect) const {
+  const double n = static_cast<double>(stats.count());
+  const double w = params_.weight;
+  XInterval xi = RegionProfileInterval(params_, stats.mbr(), query_rect);
+
+  double s1_min = 0.0, s1_max = 0.0;
+  stats.SumSquaredDistancesRange(query_rect, &s1_min, &s1_max);
+  const double g2 = params_.gamma * params_.gamma;
+  const double sxsq_min = g2 * s1_min;
+  const double sxsq_max = g2 * s1_max;
+
+  BoundPair b;
+  switch (params_.type) {
+    case KernelType::kTriangular: {
+      if (xi.x_min >= 1.0) return BoundPair{0.0, 0.0};
+      if (xi.x_max - xi.x_min < kDegenerateInterval) {
+        return TrivialBounds(params_, n, xi);
+      }
+      QuadraticCoeffs upper = TriangularQuadUpper(xi.x_min, xi.x_max);
+      b.upper = w * (MaxTerm(upper.a, sxsq_min, sxsq_max) + upper.c * n);
+      // Theorem 2 closed form, minimized over the S1 range (the bound is
+      // decreasing in sum x_i^2).
+      b.lower = w * (n - std::sqrt(n * sxsq_max));
+      break;
+    }
+    case KernelType::kCosine: {
+      const double half_pi = kPi / 2.0;
+      if (xi.x_min >= half_pi) return BoundPair{0.0, 0.0};
+      if (xi.x_max - xi.x_min < kDegenerateInterval) {
+        return TrivialBounds(params_, n, xi);
+      }
+      if (xi.x_max <= half_pi) {
+        QuadraticCoeffs upper = CosineQuadUpper(xi.x_min, xi.x_max);
+        b.upper = w * (MaxTerm(upper.a, sxsq_min, sxsq_max) + upper.c * n);
+      } else {
+        b.upper = n * w * std::cos(xi.x_min);
+      }
+      double x_max_eff = std::min(xi.x_max, half_pi);
+      QuadraticCoeffs lower = CosineQuadLower(x_max_eff);
+      b.lower = w * (MinTerm(lower.a, sxsq_min, sxsq_max) + lower.c * n);
+      break;
+    }
+    case KernelType::kExponential: {
+      if (xi.x_max - xi.x_min < kDegenerateInterval) {
+        return TrivialBounds(params_, n, xi);
+      }
+      QuadraticCoeffs upper = ExponentialQuadUpper(xi.x_min, xi.x_max);
+      b.upper = w * (MaxTerm(upper.a, sxsq_min, sxsq_max) + upper.c * n);
+      double t = ExponentialTangentPoint(params_.gamma,
+                                         0.5 * (s1_min + s1_max), n,
+                                         xi.x_min, xi.x_max);
+      if (t <= kDegenerateInterval) {
+        return Finalize(TrivialBounds(params_, n, xi), n, xi);
+      }
+      QuadraticCoeffs lower = ExponentialQuadLower(t);
+      b.lower = w * (MinTerm(lower.a, sxsq_min, sxsq_max) + lower.c * n);
+      break;
+    }
+    default:
+      KDV_CHECK_MSG(false, "unreachable kernel type");
+  }
+  return Finalize(b, n, xi);
 }
 
 BoundPair QuadDistanceKernelBounds::EvaluateTriangular(
@@ -272,6 +435,61 @@ BoundPair PolynomialExactBounds::Evaluate(const NodeStats& stats,
       // polynomial over-counts -> valid upper bound.
       b.upper = poly;
       b.lower = 0.0;
+      break;
+    }
+    case KernelType::kUniform: {
+      b.lower = xi.x_max <= 1.0 ? n * w : 0.0;
+      b.upper = xi.x_min <= 1.0 ? n * w : 0.0;
+      break;
+    }
+    default:
+      KDV_CHECK_MSG(false, "unreachable kernel type");
+  }
+  return Finalize(b, n, xi);
+}
+
+BoundPair PolynomialExactBounds::EvaluateRegion(const NodeStats& stats,
+                                                const Rect& query_rect) const {
+  const double n = static_cast<double>(stats.count());
+  const double w = params_.weight;
+  const Rect& mbr = stats.mbr();
+  XInterval xi = RegionProfileInterval(params_, mbr, query_rect);
+
+  if (xi.x_min >= 1.0) return BoundPair{0.0, 0.0};
+
+  double s1_min = 0.0, s1_max = 0.0;
+  stats.SumSquaredDistancesRange(query_rect, &s1_min, &s1_max);
+  const double g2 = params_.gamma * params_.gamma;
+  const double sxsq_min = g2 * s1_min;
+  const double sxsq_max = g2 * s1_max;
+
+  BoundPair b;
+  switch (params_.type) {
+    case KernelType::kEpanechnikov: {
+      // Inside the support the node aggregate is exactly w*(n - sum x_i^2),
+      // so its range over the tile is the exact region interval.
+      b.lower = w * (n - sxsq_max);
+      b.upper = w * (n - sxsq_min);
+      if (xi.x_max > 1.0) {
+        // Straddling: the polynomial under-counts, so only the lower side
+        // survives; the upper falls back to the support-clamped profile.
+        b.upper = n * w * std::max(1.0 - xi.x_min * xi.x_min, 0.0);
+      }
+      break;
+    }
+    case KernelType::kQuartic: {
+      double s2_min = 0.0, s2_max = 0.0;
+      SumQuarticRange(n, s1_min, s1_max, mbr.MinSquaredDistance(query_rect),
+                      mbr.MaxSquaredDistance(query_rect), &s2_min, &s2_max);
+      const double sx4_min = g2 * g2 * s2_min;
+      const double sx4_max = g2 * g2 * s2_max;
+      b.lower = w * (n - 2.0 * sxsq_max + sx4_min);
+      b.upper = w * (n - 2.0 * sxsq_min + sx4_max);
+      if (xi.x_max > 1.0) {
+        // Straddling: (1-x^2)^2 over-counts outside the support, so only the
+        // upper side survives.
+        b.lower = 0.0;
+      }
       break;
     }
     case KernelType::kUniform: {

@@ -40,6 +40,18 @@ inline XInterval ProfileInterval(const KernelParams& params, const Rect& mbr,
   return xi;
 }
 
+// Region variant: the profile-argument interval valid for *every* query in
+// `query_rect`, via the rect-to-rect min/max distances between the query
+// region and the node MBR.
+inline XInterval RegionProfileInterval(const KernelParams& params,
+                                       const Rect& mbr,
+                                       const Rect& query_rect) {
+  XInterval xi;
+  xi.x_min = params.XFromSquaredDistance(mbr.MinSquaredDistance(query_rect));
+  xi.x_max = params.XFromSquaredDistance(mbr.MaxSquaredDistance(query_rect));
+  return xi;
+}
+
 // The classic min/max-distance bounds n*w*K(x_max) <= F_R(q) <= n*w*K(x_min)
 // (valid for every monotone-decreasing kernel profile). These are both the
 // aKDE/tKDC baselines and the safety clamp applied on top of the tighter
@@ -72,6 +84,17 @@ class NodeBounds {
 
   // Bounds on F_R(q); must satisfy lower <= F_R(q) <= upper.
   virtual BoundPair Evaluate(const NodeStats& stats, const Point& q) const = 0;
+
+  // Region bounds: lower <= F_R(q) <= upper must hold for *every* q in
+  // `query_rect` (the tile refiner's shared-traversal contract). The default
+  // is the min/max-distance bound at the rect-to-rect extremal distances,
+  // valid for every monotone-decreasing kernel profile; subclasses override
+  // with tighter bounds evaluated at tile-extremal distance moments.
+  // Region bounds are deliberately conservative: they may be wider than the
+  // per-pixel Evaluate() interval at any single q, never narrower than F
+  // allows.
+  virtual BoundPair EvaluateRegion(const NodeStats& stats,
+                                   const Rect& query_rect) const;
 
   // Short method name for reports ("aKDE", "KARL", "QUAD").
   virtual const char* name() const = 0;
@@ -117,6 +140,8 @@ class KarlLinearBounds final : public NodeBounds {
  public:
   KarlLinearBounds(const KernelParams& params, const BoundsOptions& options);
   BoundPair Evaluate(const NodeStats& stats, const Point& q) const override;
+  BoundPair EvaluateRegion(const NodeStats& stats,
+                           const Rect& query_rect) const override;
   const char* name() const override { return "KARL"; }
 };
 
@@ -126,6 +151,8 @@ class QuadGaussianBounds final : public NodeBounds {
  public:
   QuadGaussianBounds(const KernelParams& params, const BoundsOptions& options);
   BoundPair Evaluate(const NodeStats& stats, const Point& q) const override;
+  BoundPair EvaluateRegion(const NodeStats& stats,
+                           const Rect& query_rect) const override;
   const char* name() const override { return "QUAD"; }
 };
 
@@ -136,6 +163,8 @@ class QuadDistanceKernelBounds final : public NodeBounds {
   QuadDistanceKernelBounds(const KernelParams& params,
                            const BoundsOptions& options);
   BoundPair Evaluate(const NodeStats& stats, const Point& q) const override;
+  BoundPair EvaluateRegion(const NodeStats& stats,
+                           const Rect& query_rect) const override;
   const char* name() const override { return "QUAD"; }
 
  private:
@@ -156,6 +185,8 @@ class PolynomialExactBounds final : public NodeBounds {
   PolynomialExactBounds(const KernelParams& params,
                         const BoundsOptions& options);
   BoundPair Evaluate(const NodeStats& stats, const Point& q) const override;
+  BoundPair EvaluateRegion(const NodeStats& stats,
+                           const Rect& query_rect) const override;
   const char* name() const override { return "POLY"; }
 };
 

@@ -61,12 +61,17 @@ double KdeEvaluator::EvaluateExact(const Point& q) const {
 EvalResult KdeEvaluator::RefineEps(const Point& q, double eps,
                                    std::vector<BoundStep>* trace,
                                    const QueryControl* control,
-                                   RefinementStream* scratch) const {
+                                   RefinementStream* scratch,
+                                   const TileFrontier* frontier) const {
   KDV_CHECK(eps >= 0.0);
   std::optional<RefinementStream> local;
   RefinementStream& stream =
       scratch != nullptr ? *scratch : local.emplace(tree_, params_, bounds_);
-  stream.Reset(q);
+  if (frontier != nullptr) {
+    stream.Reset(q, *frontier);
+  } else {
+    stream.Reset(q);
+  }
   if (trace != nullptr) trace->push_back({0, stream.lower(), stream.upper()});
 
   EvalResult result;
@@ -100,6 +105,7 @@ EvalResult KdeEvaluator::RefineEps(const Point& q, double eps,
   result.estimate = 0.5 * (result.lower + result.upper);
   result.iterations = stream.iterations();
   result.points_scanned = stream.points_scanned();
+  result.node_evals = stream.node_evals();
   result.converged =
       !result.numeric_fault && !result.interrupted &&
       (result.upper <= (1.0 + eps) * result.lower || stream.exhausted());
@@ -108,11 +114,16 @@ EvalResult KdeEvaluator::RefineEps(const Point& q, double eps,
 
 TauResult KdeEvaluator::RefineTau(const Point& q, double tau,
                                   const QueryControl* control,
-                                  RefinementStream* scratch) const {
+                                  RefinementStream* scratch,
+                                  const TileFrontier* frontier) const {
   std::optional<RefinementStream> local;
   RefinementStream& stream =
       scratch != nullptr ? *scratch : local.emplace(tree_, params_, bounds_);
-  stream.Reset(q);
+  if (frontier != nullptr) {
+    stream.Reset(q, *frontier);
+  } else {
+    stream.Reset(q);
+  }
   StopPoller poller(control);
   KDV_FAILPOINT_STALL("refine.stall", control);
   TauResult result;
@@ -138,6 +149,7 @@ TauResult KdeEvaluator::RefineTau(const Point& q, double tau,
   result.upper = upper;
   result.iterations = stream.iterations();
   result.points_scanned = stream.points_scanned();
+  result.node_evals = stream.node_evals();
   // lower >= tau certifies "above"; upper <= tau certifies "below". Once
   // exhausted, lower == upper == F_P(q) and the comparison is exact. An
   // interrupted or clamped query answers conservatively from its lower

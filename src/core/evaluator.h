@@ -21,6 +21,7 @@
 
 #include "bounds/node_bounds.h"
 #include "core/refinement_stream.h"
+#include "core/tile_frontier.h"
 #include "geom/point.h"
 #include "index/kdtree.h"
 #include "kernel/kernel.h"
@@ -35,6 +36,7 @@ struct EvalResult {
   double estimate = 0.0;    // returned density value R(q), finite
   uint64_t iterations = 0;  // refinement steps (queue pops)
   uint64_t points_scanned = 0;  // points evaluated exactly in leaves
+  uint64_t node_evals = 0;  // per-node bound evaluations (traversal work)
   bool converged = false;   // termination test satisfied (or fully refined)
   bool interrupted = false;  // stopped early by deadline/cancellation
   bool numeric_fault = false;  // bound math misbehaved; interval was clamped
@@ -47,6 +49,7 @@ struct TauResult {
   double upper = 0.0;
   uint64_t iterations = 0;
   uint64_t points_scanned = 0;
+  uint64_t node_evals = 0;
   bool interrupted = false;
   bool numeric_fault = false;
 };
@@ -94,7 +97,18 @@ class KdeEvaluator {
   EvalResult EvaluateEps(const Point& q, double eps,
                          const QueryControl& control,
                          RefinementStream* scratch) const {
-    return RefineEps(q, eps, nullptr, &control, scratch);
+    return RefineEps(q, eps, nullptr, &control, scratch, nullptr);
+  }
+
+  // Tile-shared variant: the scratch stream is seeded from `frontier`
+  // (core/tile_refiner.h) instead of the tree root. The certificate is
+  // unchanged: |R(q) - F_P(q)| <= ε·F_P(q) for every q inside the tile the
+  // frontier was built for.
+  EvalResult EvaluateEpsSeeded(const Point& q, double eps,
+                               const TileFrontier& frontier,
+                               const QueryControl& control,
+                               RefinementStream* scratch) const {
+    return RefineEps(q, eps, nullptr, &control, scratch, &frontier);
   }
 
   // Same, recording (lb, ub) after every refinement step into *trace.
@@ -114,7 +128,13 @@ class KdeEvaluator {
   TauResult EvaluateTau(const Point& q, double tau,
                         const QueryControl& control,
                         RefinementStream* scratch) const {
-    return RefineTau(q, tau, &control, scratch);
+    return RefineTau(q, tau, &control, scratch, nullptr);
+  }
+  TauResult EvaluateTauSeeded(const Point& q, double tau,
+                              const TileFrontier& frontier,
+                              const QueryControl& control,
+                              RefinementStream* scratch) const {
+    return RefineTau(q, tau, &control, scratch, &frontier);
   }
 
   // Reusable per-thread refinement scratch for the EvaluateEps/EvaluateTau
@@ -133,11 +153,11 @@ class KdeEvaluator {
  private:
   EvalResult RefineEps(const Point& q, double eps,
                        std::vector<BoundStep>* trace,
-                       const QueryControl* control,
-                       RefinementStream* scratch) const;
-  TauResult RefineTau(const Point& q, double tau,
-                      const QueryControl* control,
-                      RefinementStream* scratch) const;
+                       const QueryControl* control, RefinementStream* scratch,
+                       const TileFrontier* frontier = nullptr) const;
+  TauResult RefineTau(const Point& q, double tau, const QueryControl* control,
+                      RefinementStream* scratch,
+                      const TileFrontier* frontier = nullptr) const;
 
   const KdTree* tree_;
   KernelParams params_;

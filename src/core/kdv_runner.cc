@@ -10,6 +10,7 @@ void AccumulateQueryStats(BatchStats* stats, const EvalResult& r) {
   ++stats->queries;
   stats->iterations += r.iterations;
   stats->points_scanned += r.points_scanned;
+  stats->nodes_visited += r.node_evals;
   if (r.numeric_fault) ++stats->numeric_faults;
 }
 
@@ -18,6 +19,7 @@ void AccumulateQueryStats(BatchStats* stats, const TauResult& r) {
   ++stats->queries;
   stats->iterations += r.iterations;
   stats->points_scanned += r.points_scanned;
+  stats->nodes_visited += r.node_evals;
   if (r.numeric_fault) ++stats->numeric_faults;
 }
 

@@ -25,10 +25,19 @@ struct BatchStats {
   uint64_t queries = 0;           // queries actually evaluated
   uint64_t iterations = 0;        // total refinement steps
   uint64_t points_scanned = 0;    // total exact point evaluations
+  uint64_t nodes_visited = 0;     // per-pixel node bound evaluations
   bool completed = true;          // false if the batch was cut short
   bool deadline_expired = false;  // cut short by the per-request deadline
   bool cancelled = false;         // cut short by the CancelToken
   uint64_t numeric_faults = 0;    // queries clamped by numerical hardening
+
+  // Shared-traversal (tile-shared) pruning-efficiency counters, populated by
+  // the parallel frame renderer when RenderOptions::tile_shared is on.
+  uint64_t tile_nodes_visited = 0;   // region bound evaluations (tile passes)
+  uint64_t tile_accepted = 0;        // nodes folded into tile baselines
+  uint64_t tile_pruned = 0;          // subtrees discarded tile-wide
+  uint64_t tiles_decided = 0;        // tiles finished with zero per-pixel work
+  uint64_t frontier_cache_hits = 0;  // frames served from a cached frontier
   // Non-OK when an internal fault (e.g. an injected failpoint error) aborted
   // the batch; the partial outputs written so far remain valid.
   Status status = OkStatus();

@@ -19,9 +19,14 @@
 // with -O3 -ffp-contract=off (src/core/CMakeLists.txt) so vectorization is
 // on but FP contraction cannot silently diverge the two paths.
 //
-// An explicit AVX2 distance pass (same operation order, vsub/vmul/vadd only,
-// no FMA) is compiled in when the build enables AVX2 (-DKDV_AVX2=ON or
-// -march flags); the scalar fallback is bit-identical by construction.
+// SIMD dispatch is a runtime decision, not a build flag: one binary carries
+// scalar, SSE2 and AVX2 variants of the 2-d distance pass (the AVX2 one via
+// a per-function target attribute) and picks the widest level the CPU
+// reports at first use. All variants execute the identical per-element
+// operation DAG — sub, mul, add, never FMA — so every level produces
+// bit-identical sums; the level is a throughput knob, never a results knob.
+// KDV_SIMD={scalar,sse2,avx2} in the environment pins the level (requests
+// above hardware support fall back to the detected maximum).
 #ifndef QUADKDV_CORE_LEAF_KERNEL_H_
 #define QUADKDV_CORE_LEAF_KERNEL_H_
 
@@ -32,6 +37,29 @@
 #include "kernel/kernel.h"
 
 namespace kdv {
+
+// Instruction-set level of the leaf distance pass, ordered by width.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSse2 = 1,  // 2-lane __m128d (x86-64 baseline)
+  kAvx2 = 2,  // 4-lane __m256d
+};
+
+// Widest level this CPU supports (kScalar on non-x86-64 builds).
+SimdLevel MaxSupportedSimdLevel();
+
+// The level the leaf kernels currently dispatch to. Initialized on first
+// use: the KDV_SIMD environment override if set and supported, else
+// MaxSupportedSimdLevel().
+SimdLevel ActiveSimdLevel();
+
+// Pins the dispatch level (clamped to MaxSupportedSimdLevel()). Test hook —
+// the equality suites sweep levels within one process. Not thread-safe
+// against in-flight queries; call between frames.
+void SetSimdLevel(SimdLevel level);
+
+// "scalar", "sse2" or "avx2".
+const char* SimdLevelName(SimdLevel level);
 
 // Reference implementation: the historical scalar AoS loop
 //   sum_i params.weight-less profile(SquaredDistance(q, points()[i]))

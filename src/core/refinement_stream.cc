@@ -46,6 +46,9 @@ RefinementStream::RefinementStream(RefinementStream&& other) noexcept
       bounds_(other.bounds_),
       q_(other.q_),
       heap_(std::move(other.heap_)),
+      seed_nodes_(other.seed_nodes_),
+      seed_count_(other.seed_count_),
+      seed_next_(other.seed_next_),
       lb_(other.lb_),
       ub_(other.ub_),
       best_lb_(other.best_lb_),
@@ -53,6 +56,7 @@ RefinementStream::RefinementStream(RefinementStream&& other) noexcept
       poisoned_(other.poisoned_),
       iterations_(other.iterations_),
       points_scanned_(other.points_scanned_),
+      node_evals_(other.node_evals_),
       charged_bytes_(other.charged_bytes_) {
   // The charge follows the heap storage; the moved-from stream owns neither.
   other.charged_bytes_ = 0;
@@ -69,6 +73,9 @@ RefinementStream& RefinementStream::operator=(
   bounds_ = other.bounds_;
   q_ = other.q_;
   heap_ = std::move(other.heap_);
+  seed_nodes_ = other.seed_nodes_;
+  seed_count_ = other.seed_count_;
+  seed_next_ = other.seed_next_;
   lb_ = other.lb_;
   ub_ = other.ub_;
   best_lb_ = other.best_lb_;
@@ -76,6 +83,7 @@ RefinementStream& RefinementStream::operator=(
   poisoned_ = other.poisoned_;
   iterations_ = other.iterations_;
   points_scanned_ = other.points_scanned_;
+  node_evals_ = other.node_evals_;
   charged_bytes_ = other.charged_bytes_;
   other.charged_bytes_ = 0;
   return *this;
@@ -99,10 +107,13 @@ void RefinementStream::SyncCharge() {
 void RefinementStream::Reset(const Point& q) {
   q_ = q;
   heap_.clear();  // keeps capacity: no per-query reallocation
+  seed_nodes_ = nullptr;
+  seed_count_ = seed_next_ = 0;
   lb_ = ub_ = best_lb_ = best_ub_ = 0.0;
   poisoned_ = false;
   iterations_ = 0;
   points_scanned_ = 0;
+  node_evals_ = 0;
 
   if (bounds_ == nullptr) {
     // EXACT method: no refinement possible; the "bounds" are the answer.
@@ -118,6 +129,7 @@ void RefinementStream::Reset(const Point& q) {
   }
   const int32_t root = tree_->root();
   BoundPair root_bounds = bounds_->Evaluate(tree_->node(root).stats, q_);
+  ++node_evals_;
   KDV_FAILPOINT_CORRUPT("refine.step", root_bounds.lower, root_bounds.upper);
   if (!IntervalAcceptable(root_bounds.lower, root_bounds.upper)) {
     SetUniversalEnvelope();
@@ -127,6 +139,37 @@ void RefinementStream::Reset(const Point& q) {
   lb_ = best_lb_ = root_bounds.lower;
   ub_ = best_ub_ = root_bounds.upper;
   Push({ub_ - lb_, root, lb_, ub_});
+}
+
+void RefinementStream::Reset(const Point& q, const TileFrontier& frontier) {
+  KDV_CHECK(bounds_ != nullptr);
+  KDV_CHECK(frontier.valid);
+  q_ = q;
+  heap_.clear();
+  poisoned_ = false;
+  iterations_ = 0;
+  points_scanned_ = 0;
+  node_evals_ = 0;
+
+  // Seed from the tile pass verbatim: the baseline plus each undecided
+  // node's region interval is a certified envelope for every q in the tile,
+  // and the region sums are precomputed, so priming costs ZERO per-pixel
+  // bound evaluations and ZERO heap traffic. Frontier nodes enter the heap
+  // lazily (see Step()): only the nodes whose region slack actually blocks
+  // termination ever cost an Evaluate or a heap insert.
+  seed_nodes_ = frontier.nodes.data();
+  seed_count_ = frontier.nodes.size();
+  seed_next_ = 0;
+  lb_ = frontier.base_lower + frontier.frontier_lower;
+  ub_ = frontier.base_upper + frontier.frontier_upper;
+  if (!IntervalAcceptable(lb_, ub_)) {
+    SetUniversalEnvelope();
+    poisoned_ = true;
+    return;
+  }
+  best_lb_ = lb_;
+  best_ub_ = ub_;
+  if (best_ub_ < best_lb_) best_ub_ = best_lb_;
 }
 
 void RefinementStream::Push(const QueueEntry& entry) {
@@ -149,6 +192,7 @@ double RefinementStream::LeafSum(const KdTree::Node& node) const {
 void RefinementStream::Poison() {
   poisoned_ = true;
   heap_.clear();
+  seed_next_ = seed_count_;  // pending injections are abandoned too
 }
 
 void RefinementStream::SetUniversalEnvelope() {
@@ -158,31 +202,62 @@ void RefinementStream::SetUniversalEnvelope() {
   ub_ = best_ub_ = static_cast<double>(tree_->num_points()) * params_.weight *
                    KernelProfile(params_.type, 0.0);
   heap_.clear();
+  seed_next_ = seed_count_;
 }
 
 bool RefinementStream::Step() {
-  if (poisoned_ || heap_.empty()) return false;
-  QueueEntry top = Pop();
+  if (poisoned_) return false;
+  const bool have_seed = seed_next_ < seed_count_;
+  if (heap_.empty() && !have_seed) return false;
   ++iterations_;
 
-  lb_ -= top.lower;
-  ub_ -= top.upper;
-  const KdTree::Node& node = tree_->node(top.node);
-  if (node.IsLeaf()) {
-    double exact = LeafSum(node);
-    points_scanned_ += node.count();
-    lb_ += exact;
-    ub_ += exact;
+  // Best-first across both sources: the heap's loosest per-pixel entry vs
+  // the loosest un-injected frontier node. A node's per-pixel gap never
+  // exceeds its region gap and the frontier is sorted by descending region
+  // gap, so when the heap top's gap is >= the next region gap, no
+  // un-injected node can be the loosest — the ordering is sound without
+  // evaluating anything.
+  const bool inject =
+      have_seed &&
+      (heap_.empty() || seed_nodes_[seed_next_].upper -
+                                seed_nodes_[seed_next_].lower >
+                            heap_.front().gap);
+  if (inject) {
+    // Injection swaps the node's tile-wide region interval (already in the
+    // running totals since Reset) for this pixel's own bounds — one
+    // Evaluate, one heap insert. For pixels away from the tile's worst
+    // corner this alone closes most of the region slack.
+    const TileFrontier::Node& fn = seed_nodes_[seed_next_++];
+    BoundPair pixel_bounds = bounds_->Evaluate(tree_->node(fn.node).stats, q_);
+    ++node_evals_;
+    KDV_FAILPOINT_CORRUPT("refine.step", pixel_bounds.lower,
+                          pixel_bounds.upper);
+    lb_ += pixel_bounds.lower - fn.lower;
+    ub_ += pixel_bounds.upper - fn.upper;
+    Push({pixel_bounds.upper - pixel_bounds.lower, fn.node,
+          pixel_bounds.lower, pixel_bounds.upper});
   } else {
-    for (int32_t child : {node.left, node.right}) {
-      BoundPair child_bounds =
-          bounds_->Evaluate(tree_->node(child).stats, q_);
-      KDV_FAILPOINT_CORRUPT("refine.step", child_bounds.lower,
-                            child_bounds.upper);
-      lb_ += child_bounds.lower;
-      ub_ += child_bounds.upper;
-      Push({child_bounds.upper - child_bounds.lower, child,
-            child_bounds.lower, child_bounds.upper});
+    QueueEntry top = Pop();
+    lb_ -= top.lower;
+    ub_ -= top.upper;
+    const KdTree::Node& node = tree_->node(top.node);
+    if (node.IsLeaf()) {
+      double exact = LeafSum(node);
+      points_scanned_ += node.count();
+      lb_ += exact;
+      ub_ += exact;
+    } else {
+      for (int32_t child : {node.left, node.right}) {
+        BoundPair child_bounds =
+            bounds_->Evaluate(tree_->node(child).stats, q_);
+        ++node_evals_;
+        KDV_FAILPOINT_CORRUPT("refine.step", child_bounds.lower,
+                              child_bounds.upper);
+        lb_ += child_bounds.lower;
+        ub_ += child_bounds.upper;
+        Push({child_bounds.upper - child_bounds.lower, child,
+              child_bounds.lower, child_bounds.upper});
+      }
     }
   }
 
@@ -193,7 +268,7 @@ bool RefinementStream::Step() {
     return true;
   }
 
-  if (heap_.empty()) {
+  if (exhausted()) {
     // Fully refined: running totals are the exact value (modulo FP drift);
     // they override the envelope.
     best_lb_ = lb_;

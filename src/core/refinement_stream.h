@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bounds/node_bounds.h"
+#include "core/tile_frontier.h"
 #include "geom/point.h"
 #include "index/kdtree.h"
 #include "kernel/kernel.h"
@@ -58,6 +59,17 @@ class RefinementStream {
   // the queue's heap storage. Equivalent to constructing a fresh stream.
   void Reset(const Point& q);
 
+  // Seeded variant: primes the stream from a tile frontier instead of the
+  // tree root, in O(1) — the running totals start at the frontier baseline
+  // plus the precomputed sum of the region intervals, and frontier nodes
+  // are injected into the heap lazily (descending region gap) as their
+  // slack comes to block termination. The shared part of the traversal
+  // (everything the tile pass accepted or pruned) is never re-derived. The
+  // frontier must be valid, built for a tile containing q, and must outlive
+  // the stream's use of it (until the next Reset); requires
+  // bounds != nullptr.
+  void Reset(const Point& q, const TileFrontier& frontier);
+
   // Performs one refinement step (pop the loosest node, replace it by its
   // children's bounds or its exact leaf sum). Returns false if the stream
   // was already exhausted (or poisoned).
@@ -73,13 +85,16 @@ class RefinementStream {
   // Interval width; 0 once exhausted (up to FP drift, which is clamped).
   double gap() const { return best_ub_ - best_lb_; }
 
-  bool exhausted() const { return heap_.empty(); }
+  bool exhausted() const { return heap_.empty() && seed_next_ >= seed_count_; }
   // True once a bound update produced NaN/Inf or an inverted interval; the
   // envelope is frozen at the last certified values and Step() refuses to
   // refine further.
   bool poisoned() const { return poisoned_; }
   uint64_t iterations() const { return iterations_; }
   uint64_t points_scanned() const { return points_scanned_; }
+  // Per-node bound evaluations performed (root/seed priming + expansions):
+  // the traversal-work metric the pruning-efficiency counters report.
+  uint64_t node_evals() const { return node_evals_; }
 
  private:
   struct QueueEntry {
@@ -117,6 +132,15 @@ class RefinementStream {
   // std::priority_queue would maintain, but clearable without freeing its
   // buffer).
   std::vector<QueueEntry> heap_;
+  // Lazily injected tile frontier (seeded resets only). The nodes are
+  // consumed front-to-back (descending region gap); every node already
+  // contributes its region interval to lb_/ub_ from Reset, and injection
+  // swaps that interval for this pixel's own bounds with a single Evaluate.
+  // Never owned; a root Reset(q) clears it. Empty for root-seeded streams,
+  // so their behaviour (and output) is untouched.
+  const TileFrontier::Node* seed_nodes_ = nullptr;
+  size_t seed_count_ = 0;
+  size_t seed_next_ = 0;
   double lb_ = 0.0;       // raw running totals
   double ub_ = 0.0;
   double best_lb_ = 0.0;  // monotone envelope
@@ -124,6 +148,7 @@ class RefinementStream {
   bool poisoned_ = false;
   uint64_t iterations_ = 0;
   uint64_t points_scanned_ = 0;
+  uint64_t node_evals_ = 0;
   // Bytes of heap_ capacity currently charged to the global MemBudget.
   uint64_t charged_bytes_ = 0;
 };

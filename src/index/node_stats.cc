@@ -45,6 +45,30 @@ double NodeStats::SumSquaredDistances(const Point& q) const {
   return std::max(s1, 0.0);
 }
 
+void NodeStats::SumSquaredDistancesRange(const Rect& query_rect,
+                                         double* s1_min,
+                                         double* s1_max) const {
+  KDV_DCHECK(query_rect.dim() == dim_);
+  const double n = static_cast<double>(count_);
+  double lo_total = sum_sq_norm_;
+  double hi_total = sum_sq_norm_;
+  for (int d = 0; d < dim_; ++d) {
+    const double a = sum_[d];
+    const double lo = query_rect.lo(d);
+    const double hi = query_rect.hi(d);
+    // f(t) = n*t^2 - 2*a*t, convex with vertex at a/n.
+    const double vertex = std::clamp(a / n, lo, hi);
+    lo_total += n * vertex * vertex - 2.0 * a * vertex;
+    const double f_lo = n * lo * lo - 2.0 * a * lo;
+    const double f_hi = n * hi * hi - 2.0 * a * hi;
+    hi_total += std::max(f_lo, f_hi);
+  }
+  // Same cancellation guard as SumSquaredDistances: the true quantity is a
+  // sum of squares, so negatives are floating-point artifacts.
+  *s1_min = std::max(lo_total, 0.0);
+  *s1_max = std::max(hi_total, *s1_min);
+}
+
 double NodeStats::SumQuarticDistances(const Point& q) const {
   KDV_DCHECK(q.dim() == dim_);
   const double q_sq = q.SquaredNorm();

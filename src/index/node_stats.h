@@ -47,6 +47,15 @@ class NodeStats {
   // S2(q) = sum dist(q, p_i)^4 in O(d^2).
   double SumQuarticDistances(const Point& q) const;
 
+  // Exact range of S1(q) over all q in `query_rect`, in O(d).
+  //
+  // S1(q) = sum_d (n*q_d^2 - 2*q_d*a_P[d]) + b_P is separable: per dimension
+  // a convex parabola in q_d with vertex at a_P[d]/n, so the minimum over
+  // [lo_d, hi_d] is attained at the clamped vertex and the maximum at one of
+  // the two endpoints. Used by the region bound profiles (tile refinement).
+  void SumSquaredDistancesRange(const Rect& query_rect, double* s1_min,
+                                double* s1_max) const;
+
  private:
   size_t count_ = 0;
   int dim_ = 0;

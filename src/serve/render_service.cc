@@ -387,6 +387,11 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
   ropts.coarse = request.coarse;
   ropts.parallel.num_threads = options_.intra_frame_threads;
   ropts.parallel.tile_rows = options_.tile_rows;
+  // Epoch-keyed frontier reuse: the epoch's renderer owns the cache, and the
+  // epoch id in the key makes stale reuse across hot-swaps structurally
+  // impossible.
+  ropts.parallel.tile_shared = options_.tile_shared;
+  ropts.parallel.cache_epoch = epoch->id;
   ropts.tile_pool = tile_pool_;
 
   // Brownout: fold the observed queue wait into the pressure signal, then
@@ -548,6 +553,10 @@ void RenderService::FinishOutcome(const std::shared_ptr<Job>& job,
   outcome.total_seconds = job->timer.ElapsedSeconds();
 
   counters_.completed.fetch_add(1, std::memory_order_relaxed);
+  if (outcome.render.stats.frontier_cache_hits > 0) {
+    counters_.frontier_cache_hits.fetch_add(
+        outcome.render.stats.frontier_cache_hits, std::memory_order_relaxed);
+  }
   if (outcome.render.deadline_expired) {
     counters_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
   }
@@ -606,6 +615,8 @@ ServiceStats RenderService::stats() const {
   s.brownout_shed = counters_.brownout_shed.load(std::memory_order_relaxed);
   s.watchdog_kills =
       counters_.watchdog_kills.load(std::memory_order_relaxed);
+  s.frontier_cache_hits =
+      counters_.frontier_cache_hits.load(std::memory_order_relaxed);
   const OverloadGovernor::Stats gov = governor_.stats();
   s.governor_level = static_cast<int>(gov.level);
   s.governor_max_level = static_cast<int>(gov.max_level);

@@ -183,6 +183,9 @@ struct ServiceStats {
   uint64_t tier_flat = 0;
   uint64_t swaps = 0;  // SwapEvaluator() publications (initial one included)
   uint64_t epoch = 0;  // id of the currently published epoch (0: none yet)
+  // Tile-shared renders served from a cached frontier (0 unless
+  // Options::tile_shared is on).
+  uint64_t frontier_cache_hits = 0;
 
   // Runtime self-defense (zero unless the governor/watchdog are enabled).
   uint64_t brownout_applied = 0;   // requests served below their asked tier
@@ -209,6 +212,12 @@ class RenderService {
     // tiles back onto the request worker.
     int intra_frame_threads = 1;
     int tile_rows = 16;  // rows per tile work item (see viz/parallel_render.h)
+    // Shared-traversal tile refinement for the parallel certified path (see
+    // viz/parallel_render.h). Each epoch's renderer keeps its own frontier
+    // cache, keyed by the epoch id, so progressive passes and repeated
+    // viewport renders skip the per-tile region pass and a hot-swap can
+    // never serve stale frontiers.
+    bool tile_shared = false;
     BackoffPolicy backoff;
     uint64_t backoff_seed = 0x5EEDBACC0FFull;
     CircuitBreaker::Options breaker;
@@ -372,7 +381,8 @@ class RenderService {
         served_ok{0}, cancelled{0}, deadline_expired{0}, degraded{0},
         retries{0}, faults{0}, unavailable{0}, tier_certified{0},
         tier_progressive{0}, tier_coarse{0}, tier_flat{0},
-        brownout_applied{0}, brownout_shed{0}, watchdog_kills{0};
+        brownout_applied{0}, brownout_shed{0}, watchdog_kills{0},
+        frontier_cache_hits{0};
   };
   mutable Counters counters_;
 };

@@ -173,17 +173,22 @@ RenderOutcome ResilientRenderer::Render(
   control.force_cancel = opts.force_cancel;
   control.heartbeat = opts.heartbeat;
 
-  // Parallel certified attempt: a tile-parallel εKDV frame on the same
+  // Tiled certified attempt: a tile-parallel εKDV frame on the same
   // deadline. A clean completion is a certificate; anything cut short falls
   // through to the serial progressive ladder below (sharing the deadline, so
-  // total budget is still honored). Skipped under a progressive brownout
-  // cap: the fan-out exists to win a certificate this render may not claim,
-  // and skipping it keeps the shared tile pool free for full-tier requests.
+  // total budget is still honored). Taken when there is genuine fan-out
+  // (a pool and >1 threads) OR when tile-shared refinement is on — the
+  // shared region pass is a work reduction, not a parallelism play, so it
+  // pays at one thread too (the renderer runs bands inline on a null pool).
+  // Skipped under a progressive brownout cap: the attempt exists to win a
+  // certificate this render may not claim, and skipping it keeps the shared
+  // tile pool free for full-tier requests.
   BatchStats parallel_stats;
   const bool tried_parallel =
-      opts.tile_pool != nullptr &&
       opts.max_tier == QualityTier::kCertified &&
-      ResolveRenderThreads(opts.parallel.num_threads) > 1;
+      (opts.parallel.tile_shared ||
+       (opts.tile_pool != nullptr &&
+        ResolveRenderThreads(opts.parallel.num_threads) > 1));
   if (tried_parallel) {
     // The tiled attempt materializes a second full frame alongside the
     // outcome's; charge it for as long as both are alive.
@@ -191,8 +196,12 @@ RenderOutcome ResilientRenderer::Render(
         &MemBudget::Global(), MemSource::kFrameBuffers,
         static_cast<uint64_t>(grid.width()) *
             static_cast<uint64_t>(grid.height()) * sizeof(double));
+    RenderOptions parallel_opts = opts.parallel;
+    if (parallel_opts.tile_shared && parallel_opts.frontier_cache == nullptr) {
+      parallel_opts.frontier_cache = &frontier_cache_;
+    }
     DensityFrame pframe =
-        RenderEpsFrameParallel(*evaluator_, grid, opts.eps, opts.parallel,
+        RenderEpsFrameParallel(*evaluator_, grid, opts.eps, parallel_opts,
                                opts.tile_pool, control, &parallel_stats);
     outcome.numeric_faults += parallel_stats.numeric_faults;
     outcome.deadline_expired |= parallel_stats.deadline_expired;

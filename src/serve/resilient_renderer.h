@@ -87,13 +87,19 @@ struct ResilientRenderOptions {
   GridKde::Options coarse;
 
   // Intra-frame parallelism of the certified path. When `tile_pool` is set
-  // and `parallel.num_threads` resolves above 1, Render() first attempts a
-  // tile-parallel whole-frame εKDV render (viz/parallel_render.h) on the
+  // and `parallel.num_threads` resolves above 1 — or whenever
+  // `parallel.tile_shared` is on, which pays as a work reduction even
+  // single-threaded — Render() first attempts a tile-parallel whole-frame
+  // εKDV render (viz/parallel_render.h) on the
   // remaining budget; a frame that completes cleanly ships as kCertified.
   // If the budget (or a cancellation/fault) cuts the tiled frame short, the
   // renderer falls through to the serial progressive ladder, which degrades
   // to a fully painted frame instead of one with unclaimed-tile holes.
   // The pool is borrowed, never owned, and must outlive the call.
+  // When parallel.tile_shared is on and parallel.frontier_cache is null, the
+  // renderer substitutes its own cross-frame FrontierCache, so repeated
+  // renders of one viewport (progressive passes, pan-and-return) skip the
+  // tile region pass. parallel.cache_epoch should carry the serving epoch id.
   RenderOptions parallel;
   Executor* tile_pool = nullptr;
 };
@@ -161,6 +167,11 @@ class ResilientRenderer {
                                            const GridKde::Options& opts) const;
 
   const KdeEvaluator* evaluator_;
+
+  // Cross-frame tile-shared frontier cache (viz/frontier_cache.h), used by
+  // the parallel certified path when the caller enables tile_shared without
+  // supplying a cache of their own. Internally synchronized.
+  mutable FrontierCache frontier_cache_;
 
   mutable std::mutex coarse_mu_;
   mutable std::shared_ptr<const GridKde> coarse_cache_;

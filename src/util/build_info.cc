@@ -12,16 +12,13 @@
 #ifndef KDV_OPT_FAILPOINTS
 #define KDV_OPT_FAILPOINTS 0
 #endif
-#ifndef KDV_OPT_AVX2
-#define KDV_OPT_AVX2 0
-#endif
 
 namespace kdv {
 
 const BuildInfo& GetBuildInfo() {
   static const BuildInfo info = {
       KDV_GIT_HASH, KDV_BUILD_TYPE, KDV_SANITIZE_PRESET,
-      KDV_OPT_FAILPOINTS != 0, KDV_OPT_AVX2 != 0,
+      KDV_OPT_FAILPOINTS != 0,
   };
   return info;
 }
@@ -36,8 +33,6 @@ std::string BuildStamp() {
   stamp += info.sanitizer;
   stamp += ", failpoints=";
   stamp += info.failpoints ? "on" : "off";
-  stamp += ", avx2=";
-  stamp += info.avx2 ? "on" : "off";
   stamp += ")";
   return stamp;
 }

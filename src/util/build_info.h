@@ -2,9 +2,10 @@
 //
 // A recovery report or a serve-sim trace is only actionable if it names the
 // binary that produced it: the git revision, the optimization level, and
-// whether chaos sites (KDV_FAILPOINTS) or the AVX2 leaf kernels (KDV_AVX2)
-// were compiled in. The values are baked in at configure time by
-// src/util/CMakeLists.txt; an out-of-git build stamps "unknown".
+// whether chaos sites (KDV_FAILPOINTS) were compiled in. The values are
+// baked in at configure time by src/util/CMakeLists.txt; an out-of-git
+// build stamps "unknown". The leaf-kernel SIMD level is a runtime property
+// (core/leaf_kernel.h), reported separately by the bench/CLI JSON.
 #ifndef QUADKDV_UTIL_BUILD_INFO_H_
 #define QUADKDV_UTIL_BUILD_INFO_H_
 
@@ -17,14 +18,12 @@ struct BuildInfo {
   const char* build_type;  // CMAKE_BUILD_TYPE, e.g. "Release"
   const char* sanitizer;   // KDV_SANITIZE preset: "OFF", "address", "thread"
   bool failpoints;         // -DKDV_FAILPOINTS=ON
-  bool avx2;               // -DKDV_AVX2=ON
 };
 
 const BuildInfo& GetBuildInfo();
 
 // One-line stamp:
-//   "quadkdv <hash> (<build_type>, sanitize=<s>, failpoints=on|off,
-//    avx2=on|off)"
+//   "quadkdv <hash> (<build_type>, sanitize=<s>, failpoints=on|off)"
 std::string BuildStamp();
 
 }  // namespace kdv

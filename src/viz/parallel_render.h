@@ -14,6 +14,15 @@
 // thread count and tile size. Tile stats are merged in tile-index order, so
 // the aggregate BatchStats counters are deterministic too (seconds excepted).
 //
+// Tile-shared mode (RenderOptions::tile_shared) amortizes the tree traversal
+// across the pixels of each tile chunk with one region-bound pass
+// (core/tile_refiner.h) and seeds every pixel's stream from the shared
+// frontier. Frames remain deterministic for any thread count (the chunk pass
+// and the seeded per-pixel refinement are both deterministic, and a cached
+// frontier is bitwise the one a rebuild would produce) but are not bitwise
+// equal to the per-pixel path: whole chunks may be answered from region
+// bounds alone. The εKDV/τKDV certificates hold exactly either way.
+//
 // Contracts preserved from the serial path:
 //   * QueryControl is polled before every pixel and at iteration granularity
 //     inside each refining evaluation; on a stop the partial frame comes
@@ -30,6 +39,7 @@
 #include "util/cancel.h"
 #include "util/thread_pool.h"
 #include "viz/frame.h"
+#include "viz/frontier_cache.h"
 #include "viz/pixel_grid.h"
 
 namespace kdv {
@@ -46,6 +56,24 @@ struct RenderOptions {
   // sparse regions refine deep); large tiles amortize claim overhead.
   // Clamped to [1, grid height].
   int tile_rows = 16;
+
+  // Shared-traversal tile refinement (core/tile_refiner.h): each row band is
+  // split into ~square column chunks, one region-bound pass runs per chunk,
+  // and pixels are seeded from the resulting frontier (or whole chunks are
+  // answered from the region bounds alone). Off keeps frames bit-identical
+  // to the serial per-pixel renderers; on preserves the εKDV/τKDV
+  // certificates but may produce (certified) different pixel values.
+  // Ignored for the EXACT method and for non-2-d indexes.
+  bool tile_shared = false;
+  // Pixel columns per shared-traversal chunk; 0 derives the chunk width from
+  // tile_rows (square-ish chunks — full-width row bands make poor query
+  // regions).
+  int tile_cols = 0;
+  // Optional cross-frame frontier cache; entries are namespaced by
+  // cache_epoch (the serving layer passes its epoch id, so a dataset
+  // hot-swap can never reuse stale frontiers).
+  FrontierCache* frontier_cache = nullptr;
+  uint64_t cache_epoch = 0;
 };
 
 // Resolves a --threads style request: 0 -> hardware_concurrency (>= 1),

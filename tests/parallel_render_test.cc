@@ -305,6 +305,203 @@ TEST(ParallelRenderTest, ConcurrentCancellationLeavesConsistentStats) {
 }
 
 // ---------------------------------------------------------------------------
+// Shared-traversal tile refinement
+// ---------------------------------------------------------------------------
+
+// --tile-shared=off is the bit-identity contract: the tiled driver with the
+// shared pass disabled must reproduce the serial frame byte for byte, for
+// every kernel and across thread x tile configurations.
+TEST(TileSharedTest, OffPathBitIdenticalToSerialForEveryKernel) {
+  const KernelType kernels[] = {KernelType::kGaussian,
+                                KernelType::kEpanechnikov,
+                                KernelType::kExponential};
+  for (KernelType kernel : kernels) {
+    auto bench = MakeBench(kernel);
+    KdeEvaluator evaluator = bench->MakeEvaluator(Method::kQuad);
+    PixelGrid grid(40, 30, bench->data_bounds());
+
+    DensityFrame serial = RenderEpsFrame(evaluator, grid, 0.05, nullptr);
+    BinaryFrame serial_tau = RenderTauFrame(evaluator, grid, 0.3, nullptr);
+
+    ThreadPool pool({/*num_threads=*/4, /*max_queue=*/64});
+    for (const ParallelCase& c :
+         {ParallelCase{1, 16}, ParallelCase{4, 5}, ParallelCase{8, 1}}) {
+      RenderOptions options;
+      options.num_threads = c.num_threads;
+      options.tile_rows = c.tile_rows;
+      options.tile_shared = false;
+      BatchStats stats;
+      DensityFrame parallel = RenderEpsFrameParallel(
+          evaluator, grid, 0.05, options, &pool, QueryControl(), &stats);
+      EXPECT_TRUE(FramesBitIdentical(serial.values, parallel.values))
+          << KernelTypeName(kernel) << " t" << c.num_threads;
+      EXPECT_EQ(stats.tile_nodes_visited, 0u);
+      BinaryFrame parallel_tau = RenderTauFrameParallel(
+          evaluator, grid, 0.3, options, &pool, QueryControl(), &stats);
+      EXPECT_EQ(serial_tau.values, parallel_tau.values);
+    }
+  }
+}
+
+// Tile-shared frames return different (but still certified) estimates: every
+// pixel must satisfy the ε certificate against the exact oracle, and the τ
+// mask must match the exact classification. Swept over kernels, thread
+// counts and chunk shapes.
+TEST(TileSharedTest, OnPathSatisfiesCertificatesEverywhere) {
+  const KernelType kernels[] = {KernelType::kGaussian,
+                                KernelType::kEpanechnikov,
+                                KernelType::kExponential};
+  const double eps = 0.05;
+  const double tau = 0.3;
+  for (KernelType kernel : kernels) {
+    auto bench = MakeBench(kernel);
+    KdeEvaluator evaluator = bench->MakeEvaluator(Method::kQuad);
+    PixelGrid grid(40, 30, bench->data_bounds());
+
+    std::vector<double> exact(grid.num_pixels());
+    for (int y = 0; y < grid.height(); ++y) {
+      for (int x = 0; x < grid.width(); ++x) {
+        exact[static_cast<size_t>(y) * grid.width() + x] =
+            evaluator.EvaluateExact(grid.PixelCenter(x, y));
+      }
+    }
+
+    ThreadPool pool({/*num_threads=*/4, /*max_queue=*/64});
+    for (const ParallelCase& c :
+         {ParallelCase{1, 16}, ParallelCase{4, 8}, ParallelCase{8, 3}}) {
+      RenderOptions options;
+      options.num_threads = c.num_threads;
+      options.tile_rows = c.tile_rows;
+      options.tile_shared = true;
+      BatchStats stats;
+      DensityFrame frame = RenderEpsFrameParallel(
+          evaluator, grid, eps, options, &pool, QueryControl(), &stats);
+      ASSERT_EQ(frame.values.size(), exact.size());
+      for (size_t i = 0; i < exact.size(); ++i) {
+        const double slack = 1e-9 * (1.0 + exact[i]);
+        ASSERT_LE(std::abs(frame.values[i] - exact[i]),
+                  eps * exact[i] + slack)
+            << KernelTypeName(kernel) << " t" << c.num_threads << " pixel "
+            << i;
+      }
+      EXPECT_GT(stats.tile_nodes_visited, 0u);
+
+      BinaryFrame mask = RenderTauFrameParallel(
+          evaluator, grid, tau, options, &pool, QueryControl(), &stats);
+      for (size_t i = 0; i < exact.size(); ++i) {
+        const double slack = 1e-9 * (1.0 + exact[i]);
+        if (exact[i] > tau + slack) {
+          ASSERT_EQ(mask.values[i], 1) << "pixel " << i;
+        } else if (exact[i] < tau - slack) {
+          ASSERT_EQ(mask.values[i], 0) << "pixel " << i;
+        }
+      }
+    }
+  }
+}
+
+// A cache hit must substitute the stored frontiers verbatim: same frame
+// bits, zero additional region-pass work.
+TEST(TileSharedTest, FrontierCacheHitReproducesFrameBitwise) {
+  auto bench = MakeBench();
+  KdeEvaluator evaluator = bench->MakeEvaluator(Method::kQuad);
+  PixelGrid grid(40, 30, bench->data_bounds());
+
+  FrontierCache cache;
+  RenderOptions options;
+  options.num_threads = 1;
+  options.tile_shared = true;
+  options.frontier_cache = &cache;
+  options.cache_epoch = 7;
+
+  BatchStats cold_stats;
+  DensityFrame cold = RenderEpsFrameParallel(
+      evaluator, grid, 0.05, options, nullptr, QueryControl(), &cold_stats);
+  EXPECT_EQ(cold_stats.frontier_cache_hits, 0u);
+  EXPECT_GT(cold_stats.tile_nodes_visited, 0u);
+
+  BatchStats warm_stats;
+  DensityFrame warm = RenderEpsFrameParallel(
+      evaluator, grid, 0.05, options, nullptr, QueryControl(), &warm_stats);
+  EXPECT_GT(warm_stats.frontier_cache_hits, 0u);
+  EXPECT_EQ(warm_stats.tile_nodes_visited, 0u);
+  EXPECT_TRUE(FramesBitIdentical(cold.values, warm.values));
+
+  // A different epoch is a different key: the stale frontiers must not be
+  // served to a hot-swapped index generation.
+  options.cache_epoch = 8;
+  BatchStats swap_stats;
+  DensityFrame swapped = RenderEpsFrameParallel(
+      evaluator, grid, 0.05, options, nullptr, QueryControl(), &swap_stats);
+  EXPECT_EQ(swap_stats.frontier_cache_hits, 0u);
+  EXPECT_GT(swap_stats.tile_nodes_visited, 0u);
+  EXPECT_TRUE(FramesBitIdentical(cold.values, swapped.values));
+}
+
+// ---------------------------------------------------------------------------
+// Runtime SIMD dispatch
+// ---------------------------------------------------------------------------
+
+// Every dispatch level must produce bit-identical sums and frames: the
+// level is a throughput knob, never a results knob. Restores the active
+// level on scope exit so test order cannot leak a pinned level.
+class SimdLevelGuard {
+ public:
+  SimdLevelGuard() : saved_(ActiveSimdLevel()) {}
+  ~SimdLevelGuard() { SetSimdLevel(saved_); }
+
+ private:
+  SimdLevel saved_;
+};
+
+TEST(SimdDispatchTest, AllLevelsBitIdentical) {
+  SimdLevelGuard guard;
+  auto bench = MakeBench();
+  KdeEvaluator evaluator = bench->MakeEvaluator(Method::kQuad);
+  PixelGrid grid(40, 30, bench->data_bounds());
+
+  SetSimdLevel(SimdLevel::kScalar);
+  ASSERT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  DensityFrame baseline = RenderEpsFrame(evaluator, grid, 0.05, nullptr);
+
+  const KdTree& tree = evaluator.tree();
+  const KdTree::Node& root = tree.node(tree.root());
+  Rng rng(11);
+  std::vector<Point> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back(Point{rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)});
+  }
+  std::vector<double> scalar_sums;
+  for (const Point& q : queries) {
+    scalar_sums.push_back(
+        LeafSumSoA(tree, evaluator.params(), root.begin, root.end, q));
+  }
+
+  for (SimdLevel level : {SimdLevel::kSse2, SimdLevel::kAvx2}) {
+    SetSimdLevel(level);
+    if (ActiveSimdLevel() != level) continue;  // not supported by this host
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(Bits(scalar_sums[i]),
+                Bits(LeafSumSoA(tree, evaluator.params(), root.begin,
+                                root.end, queries[i])))
+          << "level " << SimdLevelName(level) << " query " << i;
+    }
+    DensityFrame frame = RenderEpsFrame(evaluator, grid, 0.05, nullptr);
+    EXPECT_TRUE(FramesBitIdentical(baseline.values, frame.values))
+        << "level " << SimdLevelName(level);
+  }
+}
+
+TEST(SimdDispatchTest, SetLevelClampsToHardwareMax) {
+  SimdLevelGuard guard;
+  SetSimdLevel(SimdLevel::kAvx2);
+  EXPECT_LE(static_cast<int>(ActiveSimdLevel()),
+            static_cast<int>(MaxSupportedSimdLevel()));
+  SetSimdLevel(SimdLevel::kScalar);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+}
+
+// ---------------------------------------------------------------------------
 // SoA leaf kernel vs AoS scalar loop
 // ---------------------------------------------------------------------------
 

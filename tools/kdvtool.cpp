@@ -76,7 +76,12 @@ int Usage() {
       "  render:       --eps E [--budget-ms MS --on-deadline degrade|fail]\n"
       "                (degrade: ship best-effort frame, exit 0; fail: exit\n"
       "                3 when the budget expires before certification)\n"
-      "                [--threads N (0 = hardware concurrency) --tile-rows R]\n"
+      "                [--threads N (0 = hardware concurrency) --tile-rows R\n"
+      "                 --tile-shared on|off (amortize tree traversal across\n"
+      "                 tile pixels; off is bit-identical to per-pixel)\n"
+      "                 --json (machine-readable stats incl. pruning\n"
+      "                 counters and the active SIMD level; KDV_SIMD=\n"
+      "                 scalar|sse2|avx2 pins the leaf-kernel dispatch)]\n"
       "  hotspot:      --tau T | --tau-sigma K (tau = mu + K*sigma)\n"
       "                --block (certify whole pixel blocks)\n"
       "  progressive:  --eps E --budget SECONDS\n"
@@ -86,7 +91,8 @@ int Usage() {
       "                --budget-ms MS\n"
       "                [--clients C (default 4x threads) --queue Q\n"
       "                 --frame-threads N (intra-frame tile workers)\n"
-      "                 --tile-rows R --eps E --on-deadline degrade|fail\n"
+      "                 --tile-rows R --tile-shared on|off\n"
+      "                 --eps E --on-deadline degrade|fail\n"
       "                 --failpoints \"site=action;...\" --json\n"
       "                 --swap-after N (hot-swap the evaluator after N\n"
       "                 completed requests)\n"
@@ -194,6 +200,24 @@ bool ParseFrameThreads(const Flags& flags, const char* cmd, int* threads,
     return false;
   }
   return true;
+}
+
+// Parses --tile-shared=on|off (default off): shared-traversal tile
+// refinement for the frame renderers. Returns false (after printing a usage
+// error) on any other value.
+bool ParseTileShared(const Flags& flags, const char* cmd, bool* tile_shared) {
+  const std::string v = flags.GetString("tile-shared", "off");
+  if (v == "on") {
+    *tile_shared = true;
+    return true;
+  }
+  if (v == "off") {
+    *tile_shared = false;
+    return true;
+  }
+  std::fprintf(stderr, "kdvtool %s: --tile-shared must be 'on' or 'off'\n",
+               cmd);
+  return false;
 }
 
 // Helper pool for an intra-frame parallel render: resolved - 1 workers (the
@@ -429,7 +453,7 @@ int CmdInfo(const Flags& flags) {
 // Budgeted render path: QUAD under --budget-ms with the degradation ladder
 // (or fail-fast with exit code 3 under --on-deadline=fail).
 int CmdRenderBudgeted(const Flags& flags, Session* s, double eps, int threads,
-                      int tile_rows) {
+                      int tile_rows, bool tile_shared) {
   std::string on_deadline = flags.GetString("on-deadline", "degrade");
   if (on_deadline != "degrade" && on_deadline != "fail") {
     std::fprintf(stderr,
@@ -450,6 +474,7 @@ int CmdRenderBudgeted(const Flags& flags, Session* s, double eps, int threads,
   options.degrade = on_deadline == "degrade";
   options.parallel.num_threads = threads;
   options.parallel.tile_rows = tile_rows;
+  options.parallel.tile_shared = tile_shared;
   std::unique_ptr<ThreadPool> pool = MakeTilePool(threads);
   options.tile_pool = pool.get();
   ResilientRenderer renderer(&evaluator);
@@ -485,8 +510,10 @@ int CmdRender(const Flags& flags) {
   int threads = 1;
   int tile_rows = 16;
   if (!ParseFrameThreads(flags, "render", &threads, &tile_rows)) return 2;
+  bool tile_shared = false;
+  if (!ParseTileShared(flags, "render", &tile_shared)) return 2;
   if (flags.Has("budget-ms")) {
-    return CmdRenderBudgeted(flags, &s, eps, threads, tile_rows);
+    return CmdRenderBudgeted(flags, &s, eps, threads, tile_rows, tile_shared);
   }
 
   KdeEvaluator evaluator = s.bench->MakeEvaluator(s.method);
@@ -494,10 +521,13 @@ int CmdRender(const Flags& flags) {
   BatchStats stats;
   DensityFrame frame;
   std::unique_ptr<ThreadPool> pool = MakeTilePool(threads);
-  if (pool != nullptr) {
+  if (pool != nullptr || tile_shared) {
+    // Tile-shared rendering lives in the tiled driver, so it is routed
+    // there even at --threads 1 (pool null: the caller drains every tile).
     RenderOptions ropts;
     ropts.num_threads = threads;
     ropts.tile_rows = tile_rows;
+    ropts.tile_shared = tile_shared;
     frame = RenderEpsFrameParallel(evaluator, grid, eps, ropts, pool.get(),
                                    QueryControl(), &stats);
   } else {
@@ -512,9 +542,40 @@ int CmdRender(const Flags& flags) {
     std::fprintf(stderr, "kdvtool: cannot write %s\n", out.c_str());
     return 1;
   }
-  std::printf("εKDV (%s, eps=%g, threads=%d): %dx%d in %.3fs -> %s\n",
-              MethodName(s.method), eps, ResolveRenderThreads(threads),
-              s.width, s.height, stats.seconds, out.c_str());
+  if (flags.GetBool("json", false)) {
+    const double px_per_sec =
+        stats.seconds > 0.0
+            ? static_cast<double>(grid.num_pixels()) / stats.seconds
+            : 0.0;
+    std::printf(
+        "{\"method\":\"%s\",\"eps\":%g,\"width\":%d,\"height\":%d,"
+        "\"threads\":%d,\"tile_shared\":%s,"
+        "\"simd\":\"%s\",\"seconds\":%.6f,\"pixels_per_sec\":%.1f,"
+        "\"work\":{\"queries\":%llu,\"iterations\":%llu,"
+        "\"points_scanned\":%llu,\"nodes_visited\":%llu},"
+        "\"tile_pass\":{\"nodes_visited\":%llu,\"accepted\":%llu,"
+        "\"pruned\":%llu,\"tiles_decided\":%llu,"
+        "\"frontier_cache_hits\":%llu},"
+        "\"out\":\"%s\",\"build\":\"%s\"}\n",
+        MethodName(s.method), eps, s.width, s.height,
+        ResolveRenderThreads(threads), tile_shared ? "true" : "false",
+        SimdLevelName(ActiveSimdLevel()), stats.seconds, px_per_sec,
+        static_cast<unsigned long long>(stats.queries),
+        static_cast<unsigned long long>(stats.iterations),
+        static_cast<unsigned long long>(stats.points_scanned),
+        static_cast<unsigned long long>(stats.nodes_visited),
+        static_cast<unsigned long long>(stats.tile_nodes_visited),
+        static_cast<unsigned long long>(stats.tile_accepted),
+        static_cast<unsigned long long>(stats.tile_pruned),
+        static_cast<unsigned long long>(stats.tiles_decided),
+        static_cast<unsigned long long>(stats.frontier_cache_hits),
+        out.c_str(), BuildStamp().c_str());
+  } else {
+    std::printf("εKDV (%s, eps=%g, threads=%d%s): %dx%d in %.3fs -> %s\n",
+                MethodName(s.method), eps, ResolveRenderThreads(threads),
+                tile_shared ? ", tile-shared" : "", s.width, s.height,
+                stats.seconds, out.c_str());
+  }
   return 0;
 }
 
@@ -539,6 +600,11 @@ int CmdHotspot(const Flags& flags) {
     std::printf("tau = %g (mu=%g, sigma=%g)\n", tau, stats.mean,
                 stats.stddev);
   }
+  int threads = 1;
+  int tile_rows = 16;
+  if (!ParseFrameThreads(flags, "hotspot", &threads, &tile_rows)) return 2;
+  bool tile_shared = false;
+  if (!ParseTileShared(flags, "hotspot", &tile_shared)) return 2;
   BinaryFrame mask;
   double seconds = 0.0;
   if (flags.GetBool("block", false)) {
@@ -552,7 +618,17 @@ int CmdHotspot(const Flags& flags) {
                 static_cast<unsigned long long>(stats.pixel_evaluations));
   } else {
     BatchStats stats;
-    mask = RenderTauFrame(evaluator, grid, tau, &stats);
+    std::unique_ptr<ThreadPool> pool = MakeTilePool(threads);
+    if (pool != nullptr || tile_shared) {
+      RenderOptions ropts;
+      ropts.num_threads = threads;
+      ropts.tile_rows = tile_rows;
+      ropts.tile_shared = tile_shared;
+      mask = RenderTauFrameParallel(evaluator, grid, tau, ropts, pool.get(),
+                                    QueryControl(), &stats);
+    } else {
+      mask = RenderTauFrame(evaluator, grid, tau, &stats);
+    }
     if (!stats.status.ok()) {
       PrintStatus(stats.status);
       return 1;
@@ -893,6 +969,8 @@ int CmdServeSim(const Flags& flags) {
                  "kdvtool serve-sim: --tile-rows must be an integer >= 1\n");
     return 2;
   }
+  bool tile_shared = false;
+  if (!ParseTileShared(flags, "serve-sim", &tile_shared)) return 2;
   const int clients = flags.GetInt("clients", threads * 4);
   const long requests = flags.GetInt("requests", 100);
   if (clients < 1 || requests < 1) {
@@ -1000,6 +1078,7 @@ int CmdServeSim(const Flags& flags) {
   options.max_attempts = flags.GetInt("max-attempts", 3);
   options.intra_frame_threads = frame_threads;
   options.tile_rows = tile_rows;
+  options.tile_shared = tile_shared;
   if (use_governor) {
     options.governor.enabled = true;
     options.governor.queue_wait_saturation_seconds = queue_wait_sat_ms / 1e3;
@@ -1203,6 +1282,8 @@ int CmdServeSim(const Flags& flags) {
         "\"tiers\":{\"certified\":%llu,\"progressive\":%llu,"
         "\"coarse\":%llu,\"flat\":%llu},"
         "\"epochs\":{\"swaps\":%llu,\"current\":%llu},"
+        "\"tile_shared\":{\"enabled\":%s,\"frontier_cache_hits\":%llu},"
+        "\"simd\":\"%s\","
         "\"health\":{\"at_start\":\"%s\",\"serving\":\"%s\","
         "\"final\":\"%s\"},"
         "\"invariants\":{\"bad_rejections\":%llu,\"nonfinite_pixels\":%llu},"
@@ -1235,6 +1316,9 @@ int CmdServeSim(const Flags& flags) {
         static_cast<unsigned long long>(stats.tier_flat),
         static_cast<unsigned long long>(stats.swaps),
         static_cast<unsigned long long>(stats.epoch),
+        tile_shared ? "true" : "false",
+        static_cast<unsigned long long>(stats.frontier_cache_hits),
+        SimdLevelName(ActiveSimdLevel()),
         health_at_start.c_str(), health_serving.c_str(),
         health_final.c_str(),
         static_cast<unsigned long long>(bad_rejections.load()),
@@ -1291,6 +1375,11 @@ int CmdServeSim(const Flags& flags) {
                 health_final.c_str(),
                 static_cast<unsigned long long>(stats.epoch),
                 static_cast<unsigned long long>(stats.swaps));
+    if (tile_shared) {
+      std::printf("  tile-shared: on, %llu frontier cache hit(s)\n",
+                  static_cast<unsigned long long>(stats.frontier_cache_hits));
+    }
+    std::printf("  simd: %s\n", SimdLevelName(ActiveSimdLevel()));
     if (use_governor) {
       std::printf("  governor: level %s (max %s), pressure %.3f, "
                   "browned_out %llu, shed %llu, %zu transition(s)\n",
