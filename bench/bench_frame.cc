@@ -431,6 +431,11 @@ int main() {
     std::fprintf(json, "]}");
   }
   std::fprintf(json, "],");
+  // Observability block: the process metric registry after the sweeps —
+  // per-stage duration quantiles and the bound-evals-per-pixel histogram
+  // the renders recorded (pre-escaped JSON from JsonWriter).
+  std::fprintf(json, "\"metrics\":%s,",
+               kdv_bench::MetricsBlockJson().c_str());
   std::fprintf(json,
                "\"leaf_kernel\":{\"aos_points_per_sec\":%.3f,"
                "\"soa_points_per_sec\":%.3f,\"soa_speedup\":%.4f}}\n",

@@ -279,7 +279,12 @@ int main() {
                  static_cast<unsigned long long>(r.browned),
                  static_cast<unsigned long long>(r.shed));
   }
-  std::fprintf(json, "]}\n");
+  std::fprintf(json, "],");
+  // Observability block: the process metric registry after every sweep —
+  // queue-wait/request/backoff quantiles from the serve instrumentation
+  // (pre-escaped JSON from JsonWriter).
+  std::fprintf(json, "\"metrics\":%s}\n",
+               kdv_bench::MetricsBlockJson().c_str());
   std::fclose(json);
   kdv::Status published = kdv::AtomicPublish(json_temp, json_path);
   if (!published.ok()) {

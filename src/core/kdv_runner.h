@@ -38,6 +38,10 @@ struct BatchStats {
   uint64_t tile_pruned = 0;          // subtrees discarded tile-wide
   uint64_t tiles_decided = 0;        // tiles finished with zero per-pixel work
   uint64_t frontier_cache_hits = 0;  // frames served from a cached frontier
+  // Time inside tile region passes, summed across tiles (CPU seconds, not
+  // wall time; measured through the clock seam, so 0 under the simulator's
+  // virtual clock). Feeds the tile_pass trace stage and obs histograms.
+  double tile_seconds = 0.0;
   // Non-OK when an internal fault (e.g. an injected failpoint error) aborted
   // the batch; the partial outputs written so far remain valid.
   Status status = OkStatus();

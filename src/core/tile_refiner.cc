@@ -4,11 +4,38 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace kdv {
 
 namespace {
+
+// Per-pass observability. The region pass runs once per tile chunk, not per
+// pixel, so three relaxed atomic bumps here are invisible next to the bound
+// evaluations the pass performs. Handles resolve once per process.
+struct TileObs {
+  obs::Counter* passes;
+  obs::Counter* nodes;
+  obs::Counter* decided;
+  obs::Histogram* pass_seconds;
+  TileObs() {
+    auto& r = obs::MetricsRegistry::Global();
+    passes = r.GetCounter("kdv_tile_region_passes_total");
+    nodes = r.GetCounter("kdv_tile_region_nodes_total");
+    decided = r.GetCounter("kdv_tile_decided_total");
+    pass_seconds = r.GetHistogram("kdv_tile_region_pass_seconds");
+  }
+};
+
+void RecordTilePass(const TileFrontier& out, double seconds) {
+  static TileObs& o = *new TileObs();
+  o.passes->Increment();
+  o.nodes->Increment(out.nodes_visited);
+  if (out.valid && out.decided) o.decided->Increment();
+  o.pass_seconds->Record(seconds);
+}
 
 // Same acceptance test as the refinement stream: finite ends, inversion
 // within floating-point drift.
@@ -53,11 +80,17 @@ TileRefiner::TileRefiner(const KdTree* tree, const KernelParams& params,
 
 TileFrontier TileRefiner::BuildEps(const Rect& query_rect, double eps) const {
   KDV_CHECK(eps >= 0.0);
-  return Build(query_rect, /*eps_mode=*/true, eps);
+  Timer timer;  // CurrentClock: virtual under sim, so metrics replay exactly
+  TileFrontier out = Build(query_rect, /*eps_mode=*/true, eps);
+  RecordTilePass(out, timer.ElapsedSeconds());
+  return out;
 }
 
 TileFrontier TileRefiner::BuildTau(const Rect& query_rect, double tau) const {
-  return Build(query_rect, /*eps_mode=*/false, tau);
+  Timer timer;
+  TileFrontier out = Build(query_rect, /*eps_mode=*/false, tau);
+  RecordTilePass(out, timer.ElapsedSeconds());
+  return out;
 }
 
 TileFrontier TileRefiner::Build(const Rect& query_rect, bool eps_mode,

@@ -1,0 +1,35 @@
+// Exporters: one snapshot, two wire formats.
+//
+// Both functions are pure — the same MetricsSnapshot always yields the same
+// bytes — which is what lets the sim suite assert byte-identical metric
+// exports across same-seed replays.
+//
+//   * ExportPrometheus: Prometheus text exposition. Counters get a _total
+//     name (the naming scheme in DESIGN.md §13 bakes the suffix in),
+//     histograms expand to cumulative _bucket{le="..."} series plus _sum
+//     and _count, and each recent trace span contributes per-stage
+//     kdv_trace_stage_seconds{stage="...",...} samples.
+//   * ExportJson: the same data as one strictly valid JSON object (via
+//     util/json_writer, so strings are escaped and non-finite doubles are
+//     scrubbed to null). Layout:
+//       {"counters":{...},"gauges":{...},
+//        "histograms":{name:{count,sum,p50,p90,p99,buckets:[[ub,n],...]}},
+//        "traces":[{request_id,epoch,tier,attempts,ok,total_seconds,
+//                   stages:{...}},...]}
+#ifndef QUADKDV_OBS_EXPORT_H_
+#define QUADKDV_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace kdv {
+namespace obs {
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+std::string ExportJson(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace kdv
+
+#endif  // QUADKDV_OBS_EXPORT_H_

@@ -1,0 +1,128 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+namespace kdv {
+namespace obs {
+
+namespace {
+
+// Recent-trace ring bound: enough for a bench run's tail or a serve-sim
+// postmortem without letting a long-lived service grow without bound.
+constexpr size_t kMaxTraces = 64;
+
+}  // namespace
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5,1)
+  if (exp < kMinExp) return 1;
+  if (exp >= kMaxExp) return kNumBuckets - 1;
+  int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+  if (sub < 0) sub = 0;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return 1 + (exp - kMinExp) * kSubBuckets + sub;
+}
+
+double Histogram::BucketUpperBound(int i) {
+  if (i <= 0) return 0.0;
+  const int j = i - 1;
+  const int exp = kMinExp + j / kSubBuckets;
+  const int sub = j % kSubBuckets;
+  return std::ldexp(0.5 + 0.5 * (sub + 1) / kSubBuckets, exp);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cum += bucket(i);
+    if (cum >= target && cum > 0) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RecordTrace(const TraceSpan& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_back(span);
+  if (traces_.size() > kMaxTraces) traces_.pop_front();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = hist->count();
+    h.sum = hist->sum();
+    h.p50 = hist->Quantile(0.50);
+    h.p90 = hist->Quantile(0.90);
+    h.p99 = hist->Quantile(0.99);
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t c = hist->bucket(i);
+      if (c > 0) h.buckets.emplace_back(Histogram::BucketUpperBound(i), c);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  snap.traces.assign(traces_.begin(), traces_.end());
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+  traces_.clear();
+}
+
+}  // namespace obs
+}  // namespace kdv

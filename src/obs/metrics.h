@@ -1,0 +1,168 @@
+// Process-wide metrics registry: the one place the serving stack's runtime
+// subsystems report what they are doing.
+//
+// Before this layer each subsystem kept private counters surfaced (or not)
+// through one-off serve-sim JSON fields; bugs that only a cross-subsystem
+// view would catch stayed invisible. The registry holds three metric kinds:
+//
+//   * Counter   — monotonic uint64 (requests, faults, cache hits).
+//   * Gauge     — last-written double (governor pressure, brownout level).
+//   * Histogram — log-linear bucketed distribution (latencies, per-pixel
+//                 bound evaluations). Quantiles are bucket-upper-bound
+//                 estimates with <= ~1/(2·kSubBuckets) relative error.
+//
+// Hot-path contract: Record/Increment/Set are single relaxed atomic RMWs on
+// pre-resolved pointers — no locks, no allocation, no name lookups. The
+// registry mutex guards only registration (once per call site, cached in a
+// function-local static) and snapshotting. Metric handles are never
+// invalidated: Reset() zeroes values in place, so cached pointers survive.
+//
+// Determinism-under-sim contract: metrics carry no wall-clock timestamps of
+// their own. Every duration recorded into a histogram is measured by the
+// caller through the util/clock.h seam (Timer/Deadline on CurrentClock), so
+// under src/sim the same seed produces byte-identical snapshots — the sim
+// suite asserts exactly that. Snapshot iteration is name-ordered, and the
+// exporters (obs/export.h) are pure functions of the snapshot.
+#ifndef QUADKDV_OBS_METRICS_H_
+#define QUADKDV_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace kdv {
+namespace obs {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log-linear histogram: each power-of-two decade is split into kSubBuckets
+// linear sub-buckets (the HdrHistogram layout), covering ~1e-9 .. ~1.7e10
+// with a dedicated bucket 0 for values <= 0 (and non-finite values, which a
+// measurement seam should never produce but must not corrupt the buckets).
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kMinExp = -30;  // 2^-30 ~ 0.93 ns
+  static constexpr int kMaxExp = 34;   // 2^34  ~ 1.7e10
+  static constexpr int kNumBuckets =
+      (kMaxExp - kMinExp) * kSubBuckets + 1;
+
+  void Record(double v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    if (v > 0.0 && v < 1e308) {
+      // Relaxed CAS add; contention is per-histogram and rare.
+      double sum = sum_.load(std::memory_order_relaxed);
+      while (!sum_.compare_exchange_weak(sum, sum + v,
+                                         std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  // Upper-bound estimate of the q-quantile (q in [0, 1]); 0 when empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+  // Which bucket a value lands in.
+  static int BucketIndex(double v);
+  // Inclusive upper bound of bucket i (0.0 for bucket 0).
+  static double BucketUpperBound(int i);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Point-in-time copy of one histogram, only non-empty buckets retained.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  // (inclusive upper bound, count) per non-empty bucket, ascending.
+  std::vector<std::pair<double, uint64_t>> buckets;
+};
+
+// Name-ordered copy of every metric plus the recent-trace ring.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  std::vector<TraceSpan> traces;  // oldest first
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every production call site reports into.
+  // Tests and the simulator Reset() it at run start.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returns the metric registered under `name`, creating it on first use.
+  // The returned pointer is stable for the registry's lifetime — call once
+  // per site and cache it. Kinds live in separate namespaces, but reusing
+  // one name across kinds garbles the exports; don't.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Appends a completed request span to the recent-trace ring (bounded;
+  // oldest dropped).
+  void RecordTrace(const TraceSpan& span);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every metric and clears the trace ring in place; handles handed
+  // out by Get* stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::deque<TraceSpan> traces_;
+};
+
+}  // namespace obs
+}  // namespace kdv
+
+#endif  // QUADKDV_OBS_METRICS_H_

@@ -1,0 +1,29 @@
+#include "obs/trace.h"
+
+namespace kdv {
+namespace obs {
+
+const char* TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kQueueWait:
+      return "queue_wait";
+    case TraceStage::kAdmission:
+      return "admission";
+    case TraceStage::kTierAttempt:
+      return "tier_attempt";
+    case TraceStage::kTilePass:
+      return "tile_pass";
+    case TraceStage::kRefinement:
+      return "refinement";
+    case TraceStage::kCoarse:
+      return "coarse";
+    case TraceStage::kScrub:
+      return "scrub";
+    case TraceStage::kBackoff:
+      return "backoff";
+  }
+  return "unknown";
+}
+
+}  // namespace obs
+}  // namespace kdv

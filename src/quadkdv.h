@@ -34,6 +34,9 @@
 #include "index/serialization.h"
 #include "kernel/bandwidth.h"
 #include "kernel/kernel.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "progressive/progressive.h"
 #include "regress/kernel_regressor.h"
 #include "regress/weighted_bounds.h"
@@ -60,6 +63,7 @@
 #include "util/failpoint.h"
 #include "util/crc32.h"
 #include "util/csv.h"
+#include "util/json_writer.h"
 #include "util/mem_budget.h"
 #include "util/random.h"
 #include "util/status.h"

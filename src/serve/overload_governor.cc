@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace kdv {
 
 namespace {
@@ -11,6 +13,26 @@ namespace {
 // flapping governor (which the hysteresis exists to prevent) must not grow
 // memory without bound.
 constexpr size_t kMaxTransitions = 1024;
+
+// Registry mirror of the governor's live signals: pressure/level as gauges
+// (latest assessment wins), level changes and sheds as counters.
+struct GovernorObs {
+  obs::Gauge* pressure;
+  obs::Gauge* level;
+  obs::Counter* transitions;
+  obs::Counter* sheds;
+  GovernorObs() {
+    auto& r = obs::MetricsRegistry::Global();
+    pressure = r.GetGauge("kdv_governor_pressure");
+    level = r.GetGauge("kdv_governor_level");
+    transitions = r.GetCounter("kdv_governor_transitions_total");
+    sheds = r.GetCounter("kdv_governor_sheds_total");
+  }
+  static GovernorObs& Get() {
+    static GovernorObs& o = *new GovernorObs();
+    return o;
+  }
+};
 
 }  // namespace
 
@@ -95,6 +117,7 @@ OverloadGovernor::Decision OverloadGovernor::Assess() {
   const double now = Now();
   std::lock_guard<std::mutex> lock(mu_);
   ++assessments_;
+  const size_t transitions_before = transitions_.size();
   // Age the queue-wait EWMA. Samples only arrive when admitted requests
   // dequeue, so during a full shed the signal receives none — without decay
   // it would freeze at its burst peak and keep the governor shedding long
@@ -166,8 +189,17 @@ OverloadGovernor::Decision OverloadGovernor::Assess() {
 
   if (decision.shed) {
     ++sheds_;
+    GovernorObs::Get().sheds->Increment();
   } else if (decision.level != Level::kNormal) {
     ++activations_;
+  }
+  // Registry mirror: gauges take the latest assessment, transitions count
+  // level changes this call pushed (0 or 1).
+  GovernorObs& go = GovernorObs::Get();
+  go.pressure->Set(pressure);
+  go.level->Set(static_cast<double>(static_cast<int>(level_)));
+  if (transitions_.size() > transitions_before) {
+    go.transitions->Increment(transitions_.size() - transitions_before);
   }
   if (transitions_.size() > kMaxTransitions) {
     transitions_.erase(transitions_.begin(),

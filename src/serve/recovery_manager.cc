@@ -11,7 +11,9 @@
 #include "data/datasets.h"
 #include "index/manifest.h"
 #include "index/serialization.h"
+#include "obs/metrics.h"
 #include "util/atomic_file.h"
+#include "util/timer.h"
 
 namespace kdv {
 
@@ -22,6 +24,46 @@ namespace fs = std::filesystem;
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kWalDirName[] = "wal";
 constexpr char kQuarantineSuffix[] = ".quarantine";
+
+// Registry mirror of recovery activity. Recovery is rare and slow; the
+// interesting signals are that it ran at all, what it quarantined, and how
+// long it took.
+struct RecoveryObs {
+  obs::Counter* runs;
+  obs::Counter* quarantined;
+  obs::Histogram* seconds;
+  RecoveryObs() {
+    auto& r = obs::MetricsRegistry::Global();
+    runs = r.GetCounter("kdv_recovery_runs_total");
+    quarantined = r.GetCounter("kdv_recovery_quarantined_total");
+    seconds = r.GetHistogram("kdv_recovery_seconds");
+  }
+  static RecoveryObs& Get() {
+    static RecoveryObs& o = *new RecoveryObs();
+    return o;
+  }
+};
+
+// RAII: one Recover() call = one run counted and one duration sample, on
+// every exit path; the quarantine tally is read from the report at the end.
+class RecoveryRunScope {
+ public:
+  explicit RecoveryRunScope(const RecoveryReport* rep) : rep_(rep) {}
+  ~RecoveryRunScope() {
+    RecoveryObs& o = RecoveryObs::Get();
+    o.runs->Increment();
+    if (!rep_->quarantined.empty()) {
+      o.quarantined->Increment(rep_->quarantined.size());
+    }
+    o.seconds->Record(timer_.ElapsedSeconds());
+  }
+  RecoveryRunScope(const RecoveryRunScope&) = delete;
+  RecoveryRunScope& operator=(const RecoveryRunScope&) = delete;
+
+ private:
+  const RecoveryReport* rep_;
+  Timer timer_;
+};
 
 std::string ManifestPath(const std::string& state_dir) {
   return state_dir + "/" + kManifestName;
@@ -293,6 +335,7 @@ StatusOr<RecoveredState> RecoveryManager::Recover(
   RecoveryReport local;
   RecoveryReport* rep = report != nullptr ? report : &local;
   *rep = RecoveryReport();
+  RecoveryRunScope run_scope(rep);
 
   const std::string manifest_path = ManifestPath(options.state_dir);
   Manifest manifest;

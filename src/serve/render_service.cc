@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/mem_budget.h"
 
 namespace kdv {
@@ -148,6 +149,9 @@ struct RenderService::Job {
   std::unique_ptr<Deadline> deadline;  // null: no budget
   bool pre_expired = false;            // budget was 0 at admission
   Timer timer;
+  // Per-request trace span, filled as the job moves through the stack and
+  // published to the registry's recent-trace ring at completion.
+  obs::TraceSpan span;
   // Admission→completion memory accounting for the governor's pressure
   // signal: the queued-job bookkeeping and the output frame this request
   // will materialize.
@@ -184,6 +188,44 @@ RenderWatchdog::Options ResolveWatchdogOptions(RenderWatchdog::Options wd,
   return wd;
 }
 
+// Serve-level observability: admission/outcome counters and end-to-end
+// latency histograms mirrored into the process-wide registry, so the
+// exporters see the service without reaching into ServiceStats. Handles
+// resolve once per process; every update is a relaxed atomic.
+struct ServeObs {
+  obs::Counter* submitted;
+  obs::Counter* admitted;
+  obs::Counter* shed;
+  obs::Counter* completed;
+  obs::Counter* served_ok;
+  obs::Counter* degraded;
+  obs::Counter* retries;
+  obs::Counter* faults;
+  obs::Counter* unavailable;
+  obs::Histogram* queue_wait_seconds;
+  obs::Histogram* request_seconds;
+  obs::Histogram* backoff_seconds;
+  ServeObs() {
+    auto& r = obs::MetricsRegistry::Global();
+    submitted = r.GetCounter("kdv_serve_submitted_total");
+    admitted = r.GetCounter("kdv_serve_admitted_total");
+    shed = r.GetCounter("kdv_serve_shed_total");
+    completed = r.GetCounter("kdv_serve_completed_total");
+    served_ok = r.GetCounter("kdv_serve_ok_total");
+    degraded = r.GetCounter("kdv_serve_degraded_total");
+    retries = r.GetCounter("kdv_serve_retries_total");
+    faults = r.GetCounter("kdv_serve_faults_total");
+    unavailable = r.GetCounter("kdv_serve_unavailable_total");
+    queue_wait_seconds = r.GetHistogram("kdv_serve_queue_wait_seconds");
+    request_seconds = r.GetHistogram("kdv_serve_request_seconds");
+    backoff_seconds = r.GetHistogram("kdv_serve_backoff_seconds");
+  }
+  static ServeObs& Get() {
+    static ServeObs& o = *new ServeObs();
+    return o;
+  }
+};
+
 }  // namespace
 
 RenderService::RenderService(Options options)
@@ -203,6 +245,7 @@ RenderService::RenderService(Options options)
                   // way repeated faults do; one stall is one breaker fault.
                   (void)report;
                   counters_.faults.fetch_add(1, std::memory_order_relaxed);
+                  ServeObs::Get().faults->Increment();
                   breaker_.RecordFault();
                 }),
       backoff_(options.backoff, options.backoff_seed) {
@@ -303,6 +346,7 @@ void RenderService::SleepMs(double ms) {
 StatusOr<std::future<ServeOutcome>> RenderService::Submit(
     const PixelGrid& grid, const ServeRequestOptions& request) {
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  ServeObs::Get().submitted->Increment();
 
   // Nothing published yet (still starting/recovering): there is no
   // evaluator any worker could render against.
@@ -317,6 +361,7 @@ StatusOr<std::future<ServeOutcome>> RenderService::Submit(
       max_in_flight_) {
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     counters_.shed.fetch_add(1, std::memory_order_relaxed);
+    ServeObs::Get().shed->Increment();
     return ResourceExhaustedError(
         "render service at max in-flight requests (" +
         std::to_string(max_in_flight_) + ")");
@@ -332,6 +377,7 @@ StatusOr<std::future<ServeOutcome>> RenderService::Submit(
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
       counters_.shed.fetch_add(1, std::memory_order_relaxed);
       counters_.brownout_shed.fetch_add(1, std::memory_order_relaxed);
+      ServeObs::Get().shed->Increment();
       return ResourceExhaustedError(
           "render service past overload ceiling (pressure " +
           std::to_string(decision.pressure) + ")");
@@ -342,6 +388,8 @@ StatusOr<std::future<ServeOutcome>> RenderService::Submit(
   job->grid = &grid;
   job->request = request;
   job->timer = Timer(clock_);
+  job->span.request_id =
+      next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   job->mem_charge = ScopedMemCharge(
       &MemBudget::Global(), MemSource::kFrameBuffers,
       sizeof(Job) + static_cast<uint64_t>(grid.width()) *
@@ -359,16 +407,22 @@ StatusOr<std::future<ServeOutcome>> RenderService::Submit(
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     if (admitted.code() == StatusCode::kResourceExhausted) {
       counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      ServeObs::Get().shed->Increment();
     }
     return admitted;
   }
   counters_.admitted.fetch_add(1, std::memory_order_relaxed);
+  ServeObs::Get().admitted->Increment();
   return future;
 }
 
 void RenderService::Execute(const std::shared_ptr<Job>& job) {
   ServeOutcome outcome;
   outcome.queue_seconds = job->timer.ElapsedSeconds();
+  job->span.AddStage(obs::TraceStage::kQueueWait, outcome.queue_seconds);
+  // Preflight time (epoch snapshot, governor assessment, queue-expiry
+  // checks) is attributed to the admission stage at each exit below.
+  Timer admission_timer(clock_);
 
   const PixelGrid& grid = *job->grid;
   const ServeRequestOptions& request = job->request;
@@ -393,6 +447,7 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
   ropts.parallel.tile_shared = options_.tile_shared;
   ropts.parallel.cache_epoch = epoch->id;
   ropts.tile_pool = tile_pool_;
+  ropts.trace = &job->span;
 
   // Brownout: fold the observed queue wait into the pressure signal, then
   // serve at the governor's level. Fail-fast requests are exempt — the
@@ -414,6 +469,8 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
 
   // Cancelled while queued: never touch the render path.
   if (request.cancel != nullptr && request.cancel->cancelled()) {
+    job->span.AddStage(obs::TraceStage::kAdmission,
+                       admission_timer.ElapsedSeconds());
     outcome.render.frame = DensityFrame(grid.width(), grid.height());
     outcome.render.cancelled = true;
     outcome.render.status = CancelledError("request cancelled while queued");
@@ -430,6 +487,8 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
                        : (job->deadline ? job->deadline->RemainingSeconds()
                                         : -1.0);
   if (has_deadline && remaining <= 0.0) {
+    job->span.AddStage(obs::TraceStage::kAdmission,
+                       admission_timer.ElapsedSeconds());
     if (request.degrade) {
       outcome.render = renderer.RenderCoarseOnly(grid, ropts);
     } else {
@@ -443,6 +502,9 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
     return;
   }
 
+  job->span.AddStage(obs::TraceStage::kAdmission,
+                     admission_timer.ElapsedSeconds());
+
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     if (!breaker_.AllowCertified()) {
       // Open breaker: serve the coarse tier directly, or reject with
@@ -450,6 +512,7 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
       // as short-circuited.
       outcome.breaker_open = true;
       counters_.unavailable.fetch_add(1, std::memory_order_relaxed);
+      ServeObs::Get().unavailable->Increment();
       if (request.degrade) {
         outcome.render = renderer.RenderCoarseOnly(grid, ropts);
       } else {
@@ -481,7 +544,10 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
       ropts.heartbeat = &watch->heartbeat;
     }
 
+    Timer attempt_timer(clock_);
     RenderOutcome render = renderer.Render(grid, ropts);
+    job->span.AddStage(obs::TraceStage::kTierAttempt,
+                       attempt_timer.ElapsedSeconds());
 
     bool watchdog_killed = false;
     if (watch != nullptr) {
@@ -516,6 +582,7 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
     const bool fault = IsRetryableRenderFault(render.status.code());
     if (fault) {
       counters_.faults.fetch_add(1, std::memory_order_relaxed);
+      ServeObs::Get().faults->Increment();
       breaker_.RecordFault();
     } else if (!watchdog_killed) {
       breaker_.RecordSuccess();
@@ -535,6 +602,7 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
     }
 
     counters_.retries.fetch_add(1, std::memory_order_relaxed);
+    ServeObs::Get().retries->Increment();
     double delay_ms;
     {
       std::lock_guard<std::mutex> lock(backoff_mu_);
@@ -544,13 +612,38 @@ void RenderService::Execute(const std::shared_ptr<Job>& job) {
       delay_ms =
           std::min(delay_ms, job->deadline->RemainingSeconds() * 1000.0);
     }
+    Timer backoff_timer(clock_);
     SleepMs(delay_ms);
+    const double backoff_s = backoff_timer.ElapsedSeconds();
+    job->span.AddStage(obs::TraceStage::kBackoff, backoff_s);
+    ServeObs::Get().backoff_seconds->Record(backoff_s);
   }
 }
 
 void RenderService::FinishOutcome(const std::shared_ptr<Job>& job,
                                   ServeOutcome outcome) {
   outcome.total_seconds = job->timer.ElapsedSeconds();
+
+  // Settle the request's trace span and publish it to the recent-trace
+  // ring, then mirror the outcome counters into the registry.
+  obs::TraceSpan& span = job->span;
+  span.epoch = outcome.epoch;
+  span.has_epoch = outcome.epoch != 0;
+  span.tier = QualityTierName(outcome.render.tier);
+  span.attempts = outcome.attempts;
+  span.ok = outcome.status.ok();
+  span.total_seconds = outcome.total_seconds;
+  ServeObs& so = ServeObs::Get();
+  so.completed->Increment();
+  so.queue_wait_seconds->Record(outcome.queue_seconds);
+  so.request_seconds->Record(outcome.total_seconds);
+  if (outcome.status.ok()) {
+    so.served_ok->Increment();
+    if (outcome.render.tier != QualityTier::kCertified) {
+      so.degraded->Increment();
+    }
+  }
+  obs::MetricsRegistry::Global().RecordTrace(span);
 
   counters_.completed.fetch_add(1, std::memory_order_relaxed);
   if (outcome.render.stats.frontier_cache_hits > 0) {
@@ -609,6 +702,7 @@ ServiceStats RenderService::stats() const {
   s.tier_flat = counters_.tier_flat.load(std::memory_order_relaxed);
   s.swaps = swaps_.load(std::memory_order_relaxed);
   const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  s.epoch_published = epoch != nullptr;
   s.epoch = epoch != nullptr ? epoch->id : 0;
   s.brownout_applied =
       counters_.brownout_applied.load(std::memory_order_relaxed);

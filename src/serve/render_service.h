@@ -182,7 +182,12 @@ struct ServiceStats {
   uint64_t tier_coarse = 0;
   uint64_t tier_flat = 0;
   uint64_t swaps = 0;  // SwapEvaluator() publications (initial one included)
-  uint64_t epoch = 0;  // id of the currently published epoch (0: none yet)
+  // Currently published epoch. epoch_published distinguishes "no evaluator
+  // yet" from whatever the id happens to read — epoch ids start at 1 today,
+  // but consumers must not infer liveness from the raw number, and the JSON
+  // emitters render the epoch as null until epoch_published is true.
+  uint64_t epoch = 0;
+  bool epoch_published = false;
   // Tile-shared renders served from a cached frontier (0 unless
   // Options::tile_shared is on).
   uint64_t frontier_cache_hits = 0;
@@ -375,6 +380,9 @@ class RenderService {
 
   std::atomic<size_t> in_flight_{0};
   std::atomic<uint64_t> next_request_id_{0};
+  // Trace-span ids, separate from next_request_id_: the watchdog hands out
+  // one id per *attempt*, spans need one per *request*.
+  std::atomic<uint64_t> next_trace_id_{0};
 
   struct Counters {
     std::atomic<uint64_t> submitted{0}, admitted{0}, shed{0}, completed{0},

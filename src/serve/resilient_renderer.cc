@@ -1,5 +1,8 @@
 #include "serve/resilient_renderer.h"
 
+#include <algorithm>
+
+#include "obs/metrics.h"
 #include "progressive/progressive.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -10,14 +13,55 @@ namespace kdv {
 
 namespace {
 
+// Per-render observability: stage histograms and delivered-tier counters,
+// recorded once per render (never inside pixel loops).
+struct RenderObs {
+  obs::Histogram* tile_pass_seconds;
+  obs::Histogram* refinement_seconds;
+  obs::Histogram* scrub_seconds;
+  obs::Histogram* coarse_seconds;
+  obs::Counter* pixels_scrubbed;
+  obs::Counter* tiers[4];
+  RenderObs() {
+    auto& r = obs::MetricsRegistry::Global();
+    tile_pass_seconds = r.GetHistogram("kdv_render_tile_pass_seconds");
+    refinement_seconds = r.GetHistogram("kdv_render_refinement_seconds");
+    scrub_seconds = r.GetHistogram("kdv_render_scrub_seconds");
+    coarse_seconds = r.GetHistogram("kdv_render_coarse_seconds");
+    pixels_scrubbed = r.GetCounter("kdv_render_pixels_scrubbed_total");
+    tiers[0] = r.GetCounter("kdv_render_tier_certified_total");
+    tiers[1] = r.GetCounter("kdv_render_tier_progressive_total");
+    tiers[2] = r.GetCounter("kdv_render_tier_coarse_total");
+    tiers[3] = r.GetCounter("kdv_render_tier_flat_total");
+  }
+  static RenderObs& Get() {
+    static RenderObs& o = *new RenderObs();
+    return o;
+  }
+};
+
 // Records the first non-OK status seen; later faults don't overwrite it.
 void RecordFault(RenderOutcome* outcome, const Status& status) {
   if (outcome->status.ok()) outcome->status = status;
 }
 
-void Finalize(RenderOutcome* outcome) {
+// Last line of defense before the frame ships: scrub non-finite pixels and
+// settle the delivered-tier accounting. Every Render* exit funnels through
+// here, so this is also where the render-level metrics are recorded.
+void Finalize(const ResilientRenderOptions& opts, RenderOutcome* outcome) {
+  Timer scrub_timer;
   outcome->pixels_scrubbed = ScrubNonFinite(&outcome->frame);
   outcome->numeric_faults += outcome->pixels_scrubbed;
+  const double scrub_seconds = scrub_timer.ElapsedSeconds();
+  if (opts.trace != nullptr) {
+    opts.trace->AddStage(obs::TraceStage::kScrub, scrub_seconds);
+  }
+  RenderObs& o = RenderObs::Get();
+  o.scrub_seconds->Record(scrub_seconds);
+  if (outcome->pixels_scrubbed > 0) {
+    o.pixels_scrubbed->Increment(outcome->pixels_scrubbed);
+  }
+  o.tiers[static_cast<int>(outcome->tier)]->Increment();
 }
 
 // Either kill switch (client's or watchdog's) has fired.
@@ -83,6 +127,8 @@ std::shared_ptr<const GridKde> ResilientRenderer::CoarseKde(
 void ResilientRenderer::RenderCoarse(const PixelGrid& grid,
                                      const ResilientRenderOptions& opts,
                                      RenderOutcome* outcome) const {
+  obs::StageTimer coarse_stage(opts.trace, obs::TraceStage::kCoarse);
+  Timer coarse_timer;
   Status injected = KDV_FAILPOINT_STATUS("serve.coarse");
   if (!injected.ok()) {
     RecordFault(outcome, injected);
@@ -107,6 +153,7 @@ void ResilientRenderer::RenderCoarse(const PixelGrid& grid,
       CoarseKde(grid.domain(), coarse_opts);
   outcome->frame = approx->RenderFrame(grid);
   outcome->tier = QualityTier::kCoarse;
+  RenderObs::Get().coarse_seconds->Record(coarse_timer.ElapsedSeconds());
 }
 
 RenderOutcome ResilientRenderer::RenderCoarseOnly(
@@ -116,11 +163,11 @@ RenderOutcome ResilientRenderer::RenderCoarseOnly(
   if (Cancelled(opts)) {
     outcome.cancelled = true;
     RecordFault(&outcome, CancelledError("render cancelled before start"));
-    Finalize(&outcome);
+    Finalize(opts, &outcome);
     return outcome;
   }
   RenderCoarse(grid, opts, &outcome);
-  Finalize(&outcome);
+  Finalize(opts, &outcome);
   return outcome;
 }
 
@@ -138,7 +185,7 @@ RenderOutcome ResilientRenderer::Render(
   if (Cancelled(opts)) {
     outcome.cancelled = true;
     RecordFault(&outcome, CancelledError("render cancelled before start"));
-    Finalize(&outcome);
+    Finalize(opts, &outcome);
     return outcome;
   }
 
@@ -146,7 +193,7 @@ RenderOutcome ResilientRenderer::Render(
   if (!injected.ok()) {
     RecordFault(&outcome, injected);
     if (opts.degrade) RenderCoarse(grid, opts, &outcome);
-    Finalize(&outcome);
+    Finalize(opts, &outcome);
     return outcome;
   }
 
@@ -157,11 +204,11 @@ RenderOutcome ResilientRenderer::Render(
     if (!opts.degrade) {
       RecordFault(&outcome,
                   DeadlineExceededError("render budget exhausted (0s)"));
-      Finalize(&outcome);
+      Finalize(opts, &outcome);
       return outcome;
     }
     RenderCoarse(grid, opts, &outcome);
-    Finalize(&outcome);
+    Finalize(opts, &outcome);
     return outcome;
   }
 
@@ -200,9 +247,23 @@ RenderOutcome ResilientRenderer::Render(
     if (parallel_opts.tile_shared && parallel_opts.frontier_cache == nullptr) {
       parallel_opts.frontier_cache = &frontier_cache_;
     }
+    Timer attempt_timer;
     DensityFrame pframe =
         RenderEpsFrameParallel(*evaluator_, grid, opts.eps, parallel_opts,
                                opts.tile_pool, control, &parallel_stats);
+    // Split the attempt between the shared region passes (tile_seconds, CPU
+    // time summed by the tile workers) and everything else, which is the
+    // per-pixel refinement work.
+    const double attempt_seconds = attempt_timer.ElapsedSeconds();
+    const double refine_seconds =
+        std::max(0.0, attempt_seconds - parallel_stats.tile_seconds);
+    if (opts.trace != nullptr) {
+      opts.trace->AddStage(obs::TraceStage::kTilePass,
+                           parallel_stats.tile_seconds);
+      opts.trace->AddStage(obs::TraceStage::kRefinement, refine_seconds);
+    }
+    RenderObs::Get().tile_pass_seconds->Record(parallel_stats.tile_seconds);
+    RenderObs::Get().refinement_seconds->Record(refine_seconds);
     outcome.numeric_faults += parallel_stats.numeric_faults;
     outcome.deadline_expired |= parallel_stats.deadline_expired;
     outcome.cancelled |= parallel_stats.cancelled;
@@ -213,7 +274,7 @@ RenderOutcome ResilientRenderer::Render(
       outcome.tier = parallel_stats.queries > 0 ? QualityTier::kProgressive
                                                 : QualityTier::kFlat;
       RecordFault(&outcome, CancelledError("render cancelled"));
-      Finalize(&outcome);
+      Finalize(opts, &outcome);
       return outcome;
     }
     if (!parallel_stats.status.ok()) {
@@ -222,7 +283,7 @@ RenderOutcome ResilientRenderer::Render(
       outcome.stats = parallel_stats;
       RecordFault(&outcome, parallel_stats.status);
       if (opts.degrade) RenderCoarse(grid, opts, &outcome);
-      Finalize(&outcome);
+      Finalize(opts, &outcome);
       return outcome;
     }
     if (parallel_stats.completed) {
@@ -235,16 +296,22 @@ RenderOutcome ResilientRenderer::Render(
         // Fully painted but clamped somewhere: usable, no certificate.
         outcome.tier = QualityTier::kProgressive;
       }
-      Finalize(&outcome);
+      Finalize(opts, &outcome);
       return outcome;
     }
     // Deadline fired mid-frame: the tiled frame has unclaimed holes; let the
     // progressive ladder paint a complete (coarser) one on what remains.
   }
 
+  Timer prog_timer;
   ProgressiveResult prog = RenderProgressive(
       *evaluator_, grid, opts.eps, control,
       QuadTreeSchedule(grid.width(), grid.height()));
+  const double prog_seconds = prog_timer.ElapsedSeconds();
+  if (opts.trace != nullptr) {
+    opts.trace->AddStage(obs::TraceStage::kRefinement, prog_seconds);
+  }
+  RenderObs::Get().refinement_seconds->Record(prog_seconds);
   outcome.stats = prog.stats;
   if (tried_parallel) {
     // Work spent in the abandoned parallel attempt still counts.
@@ -264,7 +331,7 @@ RenderOutcome ResilientRenderer::Render(
     outcome.tier = prog.pixels_evaluated > 0 ? QualityTier::kProgressive
                                              : QualityTier::kFlat;
     RecordFault(&outcome, CancelledError("render cancelled"));
-    Finalize(&outcome);
+    Finalize(opts, &outcome);
     return outcome;
   }
 
@@ -272,7 +339,7 @@ RenderOutcome ResilientRenderer::Render(
     // Internal/injected fault in the certified path.
     RecordFault(&outcome, prog.status);
     if (opts.degrade) RenderCoarse(grid, opts, &outcome);
-    Finalize(&outcome);
+    Finalize(opts, &outcome);
     return outcome;
   }
 
@@ -281,7 +348,7 @@ RenderOutcome ResilientRenderer::Render(
     outcome.tier = QualityTier::kCertified;
     outcome.certified_eps = opts.eps;
     ClampTier(opts, &outcome);
-    Finalize(&outcome);
+    Finalize(opts, &outcome);
     return outcome;
   }
 
@@ -293,18 +360,18 @@ RenderOutcome ResilientRenderer::Render(
     if (outcome.deadline_expired && !opts.degrade) {
       RecordFault(&outcome, DeadlineExceededError("render budget exhausted"));
     }
-    Finalize(&outcome);
+    Finalize(opts, &outcome);
     return outcome;
   }
 
   // Deadline fired before a single pixel was refined.
   if (!opts.degrade) {
     RecordFault(&outcome, DeadlineExceededError("render budget exhausted"));
-    Finalize(&outcome);
+    Finalize(opts, &outcome);
     return outcome;
   }
   RenderCoarse(grid, opts, &outcome);
-  Finalize(&outcome);
+  Finalize(opts, &outcome);
   return outcome;
 }
 

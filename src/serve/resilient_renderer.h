@@ -31,6 +31,7 @@
 #include "approx/grid_kde.h"
 #include "core/evaluator.h"
 #include "core/kdv_runner.h"
+#include "obs/trace.h"
 #include "util/cancel.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -102,6 +103,11 @@ struct ResilientRenderOptions {
   // tile region pass. parallel.cache_epoch should carry the serving epoch id.
   RenderOptions parallel;
   Executor* tile_pool = nullptr;
+
+  // Optional per-request trace span (obs/trace.h). When set, the renderer
+  // attributes its time to the tile_pass / refinement / coarse / scrub
+  // stages. Borrowed; must outlive the call.
+  obs::TraceSpan* trace = nullptr;
 };
 
 struct RenderOutcome {

@@ -7,12 +7,31 @@
 #include <vector>
 
 #include "index/serialization.h"
+#include "obs/metrics.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
 
 namespace kdv {
 
 namespace {
+
+// Registry mirror of the scrubber's work and verdicts. Ticks run on a
+// background cadence, so these are never hot.
+struct ScrubObs {
+  obs::Counter* ticks;
+  obs::Counter* crc_slices;
+  obs::Counter* mismatches;
+  ScrubObs() {
+    auto& r = obs::MetricsRegistry::Global();
+    ticks = r.GetCounter("kdv_scrub_ticks_total");
+    crc_slices = r.GetCounter("kdv_scrub_crc_slices_total");
+    mismatches = r.GetCounter("kdv_scrub_mismatches_total");
+  }
+  static ScrubObs& Get() {
+    static ScrubObs& o = *new ScrubObs();
+    return o;
+  }
+};
 
 // xorshift64*: deterministic, seedable, and independent of the libstdc++
 // distributions (which are not bit-stable across versions).
@@ -125,6 +144,7 @@ Status IntegrityScrubber::CrcSliceTick(std::string* corrupt_reason) {
   }
   sweep_crc_ = Crc32Update(sweep_crc_, buf.data(), got);
   sweep_offset_ += got;
+  ScrubObs::Get().crc_slices->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.crc_slices;
   return OkStatus();
@@ -165,6 +185,7 @@ Status IntegrityScrubber::PixelOracleTick(std::string* corrupt_reason) {
 }
 
 Status IntegrityScrubber::HandleCorruption(const std::string& reason) {
+  ScrubObs::Get().mismatches->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.mismatches;
@@ -194,6 +215,7 @@ Status IntegrityScrubber::HandleCorruption(const std::string& reason) {
 
 Status IntegrityScrubber::RunTick() {
   if (!options_.enabled) return OkStatus();
+  ScrubObs::Get().ticks->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.ticks;

@@ -3,10 +3,18 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace kdv {
 
 namespace {
 constexpr size_t kMaxReports = 1024;
+
+obs::Counter* WatchdogKillCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("kdv_watchdog_kills_total");
+  return c;
+}
 }  // namespace
 
 RenderWatchdog::RenderWatchdog(Options options, StallFn on_stall)
@@ -76,6 +84,7 @@ int RenderWatchdog::SweepOnce() {
       entry.kill.RequestCancel();
       entry.killed.store(true, std::memory_order_release);
       kills_.fetch_add(1, std::memory_order_relaxed);
+      WatchdogKillCounter()->Increment();
 
       StallReport report;
       report.request_id = entry.request_id;

@@ -13,11 +13,14 @@
 
 #include "data/datasets.h"
 #include "geom/rect.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "serve/recovery_manager.h"
 #include "serve/render_service.h"
 #include "serve/scrubber.h"
 #include "sim/sim_clock.h"
 #include "sim/sim_executor.h"
+#include "util/clock.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
 #include "viz/pixel_grid.h"
@@ -593,6 +596,16 @@ void SimEnv::OpSwap() {
 }
 
 SimReport SimEnv::Run() {
+  // Install the virtual clock as the process default for the whole run.
+  // The serve stack gets its clock plumbed explicitly (Options::clock), but
+  // code below that seam — recovery timing, any default-constructed Timer
+  // in the obs instrumentation — falls back to CurrentClock(), and a real
+  // clock there leaks wall time into duration histograms, breaking the
+  // byte-identical-metrics replay contract.
+  ScopedClockOverride virtual_time(&clock_);
+  // Zero the process-wide metrics so the end-of-run snapshot is a pure
+  // function of this run (and of the seed): byte-identical across replays.
+  obs::MetricsRegistry::Global().Reset();
   report_.seed = options_.seed;
   report_.num_ops = options_.num_ops;
   report_.num_workers = options_.num_workers;
@@ -653,6 +666,11 @@ SimReport SimEnv::Run() {
     hash = Crc32Update(hash, "\n", 1);
   }
   report_.event_hash = hash;
+
+  report_.metrics_text =
+      obs::ExportPrometheus(obs::MetricsRegistry::Global().Snapshot());
+  report_.metrics_crc = Crc32Update(0, report_.metrics_text.data(),
+                                    report_.metrics_text.size());
 
   TearDown();
   return report_;

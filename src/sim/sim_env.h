@@ -96,6 +96,14 @@ struct SimReport {
   std::vector<std::string> events;
   uint32_t event_hash = 0;
 
+  // Prometheus-text snapshot of the process-wide metrics registry at run
+  // end, and its CRC32. The registry is Reset() at run start and every
+  // duration flows through the virtual clock, so same-seed runs must
+  // produce byte-identical snapshots — a second replay fingerprint, kept
+  // out of event_hash so the event-log contract is unchanged.
+  std::string metrics_text;
+  uint32_t metrics_crc = 0;
+
   // Counters for the one-line summary.
   uint64_t ops = 0;
   uint64_t submits = 0;

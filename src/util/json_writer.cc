@@ -1,0 +1,343 @@
+#include "util/json_writer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace kdv {
+
+std::string JsonEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v, int precision) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+void JsonWriter::BeforeValue() {
+  if (!stack_.empty() && stack_.back() == 'v') {
+    // Key was just written; this value completes the pair.
+    stack_.back() = 'o';
+    return;
+  }
+  KDV_CHECK(stack_.empty() ? !value_written_ : stack_.back() == 'a');
+  if (need_comma_) out_ += ',';
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back('o');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  KDV_CHECK(!stack_.empty() && stack_.back() == 'o');
+  stack_.pop_back();
+  out_ += '}';
+  need_comma_ = true;
+  if (stack_.empty()) value_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back('a');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  KDV_CHECK(!stack_.empty() && stack_.back() == 'a');
+  stack_.pop_back();
+  out_ += ']';
+  need_comma_ = true;
+  if (stack_.empty()) value_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  KDV_CHECK(!stack_.empty() && stack_.back() == 'o');
+  if (need_comma_) out_ += ',';
+  out_ += '"';
+  out_ += JsonEscaped(key);
+  out_ += "\":";
+  stack_.back() = 'v';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view s) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscaped(s);
+  out_ += '"';
+  need_comma_ = true;
+  if (stack_.empty()) value_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* s) {
+  return Value(std::string_view(s));
+}
+
+JsonWriter& JsonWriter::Value(const std::string& s) {
+  return Value(std::string_view(s));
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+  need_comma_ = true;
+  if (stack_.empty()) value_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double v, int precision) {
+  return Raw(JsonNumber(v, precision));
+}
+
+JsonWriter& JsonWriter::Value(double v) { return Raw(JsonNumber(v)); }
+
+JsonWriter& JsonWriter::Value(uint64_t v) { return Raw(std::to_string(v)); }
+
+JsonWriter& JsonWriter::Value(int64_t v) { return Raw(std::to_string(v)); }
+
+JsonWriter& JsonWriter::Value(uint32_t v) {
+  return Value(static_cast<uint64_t>(v));
+}
+
+JsonWriter& JsonWriter::Value(int v) {
+  return Value(static_cast<int64_t>(v));
+}
+
+JsonWriter& JsonWriter::Value(bool v) { return Raw(v ? "true" : "false"); }
+
+JsonWriter& JsonWriter::Null() { return Raw("null"); }
+
+std::string JsonWriter::Take() {
+  KDV_CHECK(stack_.empty() && value_written_);
+  std::string out = std::move(out_);
+  out_.clear();
+  value_written_ = false;
+  need_comma_ = false;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValidate: strict recursive-descent validation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 96;
+
+struct JsonParser {
+  std::string_view in;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& why) {
+    error = why + " at byte " + std::to_string(pos);
+    return false;
+  }
+  bool AtEnd() const { return pos >= in.size(); }
+  char Peek() const { return in[pos]; }
+  void SkipWs() {
+    while (!AtEnd() && (in[pos] == ' ' || in[pos] == '\t' ||
+                        in[pos] == '\n' || in[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool Literal(std::string_view word) {
+    if (in.substr(pos, word.size()) != word) return Fail("invalid literal");
+    pos += word.size();
+    return true;
+  }
+
+  bool String() {
+    ++pos;  // opening quote
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(in[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return Fail("unescaped control character");
+      if (c == '\\') {
+        ++pos;
+        if (AtEnd()) return Fail("dangling escape");
+        const char e = in[pos];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(in[pos]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape");
+        }
+      }
+      ++pos;
+    }
+  }
+
+  bool Digits() {
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(in[pos]))) {
+      return Fail("expected digit");
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(in[pos]))) {
+      ++pos;
+    }
+    return true;
+  }
+
+  bool NumberTok() {
+    if (Peek() == '-') ++pos;
+    if (AtEnd()) return Fail("truncated number");
+    if (Peek() == '0') {
+      ++pos;  // no leading zeros
+    } else if (!Digits()) {
+      return false;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos;
+      if (!Digits()) return false;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos;
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  bool ValueTok(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (AtEnd()) return Fail("expected value");
+    const char c = Peek();
+    if (c == '{') return Object(depth);
+    if (c == '[') return Array(depth);
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return NumberTok();
+    }
+    return Fail("unexpected character");
+  }
+
+  bool Object(int depth) {
+    ++pos;  // '{'
+    SkipWs();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (AtEnd() || Peek() != '"') return Fail("expected object key");
+      if (!String()) return false;
+      SkipWs();
+      if (AtEnd() || Peek() != ':') return Fail("expected ':'");
+      ++pos;
+      if (!ValueTok(depth + 1)) return false;
+      SkipWs();
+      if (AtEnd()) return Fail("unterminated object");
+      if (Peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array(int depth) {
+    ++pos;  // '['
+    SkipWs();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!ValueTok(depth + 1)) return false;
+      SkipWs();
+      if (AtEnd()) return Fail("unterminated array");
+      if (Peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+Status JsonValidate(std::string_view json) {
+  JsonParser p{json, 0, ""};
+  if (!p.ValueTok(0)) return InvalidArgumentError("json: " + p.error);
+  p.SkipWs();
+  if (!p.AtEnd()) {
+    return InvalidArgumentError("json: trailing garbage at byte " +
+                                std::to_string(p.pos));
+  }
+  return OkStatus();
+}
+
+}  // namespace kdv

@@ -1,0 +1,101 @@
+// One JSON emitter for every tool/bench/exporter in the tree.
+//
+// The hand-rolled printf JSON the tools used to emit had two standing bugs:
+// string fields (`"out":"%s"`) were not escaped, so a path with a quote or
+// backslash produced invalid JSON, and `%g` prints non-finite doubles as
+// bare `nan`/`inf` tokens, which no strict parser accepts. Every emitter —
+// kdvtool's --json blocks, both benches, and the obs metrics exporter —
+// routes through this writer instead, so those bug classes are structurally
+// gone rather than fixed site by site.
+//
+// Contract:
+//   * Strings are escaped per RFC 8259 (quote, backslash, control chars).
+//   * Non-finite doubles are scrubbed to `null` — a missing measurement is
+//     representable, a bare `nan` token is not.
+//   * The writer inserts commas and validates nesting; Take() checks the
+//     document closed everything it opened.
+//
+// JsonValidate() is the matching strict parser, used by tests (and by CI via
+// python's json module as a second, independent implementation) to ensure
+// every artifact the tools emit actually parses.
+#ifndef QUADKDV_UTIL_JSON_WRITER_H_
+#define QUADKDV_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kdv {
+
+// Returns `s` escaped for inclusion inside a JSON string literal (the
+// surrounding quotes are not added).
+std::string JsonEscaped(std::string_view s);
+
+// Formats a double as a JSON number with `precision` significant digits
+// (%.*g); non-finite values become "null". 17 digits round-trips exactly.
+std::string JsonNumber(double v, int precision = 17);
+
+// Streaming JSON document builder with automatic commas and nesting checks.
+// Usage:
+//   JsonWriter w;
+//   w.BeginObject().Key("eps").Value(0.05).Key("out").Value(path);
+//   w.Key("tiles").BeginArray().Value(1).Value(2).EndArray();
+//   w.EndObject();
+//   std::string doc = w.Take();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Object key; must be followed by exactly one value (or container).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view s);
+  JsonWriter& Value(const char* s);
+  JsonWriter& Value(const std::string& s);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint32_t v);
+  JsonWriter& Value(int v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+  // Double with explicit precision (%.*g, non-finite -> null).
+  JsonWriter& Number(double v, int precision);
+  // Splices pre-rendered JSON (caller guarantees validity — e.g. a nested
+  // block built by another JsonWriter).
+  JsonWriter& Raw(std::string_view json);
+
+  // The document so far (primarily for tests; prefer Take()).
+  const std::string& str() const { return out_; }
+
+  // Returns the finished document. KDV_CHECKs that every container was
+  // closed and at least one value was written.
+  std::string Take();
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // Nesting stack: 'o' = object expecting key, 'v' = object expecting value,
+  // 'a' = array.
+  std::vector<char> stack_;
+  bool value_written_ = false;  // top-level value emitted
+  bool need_comma_ = false;
+};
+
+// Strict RFC 8259 parser (validation only — no DOM). Returns OK iff `json`
+// is exactly one valid JSON value with nothing but whitespace around it.
+// Rejects trailing commas, bare nan/inf, unescaped control characters, and
+// nesting deeper than an internal bound. Tests run every emitted artifact
+// through this; CI cross-checks with python's json module.
+Status JsonValidate(std::string_view json);
+
+}  // namespace kdv
+
+#endif  // QUADKDV_UTIL_JSON_WRITER_H_

@@ -45,6 +45,8 @@ using FrameFrontiers = std::vector<TileFrontier>;
 
 class FrontierCache {
  public:
+  // capacity 0 disables the cache: Lookup always misses and Insert is a
+  // no-op (it used to index an empty slot vector — UB).
   explicit FrontierCache(size_t capacity = 8) : capacity_(capacity) {}
 
   FrontierCache(const FrontierCache&) = delete;
@@ -68,7 +70,10 @@ class FrontierCache {
   // be inserted). Replaces an existing entry with the same key.
   void Insert(const FrontierKey& key,
               std::shared_ptr<const FrameFrontiers> value) {
-    if (value == nullptr) return;
+    // capacity 0: disabled. Without this guard the size check below reads
+    // `0 >= 0`, takes the evict branch, and indexes slots_[0] of an empty
+    // vector.
+    if (value == nullptr || capacity_ == 0) return;
     std::lock_guard<std::mutex> lock(mu_);
     for (Slot& slot : slots_) {
       if (slot.key == key) {

@@ -10,12 +10,35 @@
 #include <vector>
 
 #include "core/tile_refiner.h"
+#include "obs/metrics.h"
 #include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace kdv {
 
 namespace {
+
+// Whole-frame observability, recorded once per frame after the tile-order
+// merge — never inside the per-pixel loops.
+struct FrameObs {
+  obs::Counter* frames;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Histogram* frame_seconds;
+  obs::Histogram* bound_evals_per_pixel;
+  FrameObs() {
+    auto& r = obs::MetricsRegistry::Global();
+    frames = r.GetCounter("kdv_render_frames_total");
+    cache_hits = r.GetCounter("kdv_frontier_cache_hits_total");
+    cache_misses = r.GetCounter("kdv_frontier_cache_misses_total");
+    frame_seconds = r.GetHistogram("kdv_render_frame_seconds");
+    bound_evals_per_pixel = r.GetHistogram("kdv_render_bound_evals_per_pixel");
+  }
+  static FrameObs& Get() {
+    static FrameObs& o = *new FrameObs();
+    return o;
+  }
+};
 
 // Injected whole-frame fault (same site as the serial renderers): record it
 // and hand back the untouched (all-zero, finite) frame.
@@ -161,9 +184,11 @@ void ProcessTileShared(FrameJob& job, uint32_t tile, Value* values,
       Rect query_rect(2);
       query_rect.Expand(grid.PixelCenter(col_begin, row_end - 1));
       query_rect.Expand(grid.PixelCenter(col_end - 1, row_begin));
+      Timer pass_timer;
       TileFrontier built = job.eps_mode
                                ? job.refiner->BuildEps(query_rect, job.param)
                                : job.refiner->BuildTau(query_rect, job.param);
+      ts.tile_seconds += pass_timer.ElapsedSeconds();
       ts.tile_nodes_visited += built.nodes_visited;
       ts.tile_accepted += built.accepted;
       ts.tile_pruned += built.pruned;
@@ -242,6 +267,7 @@ void MergeTileStats(const std::vector<BatchStats>& tiles, BatchStats* stats) {
     stats->tile_accepted += tile.tile_accepted;
     stats->tile_pruned += tile.tile_pruned;
     stats->tiles_decided += tile.tiles_decided;
+    stats->tile_seconds += tile.tile_seconds;
     if (!tile.completed) stats->completed = false;
     if (tile.deadline_expired) stats->deadline_expired = true;
     if (tile.cancelled) stats->cancelled = true;
@@ -297,7 +323,18 @@ void RunFrameJob(const std::shared_ptr<FrameJob>& job,
                       [&job] { return job->tiles_done == job->num_tiles; });
   }
   MergeTileStats(job->tile_stats, stats);
-  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) {
+    stats->seconds = timer.ElapsedSeconds();
+    FrameObs& o = FrameObs::Get();
+    o.frames->Increment();
+    o.frame_seconds->Record(stats->seconds);
+    if (stats->queries > 0) {
+      o.bound_evals_per_pixel->Record(
+          static_cast<double>(stats->nodes_visited +
+                              stats->tile_nodes_visited) /
+          static_cast<double>(stats->queries));
+    }
+  }
 }
 
 // Configures the shared-traversal state on the job (chunk geometry + cache
@@ -340,6 +377,9 @@ FrontierKey ConfigureSharedJob(const std::shared_ptr<FrameJob>& job,
     if (hit != nullptr && hit->size() == num_chunks) {
       job->cached = std::move(hit);
       if (stats != nullptr) ++stats->frontier_cache_hits;
+      FrameObs::Get().cache_hits->Increment();
+    } else {
+      FrameObs::Get().cache_misses->Increment();
     }
   }
   if (job->cached == nullptr) {

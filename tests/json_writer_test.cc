@@ -1,0 +1,161 @@
+// util/json_writer: the one JSON emitter every tool/bench/exporter routes
+// through, and the strict validator tests run emitted artifacts through.
+// The escaping and non-finite cases are regression tests for the hand-rolled
+// printf JSON this writer replaced (unescaped "out":"%s", %g printing bare
+// nan/inf).
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace kdv {
+namespace {
+
+TEST(JsonEscapedTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscaped("heat.ppm"), "heat.ppm");
+  EXPECT_EQ(JsonEscaped(""), "");
+}
+
+TEST(JsonEscapedTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscaped("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscaped("C:\\tmp\\x"), "C:\\\\tmp\\\\x");
+  EXPECT_EQ(JsonEscaped("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscaped(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscaped("\b\f\r"), "\\b\\f\\r");
+}
+
+TEST(JsonNumberTest, FormatsFiniteScrubsNonFinite) {
+  EXPECT_EQ(JsonNumber(0.5, 6), "0.5");
+  EXPECT_EQ(JsonNumber(std::nan(""), 6), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity(), 6), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity(), 6), "null");
+}
+
+TEST(JsonWriterTest, FlatObjectWithCommas) {
+  JsonWriter w;
+  w.BeginObject().Key("a").Value(1).Key("b").Value("x").EndObject();
+  EXPECT_EQ(w.Take(), "{\"a\":1,\"b\":\"x\"}");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter w;
+  w.BeginObject().Key("rows").BeginArray();
+  w.BeginObject().Key("n").Value(uint64_t{7}).EndObject();
+  w.Value(true).Null();
+  w.EndArray().Key("ok").Value(false).EndObject();
+  EXPECT_EQ(w.Take(), "{\"rows\":[{\"n\":7},true,null],\"ok\":false}");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndStringValues) {
+  JsonWriter w;
+  w.BeginObject().Key("pa\"th").Value("a\\b\nc").EndObject();
+  const std::string doc = w.Take();
+  EXPECT_EQ(doc, "{\"pa\\\"th\":\"a\\\\b\\nc\"}");
+  EXPECT_TRUE(JsonValidate(doc).ok());
+}
+
+TEST(JsonWriterTest, NonFiniteValuesBecomeNull) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("nan").Value(std::nan(""))
+      .Key("inf").Number(std::numeric_limits<double>::infinity(), 3)
+      .EndObject();
+  const std::string doc = w.Take();
+  EXPECT_EQ(doc, "{\"nan\":null,\"inf\":null}");
+  EXPECT_TRUE(JsonValidate(doc).ok());
+}
+
+TEST(JsonWriterTest, IntegerOverloadsKeepFullPrecision) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("u64").Value(std::numeric_limits<uint64_t>::max())
+      .Key("i64").Value(std::numeric_limits<int64_t>::min())
+      .Key("neg").Value(-3)
+      .EndObject();
+  EXPECT_EQ(w.Take(),
+            "{\"u64\":18446744073709551615,"
+            "\"i64\":-9223372036854775808,\"neg\":-3}");
+}
+
+TEST(JsonWriterTest, TopLevelArrayAndReuseAfterTake) {
+  JsonWriter w;
+  w.BeginArray().Value(1).Value(2).EndArray();
+  EXPECT_EQ(w.Take(), "[1,2]");
+  // The writer is reusable after Take().
+  w.BeginObject().EndObject();
+  EXPECT_EQ(w.Take(), "{}");
+}
+
+TEST(JsonWriterTest, RawSplicesPrebuiltJson) {
+  JsonWriter inner;
+  inner.BeginObject().Key("p50").Number(0.25, 6).EndObject();
+  JsonWriter w;
+  w.BeginObject().Key("metrics").Raw(inner.Take()).EndObject();
+  const std::string doc = w.Take();
+  EXPECT_EQ(doc, "{\"metrics\":{\"p50\":0.25}}");
+  EXPECT_TRUE(JsonValidate(doc).ok());
+}
+
+TEST(JsonValidateTest, AcceptsValidDocuments) {
+  EXPECT_TRUE(JsonValidate("{}").ok());
+  EXPECT_TRUE(JsonValidate("[]").ok());
+  EXPECT_TRUE(JsonValidate("  {\"a\":[1,2.5,-3e2,true,false,null]} ").ok());
+  EXPECT_TRUE(JsonValidate("\"just a string\"").ok());
+  EXPECT_TRUE(JsonValidate("0").ok());
+  EXPECT_TRUE(JsonValidate("-0.5e-3").ok());
+  EXPECT_TRUE(JsonValidate("{\"u\":\"\\u00e9\",\"q\":\"\\\"\"}").ok());
+}
+
+TEST(JsonValidateTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValidate("").ok());
+  EXPECT_FALSE(JsonValidate("{").ok());
+  EXPECT_FALSE(JsonValidate("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValidate("{\"a\":1,}").ok());     // trailing comma
+  EXPECT_FALSE(JsonValidate("[1,2,]").ok());         // trailing comma
+  EXPECT_FALSE(JsonValidate("{'a':1}").ok());        // single quotes
+  EXPECT_FALSE(JsonValidate("{\"a\":nan}").ok());    // the old %g output
+  EXPECT_FALSE(JsonValidate("{\"a\":inf}").ok());
+  EXPECT_FALSE(JsonValidate("{\"a\":01}").ok());     // leading zero
+  EXPECT_FALSE(JsonValidate("{\"a\":1} extra").ok());  // trailing garbage
+  EXPECT_FALSE(JsonValidate("{\"a\":\"\x01\"}").ok());  // raw control char
+  EXPECT_FALSE(JsonValidate("{\"a\":\"\\x\"}").ok());   // bad escape
+  EXPECT_FALSE(JsonValidate("{\"a\":\"\\u12g4\"}").ok());
+  EXPECT_FALSE(JsonValidate("{\"a\" 1}").ok());      // missing colon
+  EXPECT_FALSE(JsonValidate("[1 2]").ok());          // missing comma
+}
+
+TEST(JsonValidateTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_FALSE(JsonValidate(deep).ok());
+  // A modest depth is fine.
+  std::string ok = "1";
+  for (int i = 0; i < 20; ++i) ok = "[" + ok + "]";
+  EXPECT_TRUE(JsonValidate(ok).ok());
+}
+
+// End-to-end property: whatever the writer produces, the validator accepts.
+TEST(JsonWriterTest, EmittedDocumentsAlwaysValidate) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("path\\with\"stuff").Value("line1\nline2\tend")
+      .Key("vals").BeginArray()
+          .Value(std::nan(""))
+          .Value(1e308)
+          .Value(uint64_t{0})
+          .Value("\x7f control-adjacent")
+      .EndArray()
+      .Key("nested").BeginObject()
+          .Key("deep").BeginArray().BeginObject().EndObject().EndArray()
+      .EndObject()
+      .EndObject();
+  const Status valid = JsonValidate(w.Take());
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+}  // namespace
+}  // namespace kdv

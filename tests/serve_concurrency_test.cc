@@ -474,6 +474,10 @@ TEST_F(RenderServiceTest, ColdStartRejectsUntilFirstEvaluatorIsPublished) {
   RenderService service(options);  // recovery-manager path: no evaluator yet
   EXPECT_EQ(service.Health(), ServiceHealth::kStarting);
   EXPECT_EQ(service.stats().epoch, 0u);
+  // "No epoch yet" is explicit, not inferred from the raw id: before the
+  // first SwapEvaluator the stats must say so (the JSON emitters render the
+  // epoch as null off this bit).
+  EXPECT_FALSE(service.stats().epoch_published);
 
   ServeRequestOptions request;
   StatusOr<std::future<ServeOutcome>> ticket = service.Submit(grid_, request);
@@ -495,6 +499,7 @@ TEST_F(RenderServiceTest, ColdStartRejectsUntilFirstEvaluatorIsPublished) {
   ServiceStats stats = service.stats();
   EXPECT_EQ(stats.swaps, 1u);
   EXPECT_EQ(stats.epoch, 1u);
+  EXPECT_TRUE(stats.epoch_published);
 }
 
 TEST_F(RenderServiceTest, HotSwapUnderLoadDropsNoAdmittedRequest) {

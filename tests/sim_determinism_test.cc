@@ -206,6 +206,15 @@ TEST(SimReplayTest, SameSeedIsBitIdentical) {
   EXPECT_EQ(first.crashes, second.crashes);
   EXPECT_EQ(first.virtual_seconds, second.virtual_seconds);
   EXPECT_GT(first.completions, 0u);
+  // The second replay fingerprint: the registry is Reset() at run start and
+  // every obs duration flows through the virtual clock (SimEnv installs it
+  // as the process default), so the end-of-run metrics snapshot must be
+  // byte-identical — a real-clock read anywhere in the instrumentation
+  // shows up here as a differing duration histogram.
+  EXPECT_FALSE(first.metrics_text.empty());
+  EXPECT_EQ(first.metrics_text, second.metrics_text);
+  EXPECT_EQ(first.metrics_crc, second.metrics_crc);
+  EXPECT_NE(first.metrics_crc, 0u);
 }
 
 TEST(SimReplayTest, DifferentSeedsDiverge) {

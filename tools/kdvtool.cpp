@@ -15,6 +15,9 @@
 //               --governor/--watchdog/--scrub arm the runtime
 //               self-defense layer: brownout under overload, wedged-
 //               render kills, online integrity scrubbing)
+//   metrics     run a small serve workload and dump the process metrics
+//               registry (Prometheus text, or --json for the escaped
+//               JSON snapshot; --metrics-out FILE writes the JSON form)
 //   sim         deterministic whole-stack simulation: virtual time, a
 //               cooperative scheduler, and seed-derived fault schedules
 //               drive the full serve+persistence stack under invariant
@@ -50,6 +53,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -66,7 +70,7 @@ int Usage() {
       stderr,
       "usage: kdvtool "
       "<generate|info|index|render|hotspot|progressive|classify|regress"
-      "|serve-sim|sim|recover|checkpoint|version> [flags]\n"
+      "|serve-sim|metrics|sim|recover|checkpoint|version> [flags]\n"
       "  common flags: --in FILE.csv | --dataset el_nino|crime|home|hep\n"
       "                --scale S --kernel NAME --method quad|karl|akde|exact\n"
       "                --width W --height H --out FILE\n"
@@ -106,6 +110,12 @@ int Usage() {
       "                 mismatch]\n"
       "                [--seed S (client backoff jitter base, stamped into\n"
       "                 the JSON report with the build id)]\n"
+      "                [--metrics-out FILE (write the process metrics\n"
+      "                 registry as JSON; also on render and metrics)]\n"
+      "  metrics:      run a small serve workload, then dump the process\n"
+      "                metrics registry (Prometheus text; --json for the\n"
+      "                JSON snapshot) [--requests N --eps E\n"
+      "                --metrics-out FILE]\n"
       "  sim:          deterministic simulation of the whole serve stack\n"
       "                --seed S | --seeds N (sweep S..S+N-1)\n"
       "                | --until-failure (sweep until an invariant breaks)\n"
@@ -126,6 +136,21 @@ int Usage() {
 // Prints a Status as "kdvtool: CODE: message".
 void PrintStatus(const Status& status) {
   std::fprintf(stderr, "kdvtool: %s\n", status.ToString().c_str());
+}
+
+// --metrics-out FILE: dump the process-wide metrics registry as JSON to
+// FILE (atomic write, so a crash never leaves a torn artifact). Shared by
+// render, serve-sim, and metrics. Returns 1 on write failure, else 0.
+int MaybeWriteMetricsOut(const Flags& flags) {
+  const std::string path = flags.GetString("metrics-out", "");
+  if (path.empty()) return 0;
+  const Status written = AtomicWriteFile(
+      path, obs::ExportJson(obs::MetricsRegistry::Global().Snapshot()));
+  if (!written.ok()) {
+    PrintStatus(written);
+    return 1;
+  }
+  return 0;
 }
 
 // Numeric accessor for validated query parameters (ε, τ, γ, budgets).
@@ -491,11 +516,12 @@ int CmdRenderBudgeted(const Flags& flags, Session* s, double eps, int threads,
       QualityTierName(outcome.tier),
       outcome.deadline_expired ? " (deadline expired)" : "",
       outcome.stats.seconds, out.c_str());
+  const int metrics_rc = MaybeWriteMetricsOut(flags);
   if (!outcome.ok()) {
     PrintStatus(outcome.status);
     return outcome.status.code() == StatusCode::kDeadlineExceeded ? 3 : 1;
   }
-  return 0;
+  return metrics_rc;
 }
 
 int CmdRender(const Flags& flags) {
@@ -547,36 +573,41 @@ int CmdRender(const Flags& flags) {
         stats.seconds > 0.0
             ? static_cast<double>(grid.num_pixels()) / stats.seconds
             : 0.0;
-    std::printf(
-        "{\"method\":\"%s\",\"eps\":%g,\"width\":%d,\"height\":%d,"
-        "\"threads\":%d,\"tile_shared\":%s,"
-        "\"simd\":\"%s\",\"seconds\":%.6f,\"pixels_per_sec\":%.1f,"
-        "\"work\":{\"queries\":%llu,\"iterations\":%llu,"
-        "\"points_scanned\":%llu,\"nodes_visited\":%llu},"
-        "\"tile_pass\":{\"nodes_visited\":%llu,\"accepted\":%llu,"
-        "\"pruned\":%llu,\"tiles_decided\":%llu,"
-        "\"frontier_cache_hits\":%llu},"
-        "\"out\":\"%s\",\"build\":\"%s\"}\n",
-        MethodName(s.method), eps, s.width, s.height,
-        ResolveRenderThreads(threads), tile_shared ? "true" : "false",
-        SimdLevelName(ActiveSimdLevel()), stats.seconds, px_per_sec,
-        static_cast<unsigned long long>(stats.queries),
-        static_cast<unsigned long long>(stats.iterations),
-        static_cast<unsigned long long>(stats.points_scanned),
-        static_cast<unsigned long long>(stats.nodes_visited),
-        static_cast<unsigned long long>(stats.tile_nodes_visited),
-        static_cast<unsigned long long>(stats.tile_accepted),
-        static_cast<unsigned long long>(stats.tile_pruned),
-        static_cast<unsigned long long>(stats.tiles_decided),
-        static_cast<unsigned long long>(stats.frontier_cache_hits),
-        out.c_str(), BuildStamp().c_str());
+    JsonWriter w;
+    w.BeginObject()
+        .Key("method").Value(MethodName(s.method))
+        .Key("eps").Number(eps, 6)
+        .Key("width").Value(s.width)
+        .Key("height").Value(s.height)
+        .Key("threads").Value(ResolveRenderThreads(threads))
+        .Key("tile_shared").Value(tile_shared)
+        .Key("simd").Value(SimdLevelName(ActiveSimdLevel()))
+        .Key("seconds").Number(stats.seconds, 6)
+        .Key("pixels_per_sec").Number(px_per_sec, 8);
+    w.Key("work").BeginObject()
+        .Key("queries").Value(stats.queries)
+        .Key("iterations").Value(stats.iterations)
+        .Key("points_scanned").Value(stats.points_scanned)
+        .Key("nodes_visited").Value(stats.nodes_visited)
+        .EndObject();
+    w.Key("tile_pass").BeginObject()
+        .Key("nodes_visited").Value(stats.tile_nodes_visited)
+        .Key("accepted").Value(stats.tile_accepted)
+        .Key("pruned").Value(stats.tile_pruned)
+        .Key("tiles_decided").Value(stats.tiles_decided)
+        .Key("frontier_cache_hits").Value(stats.frontier_cache_hits)
+        .EndObject();
+    w.Key("out").Value(out)
+        .Key("build").Value(BuildStamp())
+        .EndObject();
+    std::printf("%s\n", w.Take().c_str());
   } else {
     std::printf("εKDV (%s, eps=%g, threads=%d%s): %dx%d in %.3fs -> %s\n",
                 MethodName(s.method), eps, ResolveRenderThreads(threads),
                 tile_shared ? ", tile-shared" : "", s.width, s.height,
                 stats.seconds, out.c_str());
   }
-  return 0;
+  return MaybeWriteMetricsOut(flags);
 }
 
 int CmdHotspot(const Flags& flags) {
@@ -1240,106 +1271,109 @@ int CmdServeSim(const Flags& flags) {
   const double p95 = Percentile(latencies_ms, 0.95);
   const double p99 = Percentile(latencies_ms, 0.99);
 
-  // Self-defense JSON fragments (arrays are easier to assemble than to
-  // printf in one shot).
-  std::string transitions_json = "[";
-  for (size_t i = 0; i < gov_transitions.size(); ++i) {
-    char item[160];
-    std::snprintf(item, sizeof(item),
-                  "%s{\"at_s\":%.6f,\"from\":\"%s\",\"to\":\"%s\","
-                  "\"pressure\":%.4f}",
-                  i == 0 ? "" : ",", gov_transitions[i].at_seconds,
-                  OverloadGovernor::LevelName(gov_transitions[i].from),
-                  OverloadGovernor::LevelName(gov_transitions[i].to),
-                  gov_transitions[i].pressure);
-    transitions_json += item;
-  }
-  transitions_json += "]";
-  std::string stalls_json = "[";
-  for (size_t i = 0; i < stalls.size(); ++i) {
-    char item[160];
-    std::snprintf(item, sizeof(item),
-                  "%s{\"request_id\":%llu,\"elapsed_s\":%.4f,"
-                  "\"budget_s\":%.4f,\"no_progress\":%s}",
-                  i == 0 ? "" : ",",
-                  static_cast<unsigned long long>(stalls[i].request_id),
-                  stalls[i].elapsed_seconds, stalls[i].budget_seconds,
-                  stalls[i].no_progress ? "true" : "false");
-    stalls_json += item;
-  }
-  stalls_json += "]";
-
   if (flags.GetBool("json", false)) {
-    std::printf(
-        "{\"seed\":%llu,\"build\":\"%s\","
-        "\"threads\":%d,\"clients\":%d,\"requests\":%ld,"
-        "\"budget_ms\":%g,\"wall_seconds\":%.6f,\"throughput_rps\":%.3f,"
-        "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f},"
-        "\"counts\":{\"submitted\":%llu,\"admitted\":%llu,\"shed\":%llu,"
-        "\"served_ok\":%llu,\"cancelled\":%llu,\"deadline_expired\":%llu,"
-        "\"degraded\":%llu,\"retries\":%llu,\"faults\":%llu,"
-        "\"breaker_trips\":%llu,\"unavailable\":%llu,\"dropped\":%llu},"
-        "\"tiers\":{\"certified\":%llu,\"progressive\":%llu,"
-        "\"coarse\":%llu,\"flat\":%llu},"
-        "\"epochs\":{\"swaps\":%llu,\"current\":%llu},"
-        "\"tile_shared\":{\"enabled\":%s,\"frontier_cache_hits\":%llu},"
-        "\"simd\":\"%s\","
-        "\"health\":{\"at_start\":\"%s\",\"serving\":\"%s\","
-        "\"final\":\"%s\"},"
-        "\"invariants\":{\"bad_rejections\":%llu,\"nonfinite_pixels\":%llu},"
-        "\"governor\":{\"enabled\":%s,\"activations\":%llu,"
-        "\"brownout_applied\":%llu,\"brownout_shed\":%llu,"
-        "\"level\":\"%s\",\"max_level\":\"%s\",\"pressure\":%.4f,"
-        "\"transitions\":%s},"
-        "\"watchdog\":{\"enabled\":%s,\"kills\":%llu,\"stalls\":%s},"
-        "\"scrubber\":{\"enabled\":%s,\"ticks\":%llu,\"deferred\":%llu,"
-        "\"crc_slices\":%llu,\"crc_passes\":%llu,\"pixel_checks\":%llu,"
-        "\"mismatches\":%llu,\"recoveries\":%llu,\"rebaselines\":%llu}"
-        "}\n",
-        static_cast<unsigned long long>(swarm_seed), BuildStamp().c_str(),
-        threads, clients, requests, budget_ms, wall_seconds, rps, p50, p95,
-        p99, static_cast<unsigned long long>(stats.submitted),
-        static_cast<unsigned long long>(stats.admitted),
-        static_cast<unsigned long long>(stats.shed),
-        static_cast<unsigned long long>(stats.served_ok),
-        static_cast<unsigned long long>(stats.cancelled),
-        static_cast<unsigned long long>(stats.deadline_expired),
-        static_cast<unsigned long long>(stats.degraded),
-        static_cast<unsigned long long>(stats.retries),
-        static_cast<unsigned long long>(stats.faults),
-        static_cast<unsigned long long>(stats.breaker_trips),
-        static_cast<unsigned long long>(stats.unavailable),
-        static_cast<unsigned long long>(dropped.load()),
-        static_cast<unsigned long long>(stats.tier_certified),
-        static_cast<unsigned long long>(stats.tier_progressive),
-        static_cast<unsigned long long>(stats.tier_coarse),
-        static_cast<unsigned long long>(stats.tier_flat),
-        static_cast<unsigned long long>(stats.swaps),
-        static_cast<unsigned long long>(stats.epoch),
-        tile_shared ? "true" : "false",
-        static_cast<unsigned long long>(stats.frontier_cache_hits),
-        SimdLevelName(ActiveSimdLevel()),
-        health_at_start.c_str(), health_serving.c_str(),
-        health_final.c_str(),
-        static_cast<unsigned long long>(bad_rejections.load()),
-        static_cast<unsigned long long>(nonfinite_pixels.load()),
-        use_governor ? "true" : "false",
-        static_cast<unsigned long long>(gov.activations),
-        static_cast<unsigned long long>(stats.brownout_applied),
-        static_cast<unsigned long long>(stats.brownout_shed),
-        OverloadGovernor::LevelName(gov.level),
-        OverloadGovernor::LevelName(gov.max_level), gov.pressure,
-        transitions_json.c_str(), use_watchdog ? "true" : "false",
-        static_cast<unsigned long long>(stats.watchdog_kills),
-        stalls_json.c_str(), use_scrub ? "true" : "false",
-        static_cast<unsigned long long>(scrub.ticks),
-        static_cast<unsigned long long>(scrub.deferred),
-        static_cast<unsigned long long>(scrub.crc_slices),
-        static_cast<unsigned long long>(scrub.crc_passes),
-        static_cast<unsigned long long>(scrub.pixel_checks),
-        static_cast<unsigned long long>(scrub.mismatches),
-        static_cast<unsigned long long>(scrub.recoveries),
-        static_cast<unsigned long long>(scrub.rebaselines));
+    JsonWriter w;
+    w.BeginObject()
+        .Key("seed").Value(swarm_seed)
+        .Key("build").Value(BuildStamp())
+        .Key("threads").Value(threads)
+        .Key("clients").Value(clients)
+        .Key("requests").Value(static_cast<int64_t>(requests))
+        .Key("budget_ms").Number(budget_ms, 6)
+        .Key("wall_seconds").Number(wall_seconds, 6)
+        .Key("throughput_rps").Number(rps, 6);
+    w.Key("latency_ms").BeginObject()
+        .Key("p50").Number(p50, 6)
+        .Key("p95").Number(p95, 6)
+        .Key("p99").Number(p99, 6)
+        .EndObject();
+    w.Key("counts").BeginObject()
+        .Key("submitted").Value(stats.submitted)
+        .Key("admitted").Value(stats.admitted)
+        .Key("shed").Value(stats.shed)
+        .Key("served_ok").Value(stats.served_ok)
+        .Key("cancelled").Value(stats.cancelled)
+        .Key("deadline_expired").Value(stats.deadline_expired)
+        .Key("degraded").Value(stats.degraded)
+        .Key("retries").Value(stats.retries)
+        .Key("faults").Value(stats.faults)
+        .Key("breaker_trips").Value(stats.breaker_trips)
+        .Key("unavailable").Value(stats.unavailable)
+        .Key("dropped").Value(static_cast<uint64_t>(dropped.load()))
+        .EndObject();
+    w.Key("tiers").BeginObject()
+        .Key("certified").Value(stats.tier_certified)
+        .Key("progressive").Value(stats.tier_progressive)
+        .Key("coarse").Value(stats.tier_coarse)
+        .Key("flat").Value(stats.tier_flat)
+        .EndObject();
+    // "current" is null until the first publication: epoch ids start at 1,
+    // but consumers must not key liveness off the raw number.
+    w.Key("epochs").BeginObject().Key("swaps").Value(stats.swaps);
+    if (stats.epoch_published) {
+      w.Key("current").Value(stats.epoch);
+    } else {
+      w.Key("current").Null();
+    }
+    w.EndObject();
+    w.Key("tile_shared").BeginObject()
+        .Key("enabled").Value(tile_shared)
+        .Key("frontier_cache_hits").Value(stats.frontier_cache_hits)
+        .EndObject();
+    w.Key("simd").Value(SimdLevelName(ActiveSimdLevel()));
+    w.Key("health").BeginObject()
+        .Key("at_start").Value(health_at_start)
+        .Key("serving").Value(health_serving)
+        .Key("final").Value(health_final)
+        .EndObject();
+    w.Key("invariants").BeginObject()
+        .Key("bad_rejections").Value(static_cast<uint64_t>(bad_rejections.load()))
+        .Key("nonfinite_pixels").Value(static_cast<uint64_t>(nonfinite_pixels.load()))
+        .EndObject();
+    w.Key("governor").BeginObject()
+        .Key("enabled").Value(use_governor)
+        .Key("activations").Value(gov.activations)
+        .Key("brownout_applied").Value(stats.brownout_applied)
+        .Key("brownout_shed").Value(stats.brownout_shed)
+        .Key("level").Value(OverloadGovernor::LevelName(gov.level))
+        .Key("max_level").Value(OverloadGovernor::LevelName(gov.max_level))
+        .Key("pressure").Number(gov.pressure, 6)
+        .Key("transitions").BeginArray();
+    for (const OverloadGovernor::Transition& t : gov_transitions) {
+      w.BeginObject()
+          .Key("at_s").Number(t.at_seconds, 6)
+          .Key("from").Value(OverloadGovernor::LevelName(t.from))
+          .Key("to").Value(OverloadGovernor::LevelName(t.to))
+          .Key("pressure").Number(t.pressure, 6)
+          .EndObject();
+    }
+    w.EndArray().EndObject();
+    w.Key("watchdog").BeginObject()
+        .Key("enabled").Value(use_watchdog)
+        .Key("kills").Value(stats.watchdog_kills)
+        .Key("stalls").BeginArray();
+    for (const StallReport& stall : stalls) {
+      w.BeginObject()
+          .Key("request_id").Value(stall.request_id)
+          .Key("elapsed_s").Number(stall.elapsed_seconds, 6)
+          .Key("budget_s").Number(stall.budget_seconds, 6)
+          .Key("no_progress").Value(stall.no_progress)
+          .EndObject();
+    }
+    w.EndArray().EndObject();
+    w.Key("scrubber").BeginObject()
+        .Key("enabled").Value(use_scrub)
+        .Key("ticks").Value(scrub.ticks)
+        .Key("deferred").Value(scrub.deferred)
+        .Key("crc_slices").Value(scrub.crc_slices)
+        .Key("crc_passes").Value(scrub.crc_passes)
+        .Key("pixel_checks").Value(scrub.pixel_checks)
+        .Key("mismatches").Value(scrub.mismatches)
+        .Key("recoveries").Value(scrub.recoveries)
+        .Key("rebaselines").Value(scrub.rebaselines)
+        .EndObject();
+    w.EndObject();
+    std::printf("%s\n", w.Take().c_str());
   } else {
     std::printf("serve-sim: %d workers, %d clients, %ld requests, %dx%d "
                 "frames, budget %gms\n",
@@ -1408,6 +1442,10 @@ int CmdServeSim(const Flags& flags) {
     }
   }
 
+  // Written before the alarm checks below: the metrics artifact should
+  // exist even when the run exits nonzero (that is when it is most useful).
+  const int metrics_rc = MaybeWriteMetricsOut(flags);
+
   if (bad_rejections.load() > 0) {
     std::fprintf(stderr,
                  "kdvtool serve-sim: %llu rejections carried a code other "
@@ -1431,40 +1469,109 @@ int CmdServeSim(const Flags& flags) {
                  static_cast<unsigned long long>(scrub.recoveries));
     return 1;
   }
-  return 0;
+  return metrics_rc;
+}
+
+// ---- metrics: exercise the stack, dump the registry ------------------------
+
+// Runs a small RenderService workload to populate the metric families, then
+// prints the process-wide registry: Prometheus text exposition by default,
+// the escaped-JSON snapshot with --json. --metrics-out FILE additionally
+// writes the JSON form to FILE. This is the quickest way to inspect what
+// the observability layer exports without standing up a full load run.
+int CmdMetrics(const Flags& flags) {
+  Session s;
+  if (!OpenSession(flags, &s)) return 1;
+
+  const long requests = flags.GetInt("requests", 8);
+  if (requests < 0) {
+    std::fprintf(stderr, "kdvtool metrics: --requests must be >= 0\n");
+    return 2;
+  }
+  const double eps = GetValidatedDouble(flags, "eps", 0.05);
+  const Status eps_status = ValidateEps(eps);
+  if (!eps_status.ok()) {
+    PrintStatus(eps_status);
+    return 1;
+  }
+
+  KdeEvaluator evaluator = s.bench->MakeEvaluator(s.method);
+  PixelGrid grid(s.width, s.height, s.bench->data_bounds());
+
+  RenderService::Options options;
+  options.num_threads = 2;
+  options.max_queue = 8;
+  {
+    RenderService service(options);
+    service.SwapEvaluator(&evaluator);
+    ServeRequestOptions request;
+    request.eps = eps;
+    for (long i = 0; i < requests; ++i) {
+      StatusOr<std::future<ServeOutcome>> ticket =
+          service.Submit(grid, request);
+      if (!ticket.ok()) {
+        PrintStatus(ticket.status());
+        return 1;
+      }
+      const ServeOutcome outcome = ticket->get();
+      if (!outcome.status.ok()) {
+        PrintStatus(outcome.status);
+        return 1;
+      }
+    }
+    // Scope exit stops the service before the snapshot, so no worker is
+    // mid-increment while we read.
+  }
+
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  if (flags.GetBool("json", false)) {
+    std::printf("%s\n", obs::ExportJson(snapshot).c_str());
+  } else {
+    std::fputs(obs::ExportPrometheus(snapshot).c_str(), stdout);
+  }
+  return MaybeWriteMetricsOut(flags);
 }
 
 // ---- sim: deterministic whole-stack simulation -----------------------------
 
-// Machine-readable one-object report for a single simulated run.
+// Formats a CRC32 the way the human-readable output does ("%08x").
+std::string HexCrc(uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+// Machine-readable one-object report for a single simulated run. The
+// failure string is arbitrary text (invariant messages quote paths and
+// expressions), so it goes through the escaping writer rather than the old
+// replace-quotes-with-apostrophes hack that mangled the message.
 void PrintSimJson(const SimReport& report) {
-  std::string failure = report.failure;
-  for (char& c : failure) {
-    if (c == '"' || c == '\\') c = '\'';  // keep the JSON well-formed
-  }
-  std::printf(
-      "{\"seed\":%llu,\"failed\":%s,\"failure\":\"%s\","
-      "\"event_hash\":\"%08x\",\"events\":%zu,\"schedule\":\"%s\","
-      "\"counts\":{\"ops\":%llu,\"submits\":%llu,\"admitted\":%llu,"
-      "\"completions\":%llu,\"certified\":%llu,\"degraded\":%llu,"
-      "\"journal_appends\":%llu,\"checkpoints\":%llu,\"swaps\":%llu,"
-      "\"crashes\":%llu,\"faults_armed\":%llu},"
-      "\"virtual_seconds\":%.6f,\"build\":\"%s\"}\n",
-      static_cast<unsigned long long>(report.seed),
-      report.failed ? "true" : "false", failure.c_str(), report.event_hash,
-      report.events.size(), report.schedule.Spec().c_str(),
-      static_cast<unsigned long long>(report.ops),
-      static_cast<unsigned long long>(report.submits),
-      static_cast<unsigned long long>(report.admitted),
-      static_cast<unsigned long long>(report.completions),
-      static_cast<unsigned long long>(report.certified),
-      static_cast<unsigned long long>(report.degraded),
-      static_cast<unsigned long long>(report.journal_appends),
-      static_cast<unsigned long long>(report.checkpoints),
-      static_cast<unsigned long long>(report.swaps),
-      static_cast<unsigned long long>(report.crashes),
-      static_cast<unsigned long long>(report.faults_armed),
-      report.virtual_seconds, BuildStamp().c_str());
+  JsonWriter w;
+  w.BeginObject()
+      .Key("seed").Value(report.seed)
+      .Key("failed").Value(report.failed)
+      .Key("failure").Value(report.failure)
+      .Key("event_hash").Value(HexCrc(report.event_hash))
+      .Key("events").Value(static_cast<uint64_t>(report.events.size()))
+      .Key("metrics_crc").Value(HexCrc(report.metrics_crc))
+      .Key("schedule").Value(report.schedule.Spec());
+  w.Key("counts").BeginObject()
+      .Key("ops").Value(report.ops)
+      .Key("submits").Value(report.submits)
+      .Key("admitted").Value(report.admitted)
+      .Key("completions").Value(report.completions)
+      .Key("certified").Value(report.certified)
+      .Key("degraded").Value(report.degraded)
+      .Key("journal_appends").Value(report.journal_appends)
+      .Key("checkpoints").Value(report.checkpoints)
+      .Key("swaps").Value(report.swaps)
+      .Key("crashes").Value(report.crashes)
+      .Key("faults_armed").Value(report.faults_armed)
+      .EndObject();
+  w.Key("virtual_seconds").Number(report.virtual_seconds, 6)
+      .Key("build").Value(BuildStamp())
+      .EndObject();
+  std::printf("%s\n", w.Take().c_str());
 }
 
 // Shrinks the failing run's fault schedule and prints a shell-ready repro
@@ -1543,18 +1650,47 @@ int CmdSim(const Flags& flags) {
     // verdict, because a diverging sim cannot be debugged from its seed.
     SimReport first = RunSimulation(options);
     SimReport second = RunSimulation(options);
+    // Two fingerprints must match: the event log and the metrics snapshot.
+    // The metrics snapshot catches a different class of leak (a wall-clock
+    // read that slipped past the clock seam shows up as a differing
+    // duration histogram even when the event order is stable).
     const bool identical = first.event_hash == second.event_hash &&
-                           first.events == second.events;
+                           first.events == second.events &&
+                           first.metrics_crc == second.metrics_crc &&
+                           first.metrics_text == second.metrics_text;
     if (json) {
       PrintSimJson(first);
     } else {
-      std::printf("sim replay: seed %llu, hash %08x vs %08x -> %s\n",
+      std::printf("sim replay: seed %llu, hash %08x vs %08x, "
+                  "metrics %08x vs %08x -> %s\n",
                   static_cast<unsigned long long>(first.seed),
-                  first.event_hash, second.event_hash,
-                  identical ? "IDENTICAL" : "DIVERGED");
+                  first.event_hash, second.event_hash, first.metrics_crc,
+                  second.metrics_crc, identical ? "IDENTICAL" : "DIVERGED");
       std::printf("  %s\n", first.Summary().c_str());
     }
     if (!identical) {
+      if (first.event_hash == second.event_hash &&
+          first.events == second.events) {
+        // Same event log, different metrics: nondeterminism confined to the
+        // observability layer (an unseamed clock read or a real-time-ordered
+        // histogram). Still a replay failure.
+        std::fprintf(stderr,
+                     "kdvtool sim: replay metrics diverged (%08x vs %08x) "
+                     "with identical event logs\n",
+                     first.metrics_crc, second.metrics_crc);
+        // Name the first differing exposition line — "which metric" is the
+        // whole debugging battle for this class of leak.
+        std::istringstream a(first.metrics_text), b(second.metrics_text);
+        std::string la, lb;
+        while (std::getline(a, la) && std::getline(b, lb)) {
+          if (la != lb) {
+            std::fprintf(stderr, "  run 1: %s\n  run 2: %s\n", la.c_str(),
+                         lb.c_str());
+            break;
+          }
+        }
+        return 1;
+      }
       const size_t n = std::min(first.events.size(), second.events.size());
       size_t diverge = n;
       for (size_t i = 0; i < n; ++i) {
@@ -1610,10 +1746,14 @@ int CmdSim(const Flags& flags) {
     }
   }
   if (json) {
-    std::printf("{\"seeds\":%llu,\"base_seed\":%llu,\"failed\":false,"
-                "\"build\":\"%s\"}\n",
-                static_cast<unsigned long long>(passed),
-                static_cast<unsigned long long>(base), BuildStamp().c_str());
+    JsonWriter w;
+    w.BeginObject()
+        .Key("seeds").Value(passed)
+        .Key("base_seed").Value(base)
+        .Key("failed").Value(false)
+        .Key("build").Value(BuildStamp())
+        .EndObject();
+    std::printf("%s\n", w.Take().c_str());
   } else {
     std::printf("sim sweep: all %llu seed(s) passed (%llu..%llu)\n",
                 static_cast<unsigned long long>(passed),
@@ -1655,6 +1795,7 @@ int main(int argc, char** argv) {
   if (cmd == "classify") return CmdClassify(flags);
   if (cmd == "regress") return CmdRegress(flags);
   if (cmd == "serve-sim") return CmdServeSim(flags);
+  if (cmd == "metrics") return CmdMetrics(flags);
   if (cmd == "sim") return CmdSim(flags);
   if (cmd == "recover") return CmdRecover(flags);
   if (cmd == "checkpoint") return CmdCheckpoint(flags);
